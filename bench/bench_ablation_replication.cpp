@@ -1,0 +1,46 @@
+// Ablation — replication factor. The paper evaluates only r = 3 (the HDFS
+// default), but SMARTH's pipeline cap n = |datanodes| / r makes the factor a
+// first-order knob: higher replication means longer pipelines (worse for
+// HDFS's min-bandwidth bound) and fewer concurrent SMARTH pipelines.
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace smarth;
+
+int main() {
+  bench::print_header(
+      "Ablation — replication factor (small cluster, 50 Mbps cross-rack, "
+      "8 GB)",
+      "SMARTH's fan-out is |datanodes|/r concurrent pipelines: 4 at r=2, "
+      "3 at r=3, 2 at r=4.");
+
+  const Bytes file_size = bench::bench_file_size();
+  TextTable table({"replication", "HDFS (s)", "SMARTH (s)",
+                   "improvement (%)", "SMARTH max pipelines"});
+  for (int replication : {2, 3, 4}) {
+    double secs[2];
+    int max_pipelines = 0;
+    for (int p = 0; p < 2; ++p) {
+      cluster::ClusterSpec spec = cluster::small_cluster(42);
+      spec.hdfs.replication = replication;
+      cluster::Cluster cluster(spec);
+      cluster.throttle_cross_rack(Bandwidth::mbps(50));
+      const auto stats = cluster.run_upload(
+          "/f", file_size,
+          p ? cluster::Protocol::kSmarth : cluster::Protocol::kHdfs);
+      if (stats.failed) {
+        std::printf("r=%d failed: %s\n", replication,
+                    stats.failure_reason.c_str());
+        return 1;
+      }
+      secs[p] = to_seconds(stats.elapsed());
+      if (p == 1) max_pipelines = stats.max_concurrent_pipelines;
+    }
+    table.add_row({std::to_string(replication), TextTable::num(secs[0]),
+                   TextTable::num(secs[1]),
+                   TextTable::num((secs[0] / secs[1] - 1.0) * 100.0, 1),
+                   std::to_string(max_pipelines)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

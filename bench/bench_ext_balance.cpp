@@ -1,0 +1,82 @@
+// Extension — storage balance. Paper §III-B claims the global optimization
+// picks fast first-datanodes "while keeping the cluster balanced" (the
+// random draw from the top-n set plus rack-aware replicas 2/3 is the
+// balancing mechanism). This bench quantifies it: after an 8 GB ingest,
+// how evenly are the stored bytes spread across datanodes? Reported as
+// min/max per-node gigabytes and the coefficient of variation, on both the
+// homogeneous and the heterogeneous cluster.
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+#include "common/table.hpp"
+
+using namespace smarth;
+
+namespace {
+
+struct BalanceResult {
+  double min_gib = 0.0;
+  double max_gib = 0.0;
+  double cv = 0.0;  ///< stddev / mean of per-node stored bytes
+  double seconds = 0.0;
+};
+
+BalanceResult run(const cluster::ClusterSpec& spec,
+                  cluster::Protocol protocol, Bytes file_size) {
+  cluster::Cluster cluster(spec);
+  const auto stats = cluster.run_upload("/f", file_size, protocol);
+  SMARTH_CHECK_MSG(!stats.failed, "upload failed");
+  cluster.sim().run_until(cluster.sim().now() + seconds(3));
+
+  SummaryStats per_node;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    Bytes stored = 0;
+    for (const auto& replica :
+         cluster.datanode(i).block_store().all_replicas()) {
+      stored += replica.bytes;
+    }
+    per_node.add(static_cast<double>(stored));
+  }
+  BalanceResult result;
+  result.min_gib = per_node.min() / static_cast<double>(kGiB);
+  result.max_gib = per_node.max() / static_cast<double>(kGiB);
+  result.cv = per_node.mean() > 0 ? per_node.stddev() / per_node.mean() : 0.0;
+  result.seconds = to_seconds(stats.elapsed());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension — storage balance after ingest (8 GB, replication 3)",
+      "Per-datanode stored bytes after the upload; CV = stddev/mean. Paper "
+      "§III-B: global optimization should keep the cluster balanced.");
+
+  const Bytes file_size = bench::bench_file_size();
+  TextTable table({"cluster", "protocol", "ingest (s)", "min GiB/node",
+                   "max GiB/node", "CV"});
+  struct Case {
+    const char* name;
+    cluster::ClusterSpec spec;
+  };
+  const Case cases[] = {
+      {"small (homogeneous)", cluster::small_cluster(42)},
+      {"heterogeneous", cluster::heterogeneous_cluster(42)},
+  };
+  for (const Case& c : cases) {
+    for (int p = 0; p < 2; ++p) {
+      const auto protocol =
+          p ? cluster::Protocol::kSmarth : cluster::Protocol::kHdfs;
+      const BalanceResult r = run(c.spec, protocol, file_size);
+      table.add_row({c.name, cluster::protocol_name(protocol),
+                     TextTable::num(r.seconds), TextTable::num(r.min_gib),
+                     TextTable::num(r.max_gib), TextTable::num(r.cv, 3)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading the table: a CV near zero is perfectly balanced; SMARTH's\n"
+      "skew (if any) comes from concentrating pipeline heads on fast "
+      "nodes.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension — the paper's future work ("investigate SMARTH's impact on
+// MapReduce jobs"): run an ingest while map-style readers stream previously
+// stored files off the same datanodes, contending for NICs and disks. The
+// question: does SMARTH's write advantage survive read load, and does it
+// cost the readers anything?
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace smarth;
+
+namespace {
+
+struct MixResult {
+  double upload_seconds = -1.0;
+  double reader_mbps = 0.0;
+  int reader_failovers = 0;
+};
+
+MixResult run(cluster::Protocol protocol, int readers, Bytes upload_size) {
+  cluster::ClusterSpec spec = cluster::small_cluster(42);
+  cluster::Cluster cluster(spec);
+  cluster.throttle_cross_rack(Bandwidth::mbps(100));
+
+  // Stage the input files the "mappers" will scan.
+  std::vector<std::string> inputs;
+  for (int r = 0; r < readers; ++r) {
+    const std::string path = "/input/part-" + std::to_string(r);
+    const auto stats = cluster.run_upload(path, 512 * kMiB, protocol);
+    SMARTH_CHECK_MSG(!stats.failed, "staging failed");
+    inputs.push_back(path);
+  }
+  cluster.sim().run_until(cluster.sim().now() + seconds(5));
+
+  // Launch the readers: each scans its part in a loop until the ingest ends.
+  struct ReaderState {
+    Bytes bytes = 0;
+    int failovers = 0;
+    bool stop = false;
+  };
+  auto states = std::make_shared<std::vector<ReaderState>>(
+      static_cast<std::size_t>(readers));
+  std::function<void(std::size_t)> scan = [&cluster, &inputs, states,
+                                           &scan](std::size_t r) {
+    if ((*states)[r].stop) return;
+    cluster.download(inputs[r], [states, r, &scan](const hdfs::ReadStats& s) {
+      (*states)[r].bytes += s.bytes_read;
+      (*states)[r].failovers += s.failovers;
+      // A failed scan ends this reader (looping on a failure would spin).
+      if (s.failed) (*states)[r].stop = true;
+      if (!(*states)[r].stop) scan(r);
+    });
+  };
+  const SimTime read_start = cluster.sim().now();
+  Bytes served_before = 0;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    served_before += cluster.datanode(i).read_bytes_served();
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(readers); ++r) scan(r);
+
+  const auto upload =
+      cluster.run_upload("/output/ingest.bin", upload_size, protocol);
+  const SimTime read_end = cluster.sim().now();
+  for (auto& st : *states) st.stop = true;
+
+  MixResult result;
+  if (!upload.failed) result.upload_seconds = to_seconds(upload.elapsed());
+  // Aggregate read rate from bytes the datanodes actually served (counts
+  // scans still in flight when the ingest ends).
+  Bytes served_after = 0;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    served_after += cluster.datanode(i).read_bytes_served();
+  }
+  for (const auto& st : *states) result.reader_failovers += st.failovers;
+  result.reader_mbps =
+      throughput_of(served_after - served_before, read_end - read_start)
+          .mbps();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension — ingest under map-style read load (small cluster, "
+      "100 Mbps cross-rack)",
+      "k readers loop over 512 MiB staged files while one client ingests; "
+      "paper future work: SMARTH's impact on MapReduce-style jobs.");
+
+  const Bytes upload_size = std::min<Bytes>(bench::bench_file_size(), 2 * kGiB);
+  TextTable table({"readers", "protocol", "ingest (s)",
+                   "aggregate read (Mbps)", "improvement (%)"});
+  for (int readers : {0, 2, 4}) {
+    MixResult results[2];
+    for (int p = 0; p < 2; ++p) {
+      results[p] = run(p ? cluster::Protocol::kSmarth
+                         : cluster::Protocol::kHdfs,
+                       readers, upload_size);
+    }
+    for (int p = 0; p < 2; ++p) {
+      table.add_row(
+          {std::to_string(readers),
+           p ? "SMARTH" : "HDFS",
+           TextTable::num(results[p].upload_seconds),
+           TextTable::num(results[p].reader_mbps, 1),
+           p ? TextTable::num((results[0].upload_seconds /
+                                   results[1].upload_seconds -
+                               1.0) *
+                                  100.0,
+                              1)
+             : std::string("-")});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension — the paper's future work ("evaluate SMARTH on different storage
+// platforms and types such as RAID and SSD"). Swaps the datanode storage
+// profile and measures both protocols: once the disk is fast enough that Tw
+// never binds, the gap is purely network-shaped; a slow disk (shared HDD)
+// caps both protocols alike.
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace smarth;
+
+namespace {
+
+struct StorageProfile {
+  const char* name;
+  Bandwidth write_bw;
+  SimDuration op_overhead;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension — storage types (small cluster, 100 Mbps cross-rack, 8 GB)",
+      "Paper future work: RAID and SSD storage. Disk write bandwidth and "
+      "per-op overhead swapped per run; NICs unchanged.");
+
+  const StorageProfile profiles[] = {
+      {"slow shared HDD", Bandwidth::mega_bytes_per_second(25),
+       microseconds(200)},
+      {"ephemeral HDD (paper)", Bandwidth::mega_bytes_per_second(60),
+       microseconds(80)},
+      {"RAID0 (2 disks)", Bandwidth::mega_bytes_per_second(120),
+       microseconds(80)},
+      {"SSD", Bandwidth::mega_bytes_per_second(450), microseconds(15)},
+  };
+
+  const Bytes file_size = bench::bench_file_size();
+  TextTable table({"storage", "HDFS (s)", "SMARTH (s)", "improvement (%)"});
+  for (const StorageProfile& profile : profiles) {
+    double secs[2];
+    for (int p = 0; p < 2; ++p) {
+      cluster::ClusterSpec spec = cluster::small_cluster(42);
+      for (auto& dn : spec.datanodes) {
+        dn.profile.disk_write = profile.write_bw;
+        dn.profile.disk_op_overhead = profile.op_overhead;
+      }
+      cluster::Cluster cluster(spec);
+      cluster.throttle_cross_rack(Bandwidth::mbps(100));
+      const auto stats = cluster.run_upload(
+          "/f", file_size,
+          p ? cluster::Protocol::kSmarth : cluster::Protocol::kHdfs);
+      if (stats.failed) {
+        std::printf("%s failed: %s\n", profile.name,
+                    stats.failure_reason.c_str());
+        return 1;
+      }
+      secs[p] = to_seconds(stats.elapsed());
+    }
+    table.add_row({profile.name, TextTable::num(secs[0]),
+                   TextTable::num(secs[1]),
+                   TextTable::num((secs[0] / secs[1] - 1.0) * 100.0, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figures 10, 11 and 12 — the bandwidth-contention scenario: vary the number
+// of datanodes individually throttled (emulating nodes whose bandwidth is
+// eaten by other processes) and measure the 8 GB upload time. Fig. 10: small
+// cluster, 50 Mbps slow nodes, k = 0..5. Fig. 11(a,b): medium and large
+// clusters at 50 Mbps. Fig. 12(a,b): small and medium clusters at 150 Mbps.
+// Paper shape: even one slow node hurts HDFS badly (~78% improvement for
+// SMARTH on small); gains grow with the number of slow nodes and shrink at
+// the milder 150 Mbps throttle.
+#include "bench_common.hpp"
+
+using namespace smarth;
+
+namespace {
+
+void run_contention(const char* figure, const char* cluster_name,
+                    cluster::ClusterSpec (*make)(std::uint64_t),
+                    double node_mbps, Bytes file_size) {
+  std::vector<harness::Scenario> sweep;
+  for (std::size_t k = 0; k <= 5; ++k) {
+    sweep.push_back(harness::contention_scenario(
+        std::to_string(k), make, k, Bandwidth::mbps(node_mbps), file_size));
+  }
+  std::printf("--- Fig. %s: %s cluster, slow nodes at %.0f Mbps ---\n",
+              figure, cluster_name, node_mbps);
+  bench::run_and_print("#slow nodes", sweep);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figures 10-12 — bandwidth contention (8 GB file, k slow nodes)",
+      "Fig. 10 small@50Mbps, Fig. 11(a) medium@50, Fig. 11(b) large@50, "
+      "Fig. 12(a) small@150, Fig. 12(b) medium@150.");
+  const Bytes file_size = bench::bench_file_size();
+
+  run_contention("10", "small", cluster::small_cluster, 50, file_size);
+  run_contention("11(a)", "medium", cluster::medium_cluster, 50, file_size);
+  run_contention("11(b)", "large", cluster::large_cluster, 50, file_size);
+  run_contention("12(a)", "small", cluster::small_cluster, 150, file_size);
+  run_contention("12(b)", "medium", cluster::medium_cluster, 150, file_size);
+  return 0;
+}

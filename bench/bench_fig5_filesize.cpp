@@ -1,0 +1,53 @@
+// Figure 5 (a-f) — upload time vs file size on the small, medium and large
+// clusters, without throttling (left column) and with a 100 Mbps cross-rack
+// throttle (right column). The paper's findings to reproduce: time grows
+// proportionally with file size; without throttling SMARTH ≈ HDFS; with the
+// throttle SMARTH wins clearly; medium and large clusters perform alike
+// (same NIC).
+#include "bench_common.hpp"
+
+using namespace smarth;
+
+int main() {
+  bench::print_header(
+      "Figure 5 — uploading time vs file size, with and without cross-rack "
+      "throttling",
+      "Sub-figures: (a,b) small, (c,d) medium, (e,f) large; "
+      "(left) default bandwidth, (right) 100 Mbps cross-rack throttle.");
+
+  struct ClusterCase {
+    const char* name;
+    cluster::ClusterSpec (*make)(std::uint64_t);
+  };
+  const ClusterCase clusters[] = {
+      {"small", cluster::small_cluster},
+      {"medium", cluster::medium_cluster},
+      {"large", cluster::large_cluster},
+  };
+  const double throttles_mbps[] = {0.0, 100.0};
+  const Bytes sizes[] = {1 * kGiB, 2 * kGiB, 4 * kGiB, 8 * kGiB};
+
+  for (const auto& cc : clusters) {
+    for (double throttle : throttles_mbps) {
+      std::vector<harness::Scenario> sweep;
+      for (Bytes size : sizes) {
+        const std::string label = std::to_string(size / kGiB) + " GiB";
+        sweep.push_back(harness::two_rack_scenario(
+            label, cc.make,
+            throttle > 0 ? Bandwidth::mbps(throttle) : kUnlimitedBandwidth,
+            size));
+      }
+      std::printf("--- Fig. 5: %s cluster, %s ---\n", cc.name,
+                  throttle > 0 ? "100 Mbps cross-rack throttle"
+                               : "default bandwidth");
+      const auto rows = bench::run_and_print("file size", sweep);
+      // Linearity check the paper calls out: 8 GiB should take ~8x 1 GiB.
+      if (rows.size() == 4 && rows[0].hdfs_seconds > 0) {
+        std::printf("linearity (8G/1G): HDFS %.2fx, SMARTH %.2fx\n\n",
+                    rows[3].hdfs_seconds / rows[0].hdfs_seconds,
+                    rows[3].smarth_seconds / rows[0].smarth_seconds);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figures 6, 7, 8 and 9 — 8 GB upload time vs cross-rack throttle level on
+// the small (Fig. 6), medium (Fig. 7) and large (Fig. 8) clusters, and the
+// derived improvement-vs-throttle relationship (Fig. 9). Paper shape: the
+// tighter the throttle, the larger SMARTH's advantage; medium/large gain
+// more than small; improvements range from ~27% (150 Mbps, small) up to
+// ~245% (50 Mbps, large).
+#include "bench_common.hpp"
+
+using namespace smarth;
+
+int main() {
+  bench::print_header(
+      "Figures 6-9 — uploading time vs cross-rack throttle (8 GB file)",
+      "Fig. 6 small, Fig. 7 medium, Fig. 8 large; Fig. 9 aggregates the "
+      "improvement percentages.");
+
+  struct ClusterCase {
+    const char* name;
+    cluster::ClusterSpec (*make)(std::uint64_t);
+  };
+  const ClusterCase clusters[] = {
+      {"small", cluster::small_cluster},
+      {"medium", cluster::medium_cluster},
+      {"large", cluster::large_cluster},
+  };
+  const double throttles_mbps[] = {50, 100, 150, 200, 0 /* default */};
+  const Bytes file_size = bench::bench_file_size();
+
+  std::vector<std::vector<metrics::ComparisonRow>> all_rows;
+  for (const auto& cc : clusters) {
+    std::vector<harness::Scenario> sweep;
+    for (double throttle : throttles_mbps) {
+      const std::string label =
+          throttle > 0 ? std::to_string(static_cast<int>(throttle)) + " Mbps"
+                       : "default";
+      sweep.push_back(harness::two_rack_scenario(
+          label, cc.make,
+          throttle > 0 ? Bandwidth::mbps(throttle) : kUnlimitedBandwidth,
+          file_size));
+    }
+    std::printf("--- Fig. %d: %s cluster ---\n",
+                cc.make == cluster::small_cluster    ? 6
+                : cc.make == cluster::medium_cluster ? 7
+                                                     : 8,
+                cc.name);
+    all_rows.push_back(bench::run_and_print("throttle", sweep));
+    std::printf("\n");
+  }
+
+  // Figure 9: improvement vs throttle for all three clusters.
+  std::printf("--- Fig. 9: improvement vs throttle ---\n");
+  TextTable fig9({"throttle", "small (%)", "medium (%)", "large (%)"});
+  for (std::size_t t = 0; t < std::size(throttles_mbps); ++t) {
+    fig9.add_row({all_rows[0][t].scenario,
+                  TextTable::num(all_rows[0][t].improvement_percent(), 1),
+                  TextTable::num(all_rows[1][t].improvement_percent(), 1),
+                  TextTable::num(all_rows[2][t].improvement_percent(), 1)});
+  }
+  std::printf("%s\n", fig9.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks (google-benchmark) for the simulation substrate itself:
+// event scheduling/dispatch throughput, link store-and-forward throughput,
+// and end-to-end simulated-upload event rate. These gate the wall-clock cost
+// of the figure benches, not any paper result.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace smarth;
+
+void BM_EventScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::int64_t counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule_at(i, [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventScheduleDispatch);
+
+void BM_EventCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      handles.push_back(sim.schedule_at(i, [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventCancellation);
+
+void BM_LinkStoreAndForward(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::Link link(sim, "l", Bandwidth::mbps(1000), microseconds(100));
+    std::int64_t delivered = 0;
+    for (int i = 0; i < 5'000; ++i) {
+      link.transmit(64 * kKiB, [&delivered] { ++delivered; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 5'000);
+}
+BENCHMARK(BM_LinkStoreAndForward);
+
+void BM_UploadEventsPerSecond(benchmark::State& state) {
+  const Bytes size = static_cast<Bytes>(state.range(0)) * kMiB;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    cluster::ClusterSpec spec = cluster::small_cluster(42);
+    cluster::Cluster cluster(spec);
+    const auto stats =
+        cluster.run_upload("/f", size, cluster::Protocol::kSmarth);
+    if (stats.failed) state.SkipWithError("upload failed");
+    events += cluster.sim().events_executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events"] =
+      static_cast<double>(events) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_UploadEventsPerSecond)->Arg(64)->Arg(256)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Protocol walkthrough: runs a tiny two-block upload under each protocol
+// with full protocol logging, annotated against the paper's write workflow
+// (§II steps 1-6 for HDFS, §III / Fig. 2 for SMARTH). Useful as a first
+// read of how the pieces fit together.
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "common/log.hpp"
+
+using namespace smarth;
+
+namespace {
+
+void banner(const char* text) { std::printf("\n%s\n", text); }
+
+void run(cluster::Protocol protocol) {
+  cluster::ClusterSpec spec = cluster::small_cluster(/*seed=*/7);
+  spec.hdfs.block_size = 1 * kMiB;    // two tiny blocks
+  spec.hdfs.packet_payload = 256 * kKiB;  // a handful of packets each
+  cluster::Cluster cluster(spec);
+  cluster.throttle_cross_rack(Bandwidth::mbps(60));
+
+  Logger::instance().set_level(LogLevel::kDebug);
+  Logger::instance().set_time_source(
+      [&cluster] { return cluster.sim().now(); });
+
+  std::printf("\n================ %s upload of 2 MiB ================\n",
+              cluster::protocol_name(protocol));
+  if (protocol == cluster::Protocol::kHdfs) {
+    banner("paper §II: (1) create() -> namespace checks; (2) split into "
+           "packets;\n(3) pipeline streams packets; (4) ACKs travel back; "
+           "(5) close(); (6) complete().");
+  } else {
+    banner("paper §III / Fig. 2: like HDFS until the first datanode holds "
+           "the whole\nblock, then FNFA lets the client open the next "
+           "pipeline while replicas\nstill drain in the background.");
+  }
+
+  const auto stats = cluster.run_upload("/walkthrough", 2 * kMiB, protocol);
+  Logger::instance().set_level(LogLevel::kWarn);
+  Logger::instance().set_time_source(nullptr);
+
+  std::printf("\n-> %s finished in %s (%d pipelines, max %d concurrent)\n",
+              cluster::protocol_name(protocol),
+              format_duration(stats.elapsed()).c_str(),
+              stats.pipelines_created, stats.max_concurrent_pipelines);
+}
+
+}  // namespace
+
+int main() {
+  run(cluster::Protocol::kHdfs);
+  run(cluster::Protocol::kSmarth);
+  std::printf(
+      "\nCompare the traces: the HDFS run allocates block k+1 only after "
+      "every ACK\nof block k returned; the SMARTH run allocates it on the "
+      "FNFA, so the two\npipelines' lifetimes overlap.\n");
+  return 0;
+}

@@ -1,0 +1,317 @@
+#include "cluster/cluster.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "smarth/global_optimizer.hpp"
+#include "smarth/smarth_stream.hpp"
+
+namespace smarth::cluster {
+
+const char* protocol_name(Protocol protocol) {
+  return protocol == Protocol::kHdfs ? "HDFS" : "SMARTH";
+}
+
+Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  sim_ = std::make_unique<sim::Simulation>(spec_.seed);
+  network_ = std::make_unique<net::Network>(*sim_, spec_.network);
+
+  // Hosts. The namenode goes first so its NodeId is stable, then datanodes,
+  // then client hosts.
+  const NodeId nn_node = network_->add_node(
+      spec_.namenode.name, spec_.namenode.rack, spec_.namenode.profile.network);
+
+  rpc_ = std::make_unique<rpc::RpcBus>(*network_);
+
+  hdfs::SinkResolver resolver;
+  resolver.packet_sink = [this](NodeId node) -> hdfs::PacketSink* {
+    return resolve_datanode(node);
+  };
+  resolver.ack_sink = [this](NodeId node, PipelineId pipeline) {
+    return resolve_ack_sink(node, pipeline);
+  };
+  resolver.read_sink = [this](NodeId node, hdfs::ReadId read) {
+    return resolve_read_sink(node, read);
+  };
+  transport_ = std::make_unique<hdfs::Transport>(*network_, spec_.hdfs,
+                                                 std::move(resolver));
+
+  namenode_ = std::make_unique<hdfs::Namenode>(*sim_, network_->topology(),
+                                               spec_.hdfs, nn_node);
+
+  for (const NodeSpec& node_spec : spec_.datanodes) {
+    const NodeId node = network_->add_node(node_spec.name, node_spec.rack,
+                                           node_spec.profile.network);
+    hdfs::Datanode::Options options;
+    options.disk_write_bandwidth = node_spec.profile.disk_write;
+    options.disk_op_overhead = node_spec.profile.disk_op_overhead;
+    auto dn = std::make_unique<hdfs::Datanode>(*sim_, *transport_, *rpc_,
+                                               *namenode_, spec_.hdfs, node,
+                                               options);
+    dn->set_peer_resolver(
+        [this](NodeId peer) { return resolve_datanode(peer); });
+    dn->start();
+    datanode_ids_.push_back(node);
+    datanodes_.push_back(std::move(dn));
+  }
+
+  add_client(spec_.client.rack, spec_.client.profile);
+}
+
+Cluster::~Cluster() = default;
+
+std::size_t Cluster::add_client(const std::string& rack,
+                                const InstanceProfile& profile) {
+  const std::size_t index = clients_.size();
+  const std::string name =
+      index == 0 ? spec_.client.name : "client" + std::to_string(index);
+  const NodeId node = network_->add_node(name, rack, profile.network);
+  ClientRuntime runtime;
+  runtime.node = node;
+  runtime.tracker = std::make_unique<core::SpeedTracker>();
+  runtime.dfs = std::make_unique<hdfs::DfsClient>(
+      *sim_, *rpc_, *namenode_, spec_.hdfs, client_ids_.next(), node);
+  core::SpeedTracker* tracker = runtime.tracker.get();
+  runtime.dfs->start_heartbeat(
+      [tracker] { return tracker->heartbeat_records(); });
+  clients_.push_back(std::move(runtime));
+  return index;
+}
+
+hdfs::Datanode& Cluster::datanode(std::size_t index) {
+  SMARTH_CHECK(index < datanodes_.size());
+  return *datanodes_[index];
+}
+
+NodeId Cluster::datanode_id(std::size_t index) const {
+  SMARTH_CHECK(index < datanode_ids_.size());
+  return datanode_ids_[index];
+}
+
+NodeId Cluster::client_node(std::size_t client_index) const {
+  SMARTH_CHECK(client_index < clients_.size());
+  return clients_[client_index].node;
+}
+
+hdfs::DfsClient& Cluster::client(std::size_t client_index) {
+  SMARTH_CHECK(client_index < clients_.size());
+  return *clients_[client_index].dfs;
+}
+
+core::SpeedTracker& Cluster::speed_tracker(std::size_t client_index) {
+  SMARTH_CHECK(client_index < clients_.size());
+  return *clients_[client_index].tracker;
+}
+
+hdfs::Datanode* Cluster::resolve_datanode(NodeId node) {
+  for (std::size_t i = 0; i < datanode_ids_.size(); ++i) {
+    if (datanode_ids_[i] == node) return datanodes_[i].get();
+  }
+  return nullptr;
+}
+
+hdfs::AckSink* Cluster::resolve_ack_sink(NodeId node, PipelineId pipeline) {
+  for (auto& stream : streams_) {
+    if (stream->client_node() == node && stream->owns_pipeline(pipeline)) {
+      return stream.get();
+    }
+  }
+  return nullptr;
+}
+
+hdfs::ReadSink* Cluster::resolve_read_sink(NodeId node, hdfs::ReadId read) {
+  for (auto& reader : readers_) {
+    if (reader->client_node() == node && reader->owns_read(read)) {
+      return reader.get();
+    }
+  }
+  return nullptr;
+}
+
+void Cluster::throttle_cross_rack(Bandwidth bw) {
+  network_->set_cross_rack_throttle(bw);
+}
+
+void Cluster::throttle_datanode(std::size_t index, Bandwidth bw) {
+  network_->set_node_nic(datanode_id(index), bw);
+}
+
+void Cluster::crash_datanode_at(std::size_t index, SimTime at) {
+  hdfs::Datanode* dn = &datanode(index);
+  sim_->schedule_at(at, [dn] { dn->crash(); });
+}
+
+void Cluster::enable_rereplication(SimDuration scan_interval) {
+  namenode_->enable_rereplication(
+      [this](NodeId source, NodeId target, BlockId block, Bytes length,
+             std::function<void(bool)> done) {
+        hdfs::Datanode* source_dn = resolve_datanode(source);
+        if (source_dn == nullptr || source_dn->crashed()) {
+          done(false);
+          return;
+        }
+        // The namenode's copy command travels as an RPC to the source,
+        // which streams the replica to the target and finalizes it there.
+        rpc_->call_async<bool>(
+            namenode_->node_id(), source,
+            [source_dn, block, target, length](
+                std::function<void(bool)> respond) {
+              source_dn->transfer_replica(block, target, length,
+                                          std::move(respond),
+                                          /*finalize_at_dest=*/true);
+            },
+            std::move(done));
+      },
+      scan_interval);
+}
+
+hdfs::StreamDeps Cluster::make_stream_deps() {
+  return hdfs::StreamDeps{
+      *sim_,
+      *transport_,
+      *rpc_,
+      *namenode_,
+      spec_.hdfs,
+      pipeline_ids_,
+      [this](NodeId node) { return resolve_datanode(node); }};
+}
+
+void Cluster::apply_placement_policy(Protocol protocol) {
+  if (active_policy_ == protocol) return;
+  active_policy_ = protocol;
+  if (protocol == Protocol::kSmarth && spec_.hdfs.smarth_global_opt) {
+    namenode_->set_placement_policy(
+        std::make_unique<core::GlobalOptimizerPolicy>());
+  } else {
+    namenode_->set_placement_policy(
+        std::make_unique<hdfs::DefaultPlacementPolicy>());
+  }
+}
+
+void Cluster::prune_finished_endpoints() {
+  // Finished streams/readers cancel their pending events and drop late RPC
+  // responses via liveness tokens, so removing them here is safe; workloads
+  // that loop over thousands of transfers would otherwise accumulate them.
+  std::erase_if(streams_,
+                [](const auto& stream) { return stream->finished(); });
+  std::erase_if(readers_,
+                [](const auto& reader) { return reader->finished(); });
+}
+
+void Cluster::upload(const std::string& path, Bytes size, Protocol protocol,
+                     UploadCallback on_done, std::size_t client_index) {
+  SMARTH_CHECK(client_index < clients_.size());
+  prune_finished_endpoints();
+  apply_placement_policy(protocol);
+  ClientRuntime& runtime = clients_[client_index];
+  hdfs::DfsClient* dfs = runtime.dfs.get();
+  core::SpeedTracker* tracker = runtime.tracker.get();
+
+  dfs->create_file(path, [this, path, size, protocol, dfs, tracker,
+                          on_done = std::move(on_done)](
+                             Result<FileId> result) mutable {
+    if (!result.ok()) {
+      hdfs::StreamStats stats;
+      stats.client = dfs->id();
+      stats.file_size = size;
+      stats.failed = true;
+      stats.failure_reason = "create failed: " + result.error().to_string();
+      if (on_done) on_done(stats);
+      return;
+    }
+    std::unique_ptr<hdfs::OutputStreamBase> stream;
+    if (protocol == Protocol::kSmarth) {
+      stream = std::make_unique<core::SmarthOutputStream>(
+          make_stream_deps(), dfs->id(), dfs->node(), result.value(), size,
+          *tracker, std::move(on_done));
+    } else {
+      stream = std::make_unique<hdfs::DfsOutputStream>(
+          make_stream_deps(), dfs->id(), dfs->node(), result.value(), size,
+          std::move(on_done));
+    }
+    hdfs::OutputStreamBase* raw = stream.get();
+    streams_.push_back(std::move(stream));
+    raw->start();
+  });
+}
+
+hdfs::StreamStats Cluster::run_upload(const std::string& path, Bytes size,
+                                      Protocol protocol,
+                                      std::size_t client_index) {
+  std::optional<hdfs::StreamStats> stats;
+  upload(path, size, protocol,
+         [&stats](const hdfs::StreamStats& s) { stats = s; }, client_index);
+  // Heartbeats run forever; drive the simulation in bounded time slices
+  // until the upload reports completion rather than until the queue drains
+  // (which would never happen). A generous simulated-time ceiling turns
+  // protocol hangs into loud failures instead of spins.
+  const SimTime deadline = sim_->now() + seconds(100'000);
+  while (!stats.has_value()) {
+    SMARTH_CHECK(sim_->run_until(sim_->now() + milliseconds(250)));
+    SMARTH_CHECK_MSG(sim_->now() < deadline,
+                     "upload did not complete within the simulated-time "
+                     "ceiling — protocol hang");
+  }
+  return *stats;
+}
+
+hdfs::DfsInputStream::Deps Cluster::make_read_deps() {
+  return hdfs::DfsInputStream::Deps{*sim_, *transport_, *rpc_, *namenode_,
+                                    spec_.hdfs, read_ids_};
+}
+
+void Cluster::download(const std::string& path, DownloadCallback on_done,
+                       std::size_t client_index) {
+  SMARTH_CHECK(client_index < clients_.size());
+  prune_finished_endpoints();
+  ClientRuntime& runtime = clients_[client_index];
+  auto reader = std::make_unique<hdfs::DfsInputStream>(
+      make_read_deps(), runtime.dfs->id(), runtime.node, path,
+      std::move(on_done));
+  hdfs::DfsInputStream* raw = reader.get();
+  readers_.push_back(std::move(reader));
+  raw->start();
+}
+
+hdfs::ReadStats Cluster::run_download(const std::string& path,
+                                      std::size_t client_index) {
+  std::optional<hdfs::ReadStats> stats;
+  download(path, [&stats](const hdfs::ReadStats& s) { stats = s; },
+           client_index);
+  const SimTime deadline = sim_->now() + seconds(100'000);
+  while (!stats.has_value()) {
+    SMARTH_CHECK(sim_->run_until(sim_->now() + milliseconds(250)));
+    SMARTH_CHECK_MSG(sim_->now() < deadline, "download hang");
+  }
+  return *stats;
+}
+
+Bytes Cluster::total_finalized_replica_bytes() const {
+  Bytes total = 0;
+  for (const auto& dn : datanodes_) {
+    for (const auto& replica : dn->block_store().all_replicas()) {
+      if (replica.state == storage::ReplicaState::kFinalized) {
+        total += replica.bytes;
+      }
+    }
+  }
+  return total;
+}
+
+bool Cluster::file_fully_replicated(const std::string& path) const {
+  const hdfs::FileEntry* entry = namenode_->file_by_path(path);
+  if (entry == nullptr) return false;
+  for (BlockId block : entry->blocks) {
+    int finalized = 0;
+    for (const auto& dn : datanodes_) {
+      const auto replica = dn->block_store().replica(block);
+      if (replica.ok() &&
+          replica.value().state == storage::ReplicaState::kFinalized) {
+        ++finalized;
+      }
+    }
+    if (finalized < spec_.hdfs.replication) return false;
+  }
+  return true;
+}
+
+}  // namespace smarth::cluster

@@ -1,0 +1,140 @@
+// Assembles a runnable simulated HDFS/SMARTH cluster from a ClusterSpec:
+// event engine, network fabric, RPC bus, namenode, datanodes, clients, and
+// the message routing between them. This is the facade examples, tests and
+// benches drive.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "hdfs/datanode.hpp"
+#include "hdfs/dfs_client.hpp"
+#include "hdfs/input_stream.hpp"
+#include "hdfs/namenode.hpp"
+#include "hdfs/output_stream.hpp"
+#include "hdfs/transport.hpp"
+#include "net/network.hpp"
+#include "rpc/rpc_bus.hpp"
+#include "sim/simulation.hpp"
+#include "smarth/speed_tracker.hpp"
+
+namespace smarth::cluster {
+
+enum class Protocol { kHdfs, kSmarth };
+
+const char* protocol_name(Protocol protocol);
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- Accessors --------------------------------------------------------------
+  sim::Simulation& sim() { return *sim_; }
+  net::Network& network() { return *network_; }
+  rpc::RpcBus& rpc() { return *rpc_; }
+  hdfs::Namenode& namenode() { return *namenode_; }
+  const ClusterSpec& spec() const { return spec_; }
+  const hdfs::HdfsConfig& config() const { return spec_.hdfs; }
+  hdfs::HdfsConfig& mutable_config() { return spec_.hdfs; }
+
+  std::size_t datanode_count() const { return datanodes_.size(); }
+  hdfs::Datanode& datanode(std::size_t index);
+  NodeId datanode_id(std::size_t index) const;
+  NodeId client_node(std::size_t client_index = 0) const;
+  hdfs::DfsClient& client(std::size_t client_index = 0);
+  core::SpeedTracker& speed_tracker(std::size_t client_index = 0);
+
+  /// Adds an extra client host (multi-writer scenarios). Returns its index.
+  std::size_t add_client(const std::string& rack,
+                         const InstanceProfile& profile);
+
+  // --- Traffic control (the paper's tc usage) ---------------------------------
+  void throttle_cross_rack(Bandwidth bw);
+  void throttle_datanode(std::size_t index, Bandwidth bw);
+
+  // --- Fault injection ---------------------------------------------------------
+  void crash_datanode_at(std::size_t index, SimTime at);
+
+  /// Turns on the namenode's background re-replication of under-replicated
+  /// blocks (off by default; the paper's experiments do not rely on it).
+  void enable_rereplication(SimDuration scan_interval = seconds(5));
+
+  // --- Uploads -----------------------------------------------------------------
+  using UploadCallback = std::function<void(const hdfs::StreamStats&)>;
+  /// Starts an asynchronous upload (create + stream). The callback fires when
+  /// the stream closes (successfully or not). Returns a handle for live
+  /// inspection (pipeline counts, stats so far); owned by the cluster, valid
+  /// for its lifetime. May complete with nullptr stream if create() fails
+  /// before a stream exists.
+  void upload(const std::string& path, Bytes size, Protocol protocol,
+              UploadCallback on_done, std::size_t client_index = 0);
+  /// The most recently created output stream (nullptr before the first
+  /// create() response arrives); exposed for live sampling in examples.
+  hdfs::OutputStreamBase* latest_stream() {
+    return streams_.empty() ? nullptr : streams_.back().get();
+  }
+
+  /// Convenience: upload one file, run the simulation to completion, return
+  /// the stream stats.
+  hdfs::StreamStats run_upload(const std::string& path, Bytes size,
+                               Protocol protocol,
+                               std::size_t client_index = 0);
+
+  // --- Reads -------------------------------------------------------------------
+  using DownloadCallback = std::function<void(const hdfs::ReadStats&)>;
+  /// Starts an asynchronous whole-file read (nearest replica per block,
+  /// failover on errors). Protocol-independent: HDFS reads have no pipeline.
+  void download(const std::string& path, DownloadCallback on_done,
+                std::size_t client_index = 0);
+  /// Convenience: read one file, run the simulation until it completes.
+  hdfs::ReadStats run_download(const std::string& path,
+                               std::size_t client_index = 0);
+
+  /// Verification helper: total finalized replica bytes across all
+  /// datanodes (should equal replication * file bytes after an upload).
+  Bytes total_finalized_replica_bytes() const;
+  /// Verification helper: every block of `path` has `replication` finalized
+  /// replicas of the right length across the datanodes.
+  bool file_fully_replicated(const std::string& path) const;
+
+ private:
+  struct ClientRuntime {
+    NodeId node;
+    std::unique_ptr<hdfs::DfsClient> dfs;
+    std::unique_ptr<core::SpeedTracker> tracker;
+  };
+
+  hdfs::StreamDeps make_stream_deps();
+  hdfs::DfsInputStream::Deps make_read_deps();
+  void prune_finished_endpoints();
+  void apply_placement_policy(Protocol protocol);
+  hdfs::Datanode* resolve_datanode(NodeId node);
+  hdfs::AckSink* resolve_ack_sink(NodeId node, PipelineId pipeline);
+  hdfs::ReadSink* resolve_read_sink(NodeId node, hdfs::ReadId read);
+
+  ClusterSpec spec_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<rpc::RpcBus> rpc_;
+  std::unique_ptr<hdfs::Transport> transport_;
+  std::unique_ptr<hdfs::Namenode> namenode_;
+  std::vector<std::unique_ptr<hdfs::Datanode>> datanodes_;
+  std::vector<NodeId> datanode_ids_;
+  std::vector<ClientRuntime> clients_;
+  std::vector<std::unique_ptr<hdfs::OutputStreamBase>> streams_;
+  std::vector<std::unique_ptr<hdfs::DfsInputStream>> readers_;
+  IdGenerator<PipelineId> pipeline_ids_;
+  IdGenerator<ClientId> client_ids_;
+  IdGenerator<hdfs::ReadId> read_ids_;
+  std::optional<Protocol> active_policy_;
+};
+
+}  // namespace smarth::cluster

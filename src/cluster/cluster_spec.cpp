@@ -1,0 +1,73 @@
+#include "cluster/cluster_spec.hpp"
+
+#include "common/check.hpp"
+
+namespace smarth::cluster {
+
+namespace {
+
+constexpr const char* kRack0 = "/rack0";
+constexpr const char* kRack1 = "/rack1";
+
+NodeSpec make_node(std::string name, std::string rack,
+                   const InstanceProfile& profile) {
+  return NodeSpec{std::move(name), std::move(rack), profile};
+}
+
+}  // namespace
+
+ClusterSpec homogeneous_cluster(const InstanceProfile& profile,
+                                std::size_t datanodes, std::uint64_t seed) {
+  SMARTH_CHECK_MSG(datanodes >= 3, "need at least replication-many datanodes");
+  ClusterSpec spec;
+  spec.label = profile.name + "-x" + std::to_string(datanodes);
+  spec.seed = seed;
+  spec.namenode = make_node("nn", kRack0, profile);
+  spec.client = make_node("client", kRack0, profile);
+  spec.hdfs.packet_production_time = profile.packet_production_time;
+  const std::size_t rack0_count = (datanodes + 1) / 2;
+  for (std::size_t i = 0; i < datanodes; ++i) {
+    const char* rack = i < rack0_count ? kRack0 : kRack1;
+    spec.datanodes.push_back(make_node("dn" + std::to_string(i), rack,
+                                       profile));
+  }
+  return spec;
+}
+
+ClusterSpec small_cluster(std::uint64_t seed) {
+  return homogeneous_cluster(small_instance(), 9, seed);
+}
+
+ClusterSpec medium_cluster(std::uint64_t seed) {
+  return homogeneous_cluster(medium_instance(), 9, seed);
+}
+
+ClusterSpec large_cluster(std::uint64_t seed) {
+  return homogeneous_cluster(large_instance(), 9, seed);
+}
+
+ClusterSpec heterogeneous_cluster(std::uint64_t seed) {
+  ClusterSpec spec;
+  spec.label = "heterogeneous";
+  spec.seed = seed;
+  // One medium instance serves as the namenode (paper §V-A); the client is
+  // a medium instance as well. Datanodes: 3 small, 3 medium, 3 large,
+  // interleaved across the two racks so each rack mixes types.
+  spec.namenode = make_node("nn", kRack0, medium_instance());
+  spec.client = make_node("client", kRack0, medium_instance());
+  spec.hdfs.packet_production_time =
+      medium_instance().packet_production_time;
+  const InstanceProfile types[] = {small_instance(), medium_instance(),
+                                   large_instance()};
+  int index = 0;
+  for (const auto& type : types) {
+    for (int i = 0; i < 3; ++i, ++index) {
+      const char* rack = (index % 2 == 0) ? kRack0 : kRack1;
+      spec.datanodes.push_back(make_node(
+          type.name + std::to_string(i), rack, type));
+    }
+  }
+  return spec;
+}
+
+}  // namespace smarth::cluster

@@ -1,0 +1,51 @@
+// Declarative cluster descriptions and builders for the paper's four
+// evaluation clusters: homogeneous small / medium / large (one namenode +
+// nine datanodes split across two racks) and the heterogeneous mix
+// (3 small + 4 medium + 3 large, one medium instance acting as namenode).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/instance_profile.hpp"
+#include "hdfs/types.hpp"
+#include "net/network.hpp"
+
+namespace smarth::cluster {
+
+struct NodeSpec {
+  std::string name;
+  std::string rack;
+  InstanceProfile profile;
+};
+
+struct ClusterSpec {
+  std::string label;
+  NodeSpec namenode;
+  NodeSpec client;
+  std::vector<NodeSpec> datanodes;
+  hdfs::HdfsConfig hdfs;
+  net::NetworkConfig network;
+  std::uint64_t seed = 42;
+
+  std::size_t datanode_count() const { return datanodes.size(); }
+};
+
+/// Homogeneous cluster of `datanodes` nodes of one instance type, split
+/// across two racks (ceil/2 on rack0, rest on rack1), with the namenode and
+/// the uploading client on rack0 — the paper's two-rack scenario (§V-B1).
+ClusterSpec homogeneous_cluster(const InstanceProfile& profile,
+                                std::size_t datanodes = 9,
+                                std::uint64_t seed = 42);
+
+/// The paper's heterogeneous cluster (§V-B3): 3 small + 4 medium + 3 large
+/// instances; one medium instance is the namenode, the rest are datanodes
+/// (3 small, 3 medium, 3 large), spread over two racks.
+ClusterSpec heterogeneous_cluster(std::uint64_t seed = 42);
+
+/// Convenience: the three homogeneous paper clusters by name.
+ClusterSpec small_cluster(std::uint64_t seed = 42);
+ClusterSpec medium_cluster(std::uint64_t seed = 42);
+ClusterSpec large_cluster(std::uint64_t seed = 42);
+
+}  // namespace smarth::cluster

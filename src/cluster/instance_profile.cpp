@@ -1,0 +1,57 @@
+#include "cluster/instance_profile.hpp"
+
+#include "common/check.hpp"
+
+namespace smarth::cluster {
+
+InstanceProfile small_instance() {
+  InstanceProfile p;
+  p.name = "small";
+  p.memory_gb = 1.7;
+  p.ecus = 1;
+  p.network = Bandwidth::mbps(216);
+  // m1.small ephemeral storage is slow and shared; 1 ECU makes the
+  // client-side checksum+read path noticeably slower per packet.
+  p.disk_write = Bandwidth::mega_bytes_per_second(60);
+  p.disk_op_overhead = microseconds(80);
+  p.packet_production_time = microseconds(1800);
+  return p;
+}
+
+InstanceProfile medium_instance() {
+  InstanceProfile p;
+  p.name = "medium";
+  p.memory_gb = 3.75;
+  p.ecus = 2;
+  p.network = Bandwidth::mbps(376);
+  p.disk_write = Bandwidth::mega_bytes_per_second(90);
+  p.disk_op_overhead = microseconds(60);
+  p.packet_production_time = microseconds(1000);
+  return p;
+}
+
+InstanceProfile large_instance() {
+  InstanceProfile p;
+  p.name = "large";
+  p.memory_gb = 7.5;
+  p.ecus = 4;
+  p.network = Bandwidth::mbps(376);
+  p.disk_write = Bandwidth::mega_bytes_per_second(110);
+  p.disk_op_overhead = microseconds(50);
+  p.packet_production_time = microseconds(700);
+  return p;
+}
+
+InstanceProfile instance_by_name(const std::string& name) {
+  if (name == "small") return small_instance();
+  if (name == "medium") return medium_instance();
+  if (name == "large") return large_instance();
+  SMARTH_CHECK_MSG(false, "unknown instance type: " << name);
+  return {};
+}
+
+std::vector<InstanceProfile> all_instance_profiles() {
+  return {small_instance(), medium_instance(), large_instance()};
+}
+
+}  // namespace smarth::cluster

@@ -1,0 +1,42 @@
+// Amazon EC2 instance profiles (paper Table I). The experiments exercise the
+// instance types only through their resource rates, which is what these
+// profiles carry: NIC bandwidth as measured by the paper, disk bandwidth of
+// the ephemeral store, and per-packet client production cost Tc (CPU-bound,
+// hence scaled by ECU count).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace smarth::cluster {
+
+struct InstanceProfile {
+  std::string name;
+  double memory_gb = 0.0;
+  int ecus = 0;
+  /// NIC bandwidth (paper Table I: ~216 Mbps small, ~376 Mbps medium/large).
+  Bandwidth network;
+  /// Sustained write bandwidth of the local ephemeral disk.
+  Bandwidth disk_write;
+  /// Per-operation disk overhead (seek/metadata amortization per packet).
+  SimDuration disk_op_overhead = microseconds(50);
+  /// Per-packet production time Tc on a client of this type: read 64 KiB
+  /// from the local source, checksum it, frame the packet. CPU-bound, so
+  /// slower on 1-ECU instances.
+  SimDuration packet_production_time = microseconds(800);
+};
+
+/// The three paper instance types.
+InstanceProfile small_instance();
+InstanceProfile medium_instance();
+InstanceProfile large_instance();
+
+/// Lookup by name ("small" / "medium" / "large").
+InstanceProfile instance_by_name(const std::string& name);
+
+/// All profiles, for the Table I bench.
+std::vector<InstanceProfile> all_instance_profiles();
+
+}  // namespace smarth::cluster

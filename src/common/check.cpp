@@ -1,0 +1,18 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace smarth {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message) {
+  std::string what = std::string("SMARTH_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!message.empty()) what += " — " + message;
+  // Throw rather than abort so tests can assert on invariant violations.
+  throw std::logic_error(what);
+}
+
+}  // namespace smarth

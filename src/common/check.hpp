@@ -1,0 +1,39 @@
+// Invariant checking. SMARTH_CHECK is always on (protocol invariants are cheap
+// relative to event dispatch and a silently corrupt simulation is worthless);
+// SMARTH_DCHECK compiles out in release builds for hot-path assertions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace smarth {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace smarth
+
+#define SMARTH_CHECK(expr)                                          \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::smarth::check_failed(#expr, __FILE__, __LINE__, "");        \
+    }                                                               \
+  } while (false)
+
+#define SMARTH_CHECK_MSG(expr, msg)                                 \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream smarth_check_os_;                          \
+      smarth_check_os_ << msg;                                      \
+      ::smarth::check_failed(#expr, __FILE__, __LINE__,             \
+                             smarth_check_os_.str());               \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define SMARTH_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define SMARTH_DCHECK(expr) SMARTH_CHECK(expr)
+#endif

@@ -1,0 +1,104 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace smarth {
+
+FlagSet::FlagSet(std::string program_name) : program_(std::move(program_name)) {}
+
+void FlagSet::declare(const std::string& name, const std::string& help,
+                      const std::string& default_value) {
+  SMARTH_CHECK_MSG(flags_.find(name) == flags_.end(),
+                   "flag declared twice: " << name);
+  flags_[name] = Flag{help, default_value, false, std::nullopt};
+}
+
+void FlagSet::declare_bool(const std::string& name, const std::string& help) {
+  SMARTH_CHECK_MSG(flags_.find(name) == flags_.end(),
+                   "flag declared twice: " << name);
+  flags_[name] = Flag{help, "false", true, std::nullopt};
+}
+
+Status FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return make_error("unknown_flag", "unknown flag --" + name);
+    }
+    if (!value) {
+      if (it->second.is_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return make_error("missing_value", "flag --" + name + " needs a value");
+      }
+    }
+    it->second.value = std::move(value);
+  }
+  return Status::ok_status();
+}
+
+bool FlagSet::has(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.value.has_value();
+}
+
+std::string FlagSet::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  SMARTH_CHECK_MSG(it != flags_.end(), "undeclared flag: " << name);
+  return it->second.value.value_or(it->second.default_value);
+}
+
+std::optional<std::int64_t> FlagSet::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::optional<double> FlagSet::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+bool FlagSet::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string FlagSet::usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    if (!flag.is_bool) out += "=<value>";
+    out += "  " + flag.help;
+    if (!flag.default_value.empty() && !flag.is_bool) {
+      out += " (default: " + flag.default_value + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace smarth

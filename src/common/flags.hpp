@@ -1,0 +1,54 @@
+// A small command-line flag parser for the driver tools: --key=value and
+// --key value forms, typed accessors with defaults, unknown-flag detection,
+// and generated usage text. No global state; each tool builds its own set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace smarth {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name);
+
+  /// Declares a flag; `help` appears in usage(). Declaration is required —
+  /// parse() rejects undeclared flags.
+  void declare(const std::string& name, const std::string& help,
+               const std::string& default_value = "");
+  /// Declares a boolean flag (present without value => true).
+  void declare_bool(const std::string& name, const std::string& help);
+
+  /// Parses argv; returns an error on unknown flags or missing values.
+  Status parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::optional<std::int64_t> get_int(const std::string& name) const;
+  std::optional<double> get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    bool is_bool = false;
+    std::optional<std::string> value;
+  };
+
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace smarth

@@ -1,0 +1,80 @@
+// Strongly typed identifiers. Each entity class in the system (node, block,
+// file, pipeline, ...) gets its own id type so they cannot be mixed up at call
+// sites; all are thin wrappers over an integer with value semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace smarth {
+
+/// CRTP base providing comparison, hashing and formatting for id wrappers.
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() = default;
+  explicit constexpr TypedId(std::int64_t v) : value_(v) {}
+
+  constexpr std::int64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+
+  std::string to_string() const {
+    return std::string(Tag::prefix) + std::to_string(value_);
+  }
+
+ private:
+  std::int64_t value_ = -1;
+};
+
+struct NodeTag { static constexpr const char* prefix = "node-"; };
+struct BlockTag { static constexpr const char* prefix = "blk-"; };
+struct FileTag { static constexpr const char* prefix = "file-"; };
+struct PipelineTag { static constexpr const char* prefix = "pipe-"; };
+struct ClientTag { static constexpr const char* prefix = "client-"; };
+struct FlowTag { static constexpr const char* prefix = "flow-"; };
+
+/// A machine in the simulated cluster (namenode, datanode or client host).
+using NodeId = TypedId<NodeTag>;
+/// An HDFS block.
+using BlockId = TypedId<BlockTag>;
+/// A file in the namenode namespace.
+using FileId = TypedId<FileTag>;
+/// One replication pipeline instance (one per block being written).
+using PipelineId = TypedId<PipelineTag>;
+/// A DFS client identity (used for speed records and pipeline bookkeeping).
+using ClientId = TypedId<ClientTag>;
+/// A network flow (for accounting).
+using FlowId = TypedId<FlowTag>;
+
+/// Monotonic id generator; one per entity class per simulation.
+template <typename Id>
+class IdGenerator {
+ public:
+  Id next() { return Id{next_++}; }
+  std::int64_t issued() const { return next_; }
+
+ private:
+  std::int64_t next_ = 0;
+};
+
+}  // namespace smarth
+
+namespace std {
+template <typename Tag>
+struct hash<smarth::TypedId<Tag>> {
+  size_t operator()(smarth::TypedId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace smarth {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  std::string line;
+  if (time_source_) {
+    line += "[" + format_duration(time_source_()) + "] ";
+  }
+  line += "[";
+  line += log_level_name(level);
+  line += "] [" + component + "] " + message;
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace smarth

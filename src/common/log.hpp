@@ -1,0 +1,82 @@
+// Minimal leveled logger with simulation-time-aware prefixes. The simulator
+// installs a time source so every line carries the simulated timestamp, which
+// makes protocol traces directly comparable to the paper's timeline figures.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace smarth {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level);
+
+/// Process-wide logging configuration. Not thread-safe by design: the DES is
+/// single-threaded and benches configure logging before running.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Installs a simulated-time source (nullptr restores wall-clock-free
+  /// output).
+  void set_time_source(std::function<SimTime()> source) {
+    time_source_ = std::move(source);
+  }
+
+  /// Redirects output (default: stderr). Used by tests to capture logs.
+  void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+  void reset_sink() { sink_ = nullptr; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<SimTime()> time_source_;
+  std::function<void(const std::string&)> sink_;
+};
+
+/// Stream-style log statement builder.
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStatement() { Logger::instance().write(level_, component_, out_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace smarth
+
+#define SMARTH_LOG(level, component)                         \
+  if (!::smarth::Logger::instance().enabled(level)) {        \
+  } else                                                     \
+    ::smarth::LogStatement(level, component)
+
+#define SMARTH_TRACE(component) SMARTH_LOG(::smarth::LogLevel::kTrace, component)
+#define SMARTH_DEBUG(component) SMARTH_LOG(::smarth::LogLevel::kDebug, component)
+#define SMARTH_INFO(component) SMARTH_LOG(::smarth::LogLevel::kInfo, component)
+#define SMARTH_WARN(component) SMARTH_LOG(::smarth::LogLevel::kWarn, component)
+#define SMARTH_ERROR(component) SMARTH_LOG(::smarth::LogLevel::kError, component)

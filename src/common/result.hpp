@@ -1,0 +1,78 @@
+// A small expected<T, E>-style result type (the toolchain's stdlib predates a
+// fully reliable std::expected). Used for control-plane operations whose
+// failure is an ordinary outcome (file exists, safe mode, no datanodes) rather
+// than a programming error.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.hpp"
+
+namespace smarth {
+
+/// Error payload: a stable machine code plus a human message.
+struct Error {
+  std::string code;
+  std::string message;
+
+  std::string to_string() const { return code + ": " + message; }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    SMARTH_CHECK_MSG(ok(), "Result::value() on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    SMARTH_CHECK_MSG(ok(), "Result::value() on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    SMARTH_CHECK_MSG(ok(), "Result::take() on error: " + error().to_string());
+    return std::get<T>(std::move(state_));
+  }
+
+  const Error& error() const {
+    SMARTH_CHECK_MSG(!ok(), "Result::error() on success");
+    return std::get<Error>(state_);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    SMARTH_CHECK_MSG(failed_, "Status::error() on success");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace smarth

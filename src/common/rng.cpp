@@ -1,0 +1,5 @@
+#include "common/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the library has
+// a stable archive member for the component and to hold future out-of-line
+// additions.

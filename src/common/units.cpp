@@ -1,0 +1,62 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace smarth {
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double v = static_cast<double>(b);
+  if (b >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", v / static_cast<double>(kGiB));
+  } else if (b >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", v / static_cast<double>(kMiB));
+  } else if (b >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", v / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+std::string format_bandwidth(Bandwidth bw) {
+  if (bw.is_unlimited()) return "unlimited";
+  char buf[64];
+  const double bps = bw.bits_per_second();
+  if (bps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gbps", bps / 1e9);
+  } else if (bps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mbps", bps / 1e6);
+  } else if (bps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f Kbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f bps", bps);
+  }
+  return buf;
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  const double v = static_cast<double>(d);
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v / static_cast<double>(kSecond));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms",
+                  v / static_cast<double>(kMillisecond));
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f us",
+                  v / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+Bandwidth throughput_of(Bytes size, SimDuration elapsed) {
+  if (elapsed <= 0) return kUnlimitedBandwidth;
+  const double bits = static_cast<double>(size) * 8.0;
+  return Bandwidth::bits_per_second(bits / to_seconds(elapsed));
+}
+
+}  // namespace smarth

@@ -1,0 +1,111 @@
+#include "harness/experiment.hpp"
+
+#include "common/check.hpp"
+
+namespace smarth::harness {
+
+hdfs::StreamStats run_protocol(const Scenario& scenario,
+                               cluster::Protocol protocol,
+                               std::uint64_t seed) {
+  SMARTH_CHECK_MSG(static_cast<bool>(scenario.make_spec),
+                   "scenario has no spec builder");
+  cluster::Cluster cluster(scenario.make_spec(seed));
+  if (scenario.prepare) scenario.prepare(cluster);
+  return cluster.run_upload(scenario.path, scenario.file_size, protocol);
+}
+
+metrics::ComparisonRow compare_protocols(const Scenario& scenario,
+                                         std::uint64_t seed) {
+  metrics::ComparisonRow row;
+  row.scenario = scenario.label;
+  const hdfs::StreamStats hdfs_stats =
+      run_protocol(scenario, cluster::Protocol::kHdfs, seed);
+  const hdfs::StreamStats smarth_stats =
+      run_protocol(scenario, cluster::Protocol::kSmarth, seed);
+  SMARTH_CHECK_MSG(!hdfs_stats.failed,
+                   "HDFS upload failed in '" << scenario.label
+                                             << "': " << hdfs_stats.failure_reason);
+  SMARTH_CHECK_MSG(!smarth_stats.failed,
+                   "SMARTH upload failed in '"
+                       << scenario.label
+                       << "': " << smarth_stats.failure_reason);
+  row.hdfs_seconds = to_seconds(hdfs_stats.elapsed());
+  row.smarth_seconds = to_seconds(smarth_stats.elapsed());
+  return row;
+}
+
+metrics::ComparisonRow compare_protocols_averaged(const Scenario& scenario,
+                                                  int repeats,
+                                                  std::uint64_t base_seed) {
+  SMARTH_CHECK(repeats > 0);
+  metrics::ComparisonRow mean;
+  mean.scenario = scenario.label;
+  for (int i = 0; i < repeats; ++i) {
+    const metrics::ComparisonRow row =
+        compare_protocols(scenario, base_seed + static_cast<std::uint64_t>(i));
+    mean.hdfs_seconds += row.hdfs_seconds;
+    mean.smarth_seconds += row.smarth_seconds;
+  }
+  mean.hdfs_seconds /= repeats;
+  mean.smarth_seconds /= repeats;
+  return mean;
+}
+
+void warm_speed_records(cluster::Cluster& cluster, std::size_t client_index) {
+  const auto& topology = cluster.network().topology();
+  const NodeId client_node = cluster.client_node(client_index);
+  const auto cross_throttle = cluster.network().cross_rack_throttle();
+  std::vector<hdfs::SpeedRecord> records;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    const NodeId dn = cluster.datanode_id(i);
+    Bandwidth speed = min(cluster.network().node_nic(client_node),
+                          cluster.network().node_nic(dn));
+    if (!topology.same_rack(client_node, dn) && cross_throttle) {
+      speed = min(speed, *cross_throttle);
+    }
+    // Feed the client tracker a synthetic one-block observation at that rate.
+    const Bytes sample = kMiB;
+    const SimDuration elapsed = speed.transmit_time(sample);
+    cluster.speed_tracker(client_index)
+        .record(dn, sample, elapsed, cluster.sim().now());
+    records.push_back(
+        hdfs::SpeedRecord{dn, speed, cluster.sim().now()});
+  }
+  cluster.namenode().report_client_speeds(
+      cluster.client(client_index).id(), records);
+}
+
+Scenario two_rack_scenario(
+    const std::string& label,
+    std::function<cluster::ClusterSpec(std::uint64_t)> make_spec,
+    Bandwidth cross_rack_throttle, Bytes file_size) {
+  Scenario scenario;
+  scenario.label = label;
+  scenario.make_spec = std::move(make_spec);
+  scenario.file_size = file_size;
+  scenario.prepare = [cross_rack_throttle](cluster::Cluster& cluster) {
+    if (!cross_rack_throttle.is_unlimited()) {
+      cluster.throttle_cross_rack(cross_rack_throttle);
+    }
+  };
+  return scenario;
+}
+
+Scenario contention_scenario(
+    const std::string& label,
+    std::function<cluster::ClusterSpec(std::uint64_t)> make_spec,
+    std::size_t slow_nodes, Bandwidth node_bandwidth, Bytes file_size) {
+  Scenario scenario;
+  scenario.label = label;
+  scenario.make_spec = std::move(make_spec);
+  scenario.file_size = file_size;
+  scenario.prepare = [slow_nodes, node_bandwidth](cluster::Cluster& cluster) {
+    SMARTH_CHECK(slow_nodes <= cluster.datanode_count());
+    for (std::size_t i = 0; i < slow_nodes; ++i) {
+      cluster.throttle_datanode(i, node_bandwidth);
+    }
+  };
+  return scenario;
+}
+
+}  // namespace smarth::harness

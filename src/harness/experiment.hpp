@@ -1,0 +1,66 @@
+// Experiment runner: builds a fresh cluster per run (each protocol gets an
+// identical, independently seeded world), applies the scenario's traffic
+// shaping / faults, uploads one file with each protocol, and reports the
+// paired result. Every bench regenerating a paper figure goes through this.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "metrics/report.hpp"
+
+namespace smarth::harness {
+
+struct Scenario {
+  std::string label;
+  /// Builds the cluster spec for a given seed (fresh world per run).
+  std::function<cluster::ClusterSpec(std::uint64_t seed)> make_spec;
+  /// Applies throttles / faults / extra clients before the upload starts.
+  std::function<void(cluster::Cluster&)> prepare;
+  Bytes file_size = 8 * kGiB;
+  std::string path = "/data/input.bin";
+};
+
+/// Runs one protocol once; throws only on harness misuse (a failed upload is
+/// reported in the stats).
+hdfs::StreamStats run_protocol(const Scenario& scenario,
+                               cluster::Protocol protocol,
+                               std::uint64_t seed = 42);
+
+/// Runs HDFS and SMARTH on identical fresh clusters and pairs the results.
+metrics::ComparisonRow compare_protocols(const Scenario& scenario,
+                                         std::uint64_t seed = 42);
+
+/// Seed-averaged comparison (arithmetic mean of upload seconds per protocol).
+metrics::ComparisonRow compare_protocols_averaged(const Scenario& scenario,
+                                                  int repeats,
+                                                  std::uint64_t base_seed = 42);
+
+/// Pre-warms the SMARTH speed machinery: seeds the client's tracker and the
+/// namenode's speed board with the steady-state client->datanode rates
+/// implied by the current NIC and throttle configuration. Benches that model
+/// steady-state behaviour (and tests comparing against the closed-form
+/// model) use this to skip the exploration warm-up an 8 GB paper run
+/// amortizes naturally.
+void warm_speed_records(cluster::Cluster& cluster,
+                        std::size_t client_index = 0);
+
+/// Convenience scenario constructors used across benches ------------------
+
+/// Two-rack scenario: cluster by builder + cross-rack throttle (unlimited
+/// bandwidth when `throttle` is kUnlimitedBandwidth).
+Scenario two_rack_scenario(
+    const std::string& label,
+    std::function<cluster::ClusterSpec(std::uint64_t)> make_spec,
+    Bandwidth cross_rack_throttle, Bytes file_size);
+
+/// Contention scenario: throttle the first `slow_nodes` datanodes to
+/// `node_bandwidth` (the paper's Figs. 10-12).
+Scenario contention_scenario(
+    const std::string& label,
+    std::function<cluster::ClusterSpec(std::uint64_t)> make_spec,
+    std::size_t slow_nodes, Bandwidth node_bandwidth, Bytes file_size);
+
+}  // namespace smarth::harness

@@ -1,0 +1,441 @@
+#include "hdfs/datanode.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace smarth::hdfs {
+
+Datanode::Datanode(sim::Simulation& sim, Transport& transport,
+                   rpc::RpcBus& rpc, Namenode& namenode,
+                   const HdfsConfig& config, NodeId self, Options options)
+    : sim_(sim), transport_(transport), rpc_(rpc), namenode_(namenode),
+      config_(config), self_(self), options_(options) {
+  disk_ = std::make_unique<storage::DiskDevice>(
+      sim_, "disk@" + self.to_string(), options_.disk_write_bandwidth,
+      options_.disk_op_overhead);
+}
+
+Datanode::~Datanode() = default;
+
+void Datanode::start() {
+  namenode_.register_datanode(self_);
+  heartbeat_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.heartbeat_interval, [this] {
+        if (crashed_) return;
+        rpc_.notify(self_, namenode_.node_id(),
+                    [this] { namenode_.handle_heartbeat(self_); });
+      });
+  // Spread heartbeats so the cluster's are not phase-locked.
+  const auto jitter = static_cast<SimDuration>(
+      sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));
+  heartbeat_->start_with_delay(jitter);
+}
+
+void Datanode::crash() {
+  crashed_ = true;
+  if (heartbeat_) heartbeat_->stop();
+  rpc_.set_host_down(self_, true);
+  // Staging accounting for in-flight pipelines is torn down with the node.
+  for (auto& [pipeline, ctx] : pipelines_) {
+    storage::StagingBuffer& buf = staging_for(ctx.setup.client);
+    buf.release(std::min(ctx.staging_held, buf.used()));
+  }
+  pipelines_.clear();
+}
+
+void Datanode::inject_checksum_error(BlockId block, std::int64_t seq) {
+  corrupt_injections_.emplace(block.value(), seq);
+}
+
+void Datanode::inject_checksum_error_on_nth_packet(std::uint64_t n) {
+  SMARTH_CHECK_MSG(n > 0, "packet counts are 1-based");
+  corrupt_at_count_.insert(n);
+}
+
+storage::StagingBuffer& Datanode::staging_for(ClientId client) {
+  auto it = staging_.find(client);
+  if (it == staging_.end()) {
+    it = staging_
+             .emplace(client, std::make_unique<storage::StagingBuffer>(
+                                  config_.staging_buffer_bytes))
+             .first;
+  }
+  return *it->second;
+}
+
+Bytes Datanode::staging_used(ClientId client) const {
+  auto it = staging_.find(client);
+  return it == staging_.end() ? 0 : it->second->used();
+}
+
+Bytes Datanode::staging_high_water(ClientId client) const {
+  auto it = staging_.find(client);
+  return it == staging_.end() ? 0 : it->second->high_water();
+}
+
+std::uint64_t Datanode::staging_overflows(ClientId client) const {
+  auto it = staging_.find(client);
+  return it == staging_.end() ? 0 : it->second->overflow_events();
+}
+
+void Datanode::deliver_setup(const PipelineSetup& setup) {
+  if (crashed_) return;
+  auto it = std::find(setup.targets.begin(), setup.targets.end(), self_);
+  SMARTH_CHECK_MSG(it != setup.targets.end(),
+                   "setup delivered to node not in pipeline");
+  PipelineCtx ctx;
+  ctx.setup = setup;
+  ctx.my_index = static_cast<int>(it - setup.targets.begin());
+  ctx.is_first = ctx.my_index == 0;
+  ctx.is_last = ctx.my_index + 1 == static_cast<int>(setup.targets.size());
+  if (!ctx.is_first) {
+    ctx.upstream = setup.targets[static_cast<std::size_t>(ctx.my_index - 1)];
+  }
+  if (!ctx.is_last) {
+    ctx.downstream = setup.targets[static_cast<std::size_t>(ctx.my_index + 1)];
+  }
+  ctx.resume_start_seq = setup.resume_offset / config_.packet_payload;
+
+  if (!store_.has_replica(setup.block)) {
+    SMARTH_CHECK(store_.create_replica(setup.block).ok());
+    if (setup.resume_offset > 0) {
+      // Replacement node that just received the prefix via transfer_replica
+      // would already have a replica; a fresh node resuming mid-block means
+      // the prefix arrived as raw bytes — account for them.
+      SMARTH_CHECK(store_.append(setup.block, setup.resume_offset).ok());
+    }
+  } else {
+    // Resuming after recovery: the durable prefix must match the sync point
+    // the client negotiated.
+    const auto info = store_.replica(setup.block);
+    SMARTH_CHECK_MSG(info.ok() && info.value().bytes == setup.resume_offset,
+                     "resume offset mismatch on "
+                         << setup.block.to_string() << ": have "
+                         << (info.ok() ? info.value().bytes : -1) << " want "
+                         << setup.resume_offset);
+  }
+  pipelines_[setup.pipeline] = std::move(ctx);
+
+  const PipelineCtx& stored = pipelines_[setup.pipeline];
+  SMARTH_DEBUG("datanode") << self_.to_string() << " joins "
+                           << setup.pipeline.to_string() << " for "
+                           << setup.block.to_string() << " at position "
+                           << stored.my_index
+                           << (stored.is_first ? " (first)" : "")
+                           << (stored.is_last ? " (last)" : "");
+  if (stored.is_last) {
+    // End of the chain: acknowledge setup back up.
+    SetupAck ack{setup.pipeline, true, -1};
+    if (stored.is_first) {
+      transport_.send_setup_ack_to_client(self_, setup.client_node, ack);
+    } else {
+      transport_.send_setup_ack_to_datanode(self_, stored.upstream, ack);
+    }
+  } else {
+    transport_.send_setup(self_, stored.downstream, setup);
+  }
+}
+
+void Datanode::deliver_downstream_setup_ack(const SetupAck& ack) {
+  if (crashed_) return;
+  auto it = pipelines_.find(ack.pipeline);
+  if (it == pipelines_.end()) return;
+  PipelineCtx& ctx = it->second;
+  if (ctx.is_first) {
+    transport_.send_setup_ack_to_client(self_, ctx.setup.client_node, ack);
+  } else {
+    transport_.send_setup_ack_to_datanode(self_, ctx.upstream, ack);
+  }
+}
+
+void Datanode::deliver_packet(const WirePacket& packet) {
+  if (crashed_) return;
+  if (pipelines_.find(packet.pipeline) == pipelines_.end()) return;
+  ++packets_received_;
+  // Checksum verification occupies the node before the packet is mirrored or
+  // queued for the disk.
+  if (config_.checksum_verify_time > 0) {
+    sim_.schedule_after(config_.checksum_verify_time,
+                        [this, packet] { process_packet(packet); });
+  } else {
+    process_packet(packet);
+  }
+}
+
+void Datanode::process_packet(const WirePacket& packet) {
+  if (crashed_) return;
+  auto it = pipelines_.find(packet.pipeline);
+  if (it == pipelines_.end()) return;
+  PipelineCtx& ctx = it->second;
+
+  const auto corrupt_key = std::make_pair(packet.block.value(), packet.seq);
+  const bool corrupt_by_count = corrupt_at_count_.erase(packets_received_) > 0;
+  if (corrupt_injections_.erase(corrupt_key) > 0 || corrupt_by_count) {
+    SMARTH_WARN("datanode") << self_.to_string()
+                            << " checksum failure on seq " << packet.seq;
+    send_ack_upstream(ctx, PipelineAck{packet.pipeline, packet.seq,
+                                       AckStatus::kChecksumError,
+                                       ctx.my_index});
+    return;  // packet dropped; the client will run pipeline recovery
+  }
+
+  if (packet.last_in_block) ctx.last_seq = packet.seq;
+  PacketState& st = ctx.packets[packet.seq];
+  st.payload = packet.payload;
+  staging_for(ctx.setup.client).reserve_forced(packet.payload);
+  ctx.staging_held += packet.payload;
+
+  // Mirror downstream before the local write completes (cut-through at the
+  // node granularity, as HDFS's DataXceiver does).
+  if (!ctx.is_last) {
+    transport_.send_packet(self_, ctx.downstream, packet);
+  }
+
+  disk_->write(packet.payload, [this, pipeline = packet.pipeline, packet] {
+    on_packet_written(pipeline, packet);
+  });
+}
+
+void Datanode::release_packet_staging(PipelineCtx& ctx, PacketState& st) {
+  if (st.staging_released) return;
+  st.staging_released = true;
+  storage::StagingBuffer& buf = staging_for(ctx.setup.client);
+  buf.release(std::min(st.payload, buf.used()));
+  ctx.staging_held -= std::min(st.payload, ctx.staging_held);
+}
+
+void Datanode::on_packet_written(PipelineId pipeline,
+                                 const WirePacket& packet) {
+  if (crashed_) return;
+  auto it = pipelines_.find(pipeline);
+  if (it == pipelines_.end()) return;  // pipeline aborted meanwhile
+  PipelineCtx& ctx = it->second;
+
+  SMARTH_CHECK(store_.append(packet.block, packet.payload).ok());
+  PacketState& st = ctx.packets[packet.seq];
+  st.written = true;
+  ++ctx.written_count;
+
+  if (ctx.is_last) {
+    // Nothing to mirror: the staging slot frees on the durable write.
+    release_packet_staging(ctx, st);
+  }
+  maybe_ack_upstream(ctx, packet.seq);
+  if (ctx.is_first && ctx.setup.smarth_mode) maybe_emit_fnfa(ctx);
+  maybe_finalize(pipeline, ctx);
+}
+
+void Datanode::deliver_downstream_ack(const PipelineAck& ack) {
+  if (crashed_) return;
+  auto it = pipelines_.find(ack.pipeline);
+  if (it == pipelines_.end()) return;
+  PipelineCtx& ctx = it->second;
+
+  if (ack.status != AckStatus::kSuccess) {
+    // Error statuses propagate to the client untouched.
+    send_ack_upstream(ctx, ack);
+    return;
+  }
+  PacketState& st = ctx.packets[ack.seq];
+  if (!st.downstream_acked) {
+    st.downstream_acked = true;
+    // The mirrored copy is confirmed downstream: the staging slot frees.
+    release_packet_staging(ctx, st);
+  }
+  maybe_ack_upstream(ctx, ack.seq);
+  maybe_finalize(ack.pipeline, ctx);
+}
+
+void Datanode::maybe_ack_upstream(PipelineCtx& ctx, std::int64_t seq) {
+  auto it = ctx.packets.find(seq);
+  if (it == ctx.packets.end()) return;
+  PacketState& st = it->second;
+  if (st.ack_sent || !st.written) return;
+  if (!ctx.is_last && !st.downstream_acked) return;
+  st.ack_sent = true;
+  ++ctx.acked_count;
+  send_ack_upstream(
+      ctx, PipelineAck{ctx.setup.pipeline, seq, AckStatus::kSuccess, -1});
+}
+
+void Datanode::send_ack_upstream(PipelineCtx& ctx, PipelineAck ack) {
+  if (ctx.is_first) {
+    transport_.send_ack_to_client(self_, ctx.setup.client_node, ack);
+  } else {
+    transport_.send_ack_to_datanode(self_, ctx.upstream, ack);
+  }
+}
+
+void Datanode::maybe_emit_fnfa(PipelineCtx& ctx) {
+  if (ctx.fnfa_emitted || ctx.last_seq < 0) return;
+  const std::int64_t expected = ctx.last_seq - ctx.resume_start_seq + 1;
+  if (ctx.written_count < expected) return;
+  ctx.fnfa_emitted = true;
+  ++fnfa_sent_;
+  SMARTH_DEBUG("datanode") << self_.to_string()
+                           << " holds all packets of "
+                           << ctx.setup.block.to_string()
+                           << "; sending FNFA";
+  transport_.send_fnfa(self_, ctx.setup.client_node,
+                       FnfaMessage{ctx.setup.pipeline, ctx.setup.block});
+}
+
+void Datanode::maybe_finalize(PipelineId pipeline, PipelineCtx& ctx) {
+  if (ctx.finalized || ctx.last_seq < 0) return;
+  const std::int64_t expected = ctx.last_seq - ctx.resume_start_seq + 1;
+  if (ctx.acked_count < expected) return;
+  ctx.finalized = true;
+  const auto len = store_.finalize(ctx.setup.block);
+  SMARTH_CHECK(len.ok());
+  SMARTH_DEBUG("datanode") << self_.to_string() << " finalized "
+                           << ctx.setup.block.to_string() << " ("
+                           << format_bytes(len.value()) << ")";
+  rpc_.notify(self_, namenode_.node_id(),
+              [this, block = ctx.setup.block, bytes = len.value()] {
+                namenode_.block_received(self_, block, bytes);
+              });
+  pipelines_.erase(pipeline);
+}
+
+void Datanode::deliver_read_request(const ReadRequest& request) {
+  if (crashed_) return;  // the reader's timeout handles it
+  const auto replica = store_.replica(request.block);
+  const bool available =
+      replica.ok() && replica.value().bytes >= request.offset + request.length;
+  if (!available || request.length <= 0) {
+    ReadPacket nak;
+    nak.read = request.read;
+    nak.block = request.block;
+    nak.error = true;
+    nak.last = true;
+    transport_.send_read_packet(self_, request.reader_node, nak);
+    return;
+  }
+  ++reads_served_;
+  serve_read_packet(request, /*seq=*/0, request.length);
+}
+
+void Datanode::serve_read_packet(ReadRequest request, std::int64_t seq,
+                                 Bytes remaining) {
+  if (crashed_ || remaining <= 0) return;
+  const Bytes payload = std::min(remaining, config_.packet_payload);
+  disk_->read(payload, [this, request, seq, remaining, payload] {
+    if (crashed_) return;
+    ReadPacket packet;
+    packet.read = request.read;
+    packet.block = request.block;
+    packet.seq = seq;
+    packet.payload = payload;
+    packet.last = remaining == payload;
+    read_bytes_served_ += payload;
+    transport_.send_read_packet(self_, request.reader_node, packet);
+    // Next disk read proceeds without waiting for the network send; the
+    // egress link and disk FIFO each pace themselves.
+    serve_read_packet(request, seq + 1, remaining - payload);
+  });
+}
+
+ReplicaProbeResult Datanode::probe_replica(BlockId block) const {
+  ReplicaProbeResult result;
+  result.alive = !crashed_;
+  if (crashed_) return result;
+  const auto info = store_.replica(block);
+  if (info.ok()) {
+    result.has_replica = true;
+    result.bytes = info.value().bytes;
+  }
+  return result;
+}
+
+Status Datanode::truncate_replica(BlockId block, Bytes length) {
+  if (crashed_) return make_error("crashed", "datanode down");
+  if (!store_.has_replica(block)) {
+    // A pipeline member whose upstream died before forwarding anything: it
+    // resumes from scratch, so materialize the empty replica here.
+    if (length != 0) {
+      return make_error("replica_missing",
+                        "cannot truncate absent replica to nonzero length");
+    }
+    return store_.create_replica(block);
+  }
+  return store_.truncate(block, length);
+}
+
+void Datanode::abort_pipeline(PipelineId pipeline) {
+  auto it = pipelines_.find(pipeline);
+  if (it == pipelines_.end()) return;
+  storage::StagingBuffer& buf = staging_for(it->second.setup.client);
+  buf.release(std::min(it->second.staging_held, buf.used()));
+  pipelines_.erase(it);
+}
+
+void Datanode::transfer_replica(BlockId block, NodeId dest, Bytes length,
+                                std::function<void(bool)> done,
+                                bool finalize_at_dest) {
+  if (crashed_) {
+    done(false);
+    return;
+  }
+  const auto info = store_.replica(block);
+  if (!info.ok() || info.value().bytes < length) {
+    done(false);
+    return;
+  }
+  SMARTH_CHECK_MSG(static_cast<bool>(peer_resolver_),
+                   "peer resolver not installed on " << self_.to_string());
+  // Read the replica off the local disk, then one bulk transfer over the
+  // fabric; the destination writes it durably and the completion flows back
+  // through `done` (whose RPC response message is paid by the caller's
+  // call_async).
+  disk_->read(length, [this, block, dest, length, finalize_at_dest,
+                       done = std::move(done)]() mutable {
+    if (crashed_) {
+      done(false);
+      return;
+    }
+    // A distinct flow key keeps this one bulk copy from monopolizing shared
+    // links over concurrent pipeline/read traffic.
+    const net::FlowKey flow =
+        (net::FlowKey{1} << 40) + static_cast<net::FlowKey>(block.value());
+    transport_.network().send(
+        self_, dest, length + config_.packet_header_wire,
+        [this, block, dest, length, finalize_at_dest,
+         done = std::move(done)]() mutable {
+          Datanode* peer = peer_resolver_(dest);
+          if (peer == nullptr || peer->crashed()) {
+            done(false);
+            return;
+          }
+          peer->receive_replica_prefix(
+              block, length, finalize_at_dest,
+              [done = std::move(done)] { done(true); });
+        },
+        net::LinkPriority::kBulk, flow);
+  });
+}
+
+void Datanode::receive_replica_prefix(BlockId block, Bytes length,
+                                      bool finalize,
+                                      std::function<void()> done) {
+  // A replacement transfer supersedes whatever this node held for the block
+  // (e.g. a stale or finalized copy from an earlier pipeline incarnation).
+  if (store_.has_replica(block)) {
+    SMARTH_CHECK(store_.remove(block).ok());
+  }
+  SMARTH_CHECK(store_.create_replica(block).ok());
+  disk_->write(length, [this, block, length, finalize,
+                        done = std::move(done)] {
+    SMARTH_CHECK(store_.append(block, length).ok());
+    if (finalize) {
+      SMARTH_CHECK(store_.finalize(block).ok());
+      rpc_.notify(self_, namenode_.node_id(), [this, block, length] {
+        namenode_.block_received(self_, block, length);
+      });
+    }
+    done();
+  });
+}
+
+}  // namespace smarth::hdfs

@@ -1,0 +1,177 @@
+// A datanode: receives pipeline setup and data packets, verifies checksums,
+// stores packets on its disk, mirrors them to the next datanode, aggregates
+// ACKs upstream, and — in SMARTH mode — returns the FNFA to the client once
+// it has received and stored a whole block as the pipeline's first node.
+// It also implements the server side of pipeline recovery: replica probes,
+// truncation to a sync point, aborts, and replica prefix transfer to a
+// replacement node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "hdfs/namenode.hpp"
+#include "hdfs/transport.hpp"
+#include "hdfs/types.hpp"
+#include "rpc/rpc_bus.hpp"
+#include "sim/periodic_task.hpp"
+#include "sim/simulation.hpp"
+#include "storage/block_store.hpp"
+#include "storage/disk.hpp"
+#include "storage/staging_buffer.hpp"
+
+namespace smarth::hdfs {
+
+/// Result of a replica probe during recovery.
+struct ReplicaProbeResult {
+  bool alive = false;  ///< responder answered at all
+  bool has_replica = false;
+  Bytes bytes = 0;
+};
+
+class Datanode : public PacketSink {
+ public:
+  struct Options {
+    Bandwidth disk_write_bandwidth = Bandwidth::mega_bytes_per_second(100);
+    SimDuration disk_op_overhead = microseconds(50);
+  };
+
+  Datanode(sim::Simulation& sim, Transport& transport, rpc::RpcBus& rpc,
+           Namenode& namenode, const HdfsConfig& config, NodeId self,
+           Options options);
+  Datanode(sim::Simulation& sim, Transport& transport, rpc::RpcBus& rpc,
+           Namenode& namenode, const HdfsConfig& config, NodeId self)
+      : Datanode(sim, transport, rpc, namenode, config, self, Options()) {}
+  ~Datanode() override;
+
+  NodeId node_id() const { return self_; }
+
+  /// Lets this node find peer datanodes for replica transfers; installed by
+  /// the cluster wiring.
+  void set_peer_resolver(std::function<Datanode*(NodeId)> resolver) {
+    peer_resolver_ = std::move(resolver);
+  }
+
+  /// Registers with the namenode and starts heartbeating.
+  void start();
+  /// Hard-stops the node: no packets processed, no RPCs answered, heartbeats
+  /// cease. Used by fault injection.
+  void crash();
+  bool crashed() const { return crashed_; }
+
+  /// Fault injection: the packet (block, seq) fails checksum verification at
+  /// this node (once).
+  void inject_checksum_error(BlockId block, std::int64_t seq);
+  /// Fault injection by arrival order: the nth data packet this node receives
+  /// (1-based, counted over its lifetime) fails verification. Usable from
+  /// workloads that do not know block ids in advance.
+  void inject_checksum_error_on_nth_packet(std::uint64_t n);
+
+  // --- PacketSink ------------------------------------------------------------
+  void deliver_setup(const PipelineSetup& setup) override;
+  void deliver_packet(const WirePacket& packet) override;
+  void deliver_downstream_ack(const PipelineAck& ack) override;
+  void deliver_downstream_setup_ack(const SetupAck& ack) override;
+  void deliver_read_request(const ReadRequest& request) override;
+
+  // --- Recovery server side (invoked via RPC) --------------------------------
+  ReplicaProbeResult probe_replica(BlockId block) const;
+  Status truncate_replica(BlockId block, Bytes length);
+  /// Drops pipeline state (replica data is kept for recovery).
+  void abort_pipeline(PipelineId pipeline);
+  /// Streams the first `length` bytes of `block` to `dest` (a replacement
+  /// node); `done(true)` once the destination has stored them. With
+  /// `finalize_at_dest` the destination finalizes the replica and reports it
+  /// to the namenode (re-replication); without it the copy stays open for a
+  /// rebuilt write pipeline (recovery).
+  void transfer_replica(BlockId block, NodeId dest, Bytes length,
+                        std::function<void(bool)> done,
+                        bool finalize_at_dest = false);
+  /// Destination side of transfer_replica.
+  void receive_replica_prefix(BlockId block, Bytes length, bool finalize,
+                              std::function<void()> done);
+
+  // --- Introspection ----------------------------------------------------------
+  const storage::BlockStore& block_store() const { return store_; }
+  const storage::DiskDevice& disk() const { return *disk_; }
+  Bytes staging_used(ClientId client) const;
+  Bytes staging_high_water(ClientId client) const;
+  std::uint64_t staging_overflows(ClientId client) const;
+  std::size_t active_pipeline_count() const { return pipelines_.size(); }
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t fnfa_sent() const { return fnfa_sent_; }
+  std::uint64_t reads_served() const { return reads_served_; }
+  Bytes read_bytes_served() const { return read_bytes_served_; }
+
+ private:
+  struct PacketState {
+    Bytes payload = 0;
+    bool written = false;
+    bool downstream_acked = false;
+    bool ack_sent = false;
+    bool staging_released = false;
+  };
+
+  struct PipelineCtx {
+    PipelineSetup setup;
+    int my_index = 0;
+    bool is_first = false;
+    bool is_last = false;
+    NodeId upstream;    // previous datanode; invalid when is_first
+    NodeId downstream;  // next datanode; invalid when is_last
+    std::int64_t resume_start_seq = 0;
+    std::int64_t last_seq = -1;  ///< set once the last_in_block packet arrives
+    std::unordered_map<std::int64_t, PacketState> packets;
+    std::int64_t written_count = 0;
+    std::int64_t acked_count = 0;
+    Bytes staging_held = 0;  ///< bytes this pipeline holds in staging
+    bool fnfa_emitted = false;
+    bool finalized = false;
+  };
+
+  void process_packet(const WirePacket& packet);
+  void on_packet_written(PipelineId pipeline, const WirePacket& packet);
+  void maybe_ack_upstream(PipelineCtx& ctx, std::int64_t seq);
+  void send_ack_upstream(PipelineCtx& ctx, PipelineAck ack);
+  void maybe_emit_fnfa(PipelineCtx& ctx);
+  void maybe_finalize(PipelineId pipeline, PipelineCtx& ctx);
+  void release_packet_staging(PipelineCtx& ctx, PacketState& st);
+  storage::StagingBuffer& staging_for(ClientId client);
+  /// Streams one read packet (disk read then network send), then chains the
+  /// next one; the disk FIFO interleaves these with pipeline writes.
+  void serve_read_packet(ReadRequest request, std::int64_t seq,
+                         Bytes remaining);
+
+  sim::Simulation& sim_;
+  Transport& transport_;
+  rpc::RpcBus& rpc_;
+  Namenode& namenode_;
+  const HdfsConfig& config_;
+  NodeId self_;
+  Options options_;
+  std::function<Datanode*(NodeId)> peer_resolver_;
+
+  std::unique_ptr<storage::DiskDevice> disk_;
+  storage::BlockStore store_;
+  std::unordered_map<ClientId, std::unique_ptr<storage::StagingBuffer>>
+      staging_;
+  std::unordered_map<PipelineId, PipelineCtx> pipelines_;
+  std::set<std::pair<std::int64_t, std::int64_t>> corrupt_injections_;
+  std::set<std::uint64_t> corrupt_at_count_;
+
+  std::unique_ptr<sim::PeriodicTask> heartbeat_;
+  bool crashed_ = false;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t fnfa_sent_ = 0;
+  std::uint64_t reads_served_ = 0;
+  Bytes read_bytes_served_ = 0;
+};
+
+}  // namespace smarth::hdfs

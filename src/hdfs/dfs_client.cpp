@@ -1,0 +1,48 @@
+#include "hdfs/dfs_client.hpp"
+
+namespace smarth::hdfs {
+
+DfsClient::DfsClient(sim::Simulation& sim, rpc::RpcBus& rpc,
+                     Namenode& namenode, const HdfsConfig& config, ClientId id,
+                     NodeId node)
+    : sim_(sim), rpc_(rpc), namenode_(namenode), config_(config), id_(id),
+      node_(node) {}
+
+DfsClient::~DfsClient() = default;
+
+void DfsClient::create_file(const std::string& path,
+                            std::function<void(Result<FileId>)> cb) {
+  Namenode& nn = namenode_;
+  rpc_.call<Result<FileId>>(
+      node_, nn.node_id(),
+      [&nn, path, client = id_] { return nn.create(path, client); },
+      std::move(cb));
+}
+
+void DfsClient::start_heartbeat(
+    std::function<std::vector<SpeedRecord>()> speed_source) {
+  speed_source_ = std::move(speed_source);
+  if (heartbeat_) return;
+  heartbeat_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.heartbeat_interval, [this] {
+        ++heartbeats_sent_;
+        std::vector<SpeedRecord> records;
+        if (speed_source_) records = speed_source_();
+        Namenode& nn = namenode_;
+        rpc_.notify(node_, nn.node_id(),
+                    [&nn, client = id_, records = std::move(records)] {
+                      if (!records.empty()) {
+                        nn.report_client_speeds(client, records);
+                      }
+                    });
+      });
+  const auto jitter = static_cast<SimDuration>(
+      sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));
+  heartbeat_->start_with_delay(jitter);
+}
+
+void DfsClient::stop_heartbeat() {
+  if (heartbeat_) heartbeat_->stop();
+}
+
+}  // namespace smarth::hdfs

@@ -1,0 +1,151 @@
+#include "hdfs/input_stream.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace smarth::hdfs {
+
+DfsInputStream::DfsInputStream(Deps deps, ClientId client, NodeId client_node,
+                               std::string path, DoneCallback on_done)
+    : deps_(std::move(deps)), client_(client), client_node_(client_node),
+      path_(std::move(path)), on_done_(std::move(on_done)) {
+  stats_.client = client_;
+  stats_.path = path_;
+}
+
+DfsInputStream::~DfsInputStream() {
+  watchdog_.cancel();
+  *alive_ = false;
+}
+
+void DfsInputStream::start() {
+  stats_.started_at = deps_.sim.now();
+  fetch_locations();
+}
+
+void DfsInputStream::fetch_locations() {
+  Namenode& nn = deps_.namenode;
+  deps_.rpc.call<Result<std::vector<LocatedBlock>>>(
+      client_node_, nn.node_id(),
+      [&nn, path = path_, reader = client_node_] {
+        return nn.get_block_locations(path, reader);
+      },
+      [this, alive = alive_](Result<std::vector<LocatedBlock>> result) {
+        if (!*alive || finished_) return;
+        if (!result.ok()) {
+          finish(true, "getBlockLocations failed: " +
+                           result.error().to_string());
+          return;
+        }
+        blocks_ = result.value();
+        block_sizes_.clear();
+        for (const LocatedBlock& block : blocks_) {
+          block_sizes_.push_back(block.length);
+        }
+        stats_.blocks = static_cast<std::int64_t>(blocks_.size());
+        if (blocks_.empty()) {
+          finish(true, "file has no blocks: " + path_);
+          return;
+        }
+        start_block(0);
+      });
+}
+
+void DfsInputStream::start_block(std::size_t block_index) {
+  if (block_index >= blocks_.size()) {
+    finish(false, "");
+    return;
+  }
+  current_block_ = block_index;
+  block_bytes_received_ = 0;
+  expected_seq_ = 0;
+  failed_replicas_.clear();
+  request_from_replica();
+}
+
+void DfsInputStream::request_from_replica() {
+  const LocatedBlock& block = blocks_[current_block_];
+  // Replicas arrive distance-sorted from the namenode; take the first one
+  // not yet marked bad for this block.
+  current_replica_ = NodeId{};
+  for (NodeId replica : block.targets) {
+    if (failed_replicas_.find(replica.value()) == failed_replicas_.end()) {
+      current_replica_ = replica;
+      break;
+    }
+  }
+  if (!current_replica_.valid()) {
+    finish(true, "no live replica left for " + block.block.to_string());
+    return;
+  }
+  current_read_ = deps_.read_ids.next();
+  expected_seq_ = 0;
+  ReadRequest request;
+  request.read = current_read_;
+  request.block = block.block;
+  request.offset = block_bytes_received_;  // resume after a failover
+  request.length = block_sizes_[current_block_] - block_bytes_received_;
+  request.reader_node = client_node_;
+  deps_.transport.send_read_request(client_node_, current_replica_, request);
+  arm_watchdog();
+}
+
+void DfsInputStream::deliver_read_packet(const ReadPacket& packet) {
+  if (finished_ || packet.read != current_read_) return;
+  if (packet.error) {
+    on_replica_failed("replica refused read");
+    return;
+  }
+  SMARTH_CHECK_MSG(packet.seq == expected_seq_,
+                   "out-of-order read packet: got " << packet.seq
+                                                    << " want "
+                                                    << expected_seq_);
+  ++expected_seq_;
+  block_bytes_received_ += packet.payload;
+  stats_.bytes_read += packet.payload;
+  arm_watchdog();
+  if (packet.last) {
+    SMARTH_CHECK_MSG(block_bytes_received_ == block_sizes_[current_block_],
+                     "short read: " << block_bytes_received_ << " of "
+                                    << block_sizes_[current_block_]);
+    on_block_done();
+  }
+}
+
+void DfsInputStream::on_block_done() {
+  watchdog_.cancel();
+  start_block(current_block_ + 1);
+}
+
+void DfsInputStream::on_replica_failed(const std::string& reason) {
+  if (finished_) return;
+  SMARTH_WARN("read") << path_ << " block " << current_block_ << ": "
+                      << reason << "; failing over";
+  ++stats_.failovers;
+  failed_replicas_.insert(current_replica_.value());
+  request_from_replica();
+}
+
+void DfsInputStream::arm_watchdog() {
+  watchdog_.cancel();
+  if (finished_) return;
+  watchdog_ = deps_.sim.schedule_after(deps_.config.ack_timeout, [this] {
+    if (finished_) return;
+    on_replica_failed("read timed out");
+  });
+}
+
+void DfsInputStream::finish(bool failed, const std::string& reason) {
+  if (finished_) return;
+  finished_ = true;
+  watchdog_.cancel();
+  stats_.finished_at = deps_.sim.now();
+  stats_.failed = failed;
+  stats_.failure_reason = reason;
+  if (failed) {
+    SMARTH_ERROR("read") << path_ << " failed: " << reason;
+  }
+  if (on_done_) on_done_(stats_);
+}
+
+}  // namespace smarth::hdfs

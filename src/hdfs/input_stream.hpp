@@ -1,0 +1,103 @@
+// The client read path: fetch block locations from the namenode, stream each
+// block from its nearest live replica, verify, and fail over to the next
+// replica when a datanode dies or returns an error mid-read. HDFS reads have
+// no pipeline — one datanode serves the whole block — so this is shared by
+// both protocols; it exists to complete the substrate and to drive the
+// read-while-write experiments (the paper's MapReduce-impact future work).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "hdfs/namenode.hpp"
+#include "hdfs/transport.hpp"
+#include "hdfs/types.hpp"
+#include "rpc/rpc_bus.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::hdfs {
+
+struct ReadStats {
+  ClientId client;
+  std::string path;
+  Bytes bytes_read = 0;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  std::int64_t blocks = 0;
+  int failovers = 0;  ///< replica switches due to errors/timeouts
+  bool failed = false;
+  std::string failure_reason;
+
+  SimDuration elapsed() const { return finished_at - started_at; }
+  Bandwidth throughput() const { return throughput_of(bytes_read, elapsed()); }
+};
+
+class DfsInputStream : public ReadSink {
+ public:
+  using DoneCallback = std::function<void(const ReadStats&)>;
+
+  struct Deps {
+    sim::Simulation& sim;
+    Transport& transport;
+    rpc::RpcBus& rpc;
+    Namenode& namenode;
+    const HdfsConfig& config;
+    IdGenerator<ReadId>& read_ids;
+  };
+
+  DfsInputStream(Deps deps, ClientId client, NodeId client_node,
+                 std::string path, DoneCallback on_done);
+  ~DfsInputStream() override;
+
+  /// Fetches locations and starts streaming the first block.
+  void start();
+
+  bool finished() const { return finished_; }
+  const ReadStats& stats() const { return stats_; }
+  /// Routing support for the cluster wiring.
+  bool owns_read(ReadId id) const { return id == current_read_; }
+  NodeId client_node() const { return client_node_; }
+
+  // --- ReadSink ---------------------------------------------------------------
+  void deliver_read_packet(const ReadPacket& packet) override;
+
+ private:
+  void fetch_locations();
+  void start_block(std::size_t block_index);
+  void request_from_replica();
+  void on_block_done();
+  void on_replica_failed(const std::string& reason);
+  void arm_watchdog();
+  void finish(bool failed, const std::string& reason);
+
+  Deps deps_;
+  ClientId client_;
+  NodeId client_node_;
+  std::string path_;
+  DoneCallback on_done_;
+
+  std::vector<LocatedBlock> blocks_;
+  /// Reported replica length per block is the block's readable size; the
+  /// namenode's record is authoritative after close.
+  std::vector<Bytes> block_sizes_;
+
+  std::size_t current_block_ = 0;
+  ReadId current_read_;
+  NodeId current_replica_;
+  Bytes block_bytes_received_ = 0;
+  std::int64_t expected_seq_ = 0;
+  std::unordered_set<std::int64_t> failed_replicas_;
+  sim::EventHandle watchdog_;
+
+  ReadStats stats_;
+  bool finished_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace smarth::hdfs

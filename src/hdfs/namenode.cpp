@@ -1,0 +1,350 @@
+#include "hdfs/namenode.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace smarth::hdfs {
+
+void SpeedBoard::update(ClientId client, const SpeedRecord& record) {
+  auto& board = boards_[client];
+  auto [it, inserted] = board.try_emplace(record.datanode, record);
+  if (!inserted && record.measured_at >= it->second.measured_at) {
+    it->second = record;
+  }
+}
+
+bool SpeedBoard::has_records(ClientId client) const {
+  auto it = boards_.find(client);
+  return it != boards_.end() && !it->second.empty();
+}
+
+std::optional<Bandwidth> SpeedBoard::speed(ClientId client,
+                                           NodeId datanode) const {
+  auto it = boards_.find(client);
+  if (it == boards_.end()) return std::nullopt;
+  auto jt = it->second.find(datanode);
+  if (jt == it->second.end()) return std::nullopt;
+  return jt->second.speed;
+}
+
+std::vector<SpeedRecord> SpeedBoard::records_for(ClientId client) const {
+  std::vector<SpeedRecord> out;
+  auto it = boards_.find(client);
+  if (it == boards_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [dn, rec] : it->second) out.push_back(rec);
+  return out;
+}
+
+Namenode::Namenode(sim::Simulation& sim, const net::Topology& topology,
+                   const HdfsConfig& config, NodeId self)
+    : sim_(sim), topology_(topology), config_(config), self_(self),
+      policy_(std::make_unique<DefaultPlacementPolicy>()) {}
+
+void Namenode::set_placement_policy(std::unique_ptr<PlacementPolicy> policy) {
+  SMARTH_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+}
+
+void Namenode::register_datanode(NodeId dn) {
+  SMARTH_CHECK_MSG(std::find(datanodes_.begin(), datanodes_.end(), dn) ==
+                       datanodes_.end(),
+                   "datanode registered twice: " << dn.value());
+  datanodes_.push_back(dn);
+  last_heartbeat_[dn] = sim_.now();
+}
+
+void Namenode::handle_heartbeat(NodeId dn) {
+  auto it = last_heartbeat_.find(dn);
+  SMARTH_CHECK_MSG(it != last_heartbeat_.end(),
+                   "heartbeat from unregistered datanode " << dn.value());
+  it->second = sim_.now();
+  ++heartbeats_;
+}
+
+bool Namenode::is_alive(NodeId dn) const {
+  auto it = last_heartbeat_.find(dn);
+  if (it == last_heartbeat_.end()) return false;
+  return sim_.now() - it->second <= config_.datanode_dead_interval;
+}
+
+std::vector<NodeId> Namenode::alive_datanodes() const {
+  std::vector<NodeId> out;
+  out.reserve(datanodes_.size());
+  for (NodeId dn : datanodes_) {
+    if (is_alive(dn)) out.push_back(dn);
+  }
+  return out;
+}
+
+PlacementContext Namenode::make_context(Rng& rng) const {
+  alive_scratch_ = alive_datanodes();
+  return PlacementContext{topology_, alive_scratch_, rng, &speeds_};
+}
+
+Result<FileId> Namenode::create(const std::string& path, ClientId client) {
+  // The namenode's pre-creation checks (paper §II step 1).
+  if (safe_mode_) {
+    return Error{"safe_mode", "namenode is in safe mode"};
+  }
+  if (path.empty() || path.front() != '/') {
+    return Error{"invalid_path", "path must be absolute: " + path};
+  }
+  if (files_by_path_.find(path) != files_by_path_.end()) {
+    return Error{"file_exists", "file already exists: " + path};
+  }
+  const FileId id = file_ids_.next();
+  FileEntry entry;
+  entry.id = id;
+  entry.path = path;
+  entry.lease_holder = client;
+  files_by_path_.emplace(path, id);
+  files_.emplace(id, std::move(entry));
+  SMARTH_DEBUG("namenode") << "created " << path << " as " << id.to_string();
+  return id;
+}
+
+Result<LocatedBlock> Namenode::add_block(FileId file, ClientId client,
+                                         NodeId client_node,
+                                         const std::vector<NodeId>& excluded) {
+  if (safe_mode_) {
+    return Error{"safe_mode", "namenode is in safe mode"};
+  }
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Error{"file_not_found", "unknown file " + file.to_string()};
+  }
+  FileEntry& entry = it->second;
+  if (entry.state != FileState::kUnderConstruction) {
+    return Error{"file_closed", "addBlock on closed file " + entry.path};
+  }
+  if (entry.lease_holder != client) {
+    return Error{"lease_mismatch", "client does not hold the lease on " +
+                                       entry.path};
+  }
+
+  PlacementRequest request;
+  request.client = client;
+  request.client_node = client_node;
+  request.replication = config_.replication;
+  request.excluded = excluded;
+  std::vector<NodeId> targets =
+      policy_->choose_targets(request, make_context(sim_.rng()));
+  if (static_cast<int>(targets.size()) < config_.replication) {
+    return Error{"insufficient_datanodes",
+                 "could only place " + std::to_string(targets.size()) +
+                     " of " + std::to_string(config_.replication) +
+                     " replicas"};
+  }
+
+  const BlockId block = block_ids_.next();
+  BlockRecord record;
+  record.id = block;
+  record.file = file;
+  record.expected_targets = targets;
+  blocks_.emplace(block, std::move(record));
+  entry.blocks.push_back(block);
+  return LocatedBlock{block, std::move(targets)};
+}
+
+Result<std::vector<NodeId>> Namenode::get_additional_datanodes(
+    BlockId block, ClientId client, NodeId client_node,
+    const std::vector<NodeId>& existing, const std::vector<NodeId>& excluded,
+    int count) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    return Error{"block_not_found", "unknown block " + block.to_string()};
+  }
+  PlacementRequest request;
+  request.client = client;
+  request.client_node = client_node;
+  request.replication = count;
+  request.excluded = excluded;
+  // Existing pipeline members must not be chosen again.
+  request.excluded.insert(request.excluded.end(), existing.begin(),
+                          existing.end());
+
+  std::vector<NodeId> chosen;
+  const PlacementContext ctx = make_context(sim_.rng());
+  for (int i = 0; i < count; ++i) {
+    NodeId pick = pick_random_node(ctx, chosen, request.excluded, nullptr);
+    if (!pick.valid()) break;
+    chosen.push_back(pick);
+  }
+  return chosen;
+}
+
+Status Namenode::update_block_targets(BlockId block,
+                                      std::vector<NodeId> targets) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    return make_error("block_not_found", "unknown block " + block.to_string());
+  }
+  it->second.expected_targets = std::move(targets);
+  return Status::ok_status();
+}
+
+Result<bool> Namenode::complete(FileId file, ClientId client) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Error{"file_not_found", "unknown file " + file.to_string()};
+  }
+  FileEntry& entry = it->second;
+  if (entry.lease_holder != client) {
+    return Error{"lease_mismatch",
+                 "client does not hold the lease on " + entry.path};
+  }
+  if (entry.state == FileState::kClosed) return true;  // idempotent
+  for (BlockId block : entry.blocks) {
+    const auto bt = blocks_.find(block);
+    SMARTH_CHECK(bt != blocks_.end());
+    if (bt->second.reported.empty()) {
+      return false;  // minimum replication not yet reached; client retries
+    }
+  }
+  entry.state = FileState::kClosed;
+  SMARTH_DEBUG("namenode") << "completed " << entry.path;
+  return true;
+}
+
+Result<std::vector<LocatedBlock>> Namenode::get_block_locations(
+    const std::string& path, NodeId reader) const {
+  const FileEntry* entry = file_by_path(path);
+  if (entry == nullptr) {
+    return Error{"file_not_found", "no such file: " + path};
+  }
+  std::vector<LocatedBlock> located;
+  located.reserve(entry->blocks.size());
+  for (BlockId block : entry->blocks) {
+    const auto it = blocks_.find(block);
+    SMARTH_CHECK(it != blocks_.end());
+    LocatedBlock lb;
+    lb.block = block;
+    for (const auto& [dn, len] : it->second.reported) {
+      if (is_alive(dn)) lb.targets.push_back(dn);
+      lb.length = std::max(lb.length, len);
+    }
+    // Closest replica first (HDFS sorts by NetworkTopology distance);
+    // stable order within a distance class keeps runs deterministic.
+    std::sort(lb.targets.begin(), lb.targets.end(),
+              [&](NodeId a, NodeId b) {
+                const int da = topology_.distance(reader, a);
+                const int db = topology_.distance(reader, b);
+                if (da != db) return da < db;
+                return a < b;
+              });
+    located.push_back(std::move(lb));
+  }
+  return located;
+}
+
+void Namenode::block_received(NodeId dn, BlockId block, Bytes length) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    SMARTH_WARN("namenode") << "blockReceived for unknown block "
+                            << block.to_string();
+    return;
+  }
+  it->second.reported[dn] = length;
+}
+
+void Namenode::report_client_speeds(ClientId client,
+                                    const std::vector<SpeedRecord>& records) {
+  for (const SpeedRecord& r : records) speeds_.update(client, r);
+}
+
+int Namenode::live_replica_count(const BlockRecord& record) const {
+  int live = 0;
+  for (const auto& [dn, len] : record.reported) {
+    if (is_alive(dn)) ++live;
+  }
+  return live;
+}
+
+std::vector<BlockId> Namenode::under_replicated_blocks() const {
+  std::vector<BlockId> out;
+  for (const auto& [id, record] : blocks_) {
+    const auto ft = files_.find(record.file);
+    if (ft == files_.end() || ft->second.state != FileState::kClosed) continue;
+    if (live_replica_count(record) < config_.replication) out.push_back(id);
+  }
+  return out;
+}
+
+void Namenode::enable_rereplication(ReplicationExecutor executor,
+                                    SimDuration scan_interval) {
+  SMARTH_CHECK(static_cast<bool>(executor));
+  replication_executor_ = std::move(executor);
+  rereplication_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, scan_interval, [this] { scan_for_under_replication(); });
+  rereplication_task_->start();
+}
+
+void Namenode::disable_rereplication() {
+  if (rereplication_task_) rereplication_task_->stop();
+}
+
+void Namenode::scan_for_under_replication() {
+  for (auto& [id, record] : blocks_) {
+    const auto ft = files_.find(record.file);
+    // Open files are the writer's responsibility (pipeline recovery).
+    if (ft == files_.end() || ft->second.state != FileState::kClosed) continue;
+    if (const auto pending = rereplication_pending_.find(id);
+        pending != rereplication_pending_.end()) {
+      // A copy is in flight; retry only once its deadline lapses (it may
+      // have been swallowed by a partition or a target crash).
+      if (sim_.now() < pending->second) continue;
+      rereplication_pending_.erase(pending);
+    }
+    if (live_replica_count(record) >= config_.replication) continue;
+
+    // Source: any live holder; target: a fresh node, placed like a random
+    // replica, excluding every current holder (dead ones included — they
+    // may come back with the stale copy).
+    NodeId source;
+    Bytes length = 0;
+    std::vector<NodeId> holders;
+    for (const auto& [dn, len] : record.reported) {
+      holders.push_back(dn);
+      if (!source.valid() && is_alive(dn)) {
+        source = dn;
+        length = len;
+      }
+    }
+    if (!source.valid()) continue;  // nothing to copy from; data loss
+
+    const PlacementContext ctx = make_context(sim_.rng());
+    const NodeId target = pick_random_node(ctx, {}, holders, nullptr);
+    if (!target.valid()) continue;  // cluster too small right now
+
+    rereplication_pending_[id] = sim_.now() + seconds(60);
+    ++rereplications_scheduled_;
+    SMARTH_INFO("namenode") << "re-replicating " << id.to_string() << " from "
+                            << source.value() << " to " << target.value();
+    replication_executor_(
+        source, target, id, length, [this, id](bool success) {
+          rereplication_pending_.erase(id);
+          if (success) ++rereplications_completed_;
+          // On failure the next scan retries with fresh liveness data.
+        });
+  }
+}
+
+const FileEntry* Namenode::file(FileId id) const {
+  auto it = files_.find(id);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const FileEntry* Namenode::file_by_path(const std::string& path) const {
+  auto it = files_by_path_.find(path);
+  return it == files_by_path_.end() ? nullptr : file(it->second);
+}
+
+const BlockRecord* Namenode::block(BlockId id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+}  // namespace smarth::hdfs

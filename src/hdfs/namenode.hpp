@@ -1,0 +1,189 @@
+// The namenode: file-system namespace, block manager, datanode liveness and
+// (for SMARTH) the per-client transfer-speed board that global optimization
+// consults. Methods here are the RPC handler bodies; callers invoke them
+// through rpc::RpcBus so they pay the control-plane cost Tn.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "hdfs/placement.hpp"
+#include "hdfs/types.hpp"
+#include "net/topology.hpp"
+#include "sim/periodic_task.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::hdfs {
+
+/// Per-client map of the latest observed transfer speed to each datanode —
+/// the information clients piggyback on their heartbeats (paper §III-B).
+class SpeedBoard {
+ public:
+  void update(ClientId client, const SpeedRecord& record);
+  bool has_records(ClientId client) const;
+  std::optional<Bandwidth> speed(ClientId client, NodeId datanode) const;
+  /// Latest record per datanode for this client, unordered.
+  std::vector<SpeedRecord> records_for(ClientId client) const;
+  std::size_t client_count() const { return boards_.size(); }
+
+ private:
+  std::unordered_map<ClientId, std::unordered_map<NodeId, SpeedRecord>>
+      boards_;
+};
+
+enum class FileState { kUnderConstruction, kClosed };
+
+struct FileEntry {
+  FileId id;
+  std::string path;
+  ClientId lease_holder;
+  FileState state = FileState::kUnderConstruction;
+  std::vector<BlockId> blocks;
+};
+
+struct BlockRecord {
+  BlockId id;
+  FileId file;
+  std::vector<NodeId> expected_targets;
+  /// Datanode -> reported finalized replica length.
+  std::unordered_map<NodeId, Bytes> reported;
+};
+
+class Namenode {
+ public:
+  Namenode(sim::Simulation& sim, const net::Topology& topology,
+           const HdfsConfig& config, NodeId self);
+
+  NodeId node_id() const { return self_; }
+  const HdfsConfig& config() const { return config_; }
+
+  /// Installs the placement policy (default: DefaultPlacementPolicy).
+  void set_placement_policy(std::unique_ptr<PlacementPolicy> policy);
+  const PlacementPolicy& placement_policy() const { return *policy_; }
+
+  void set_safe_mode(bool on) { safe_mode_ = on; }
+  bool safe_mode() const { return safe_mode_; }
+
+  // --- Datanode lifecycle ----------------------------------------------------
+  void register_datanode(NodeId dn);
+  void handle_heartbeat(NodeId dn);
+  bool is_alive(NodeId dn) const;
+  std::vector<NodeId> alive_datanodes() const;
+  std::size_t registered_datanode_count() const { return datanodes_.size(); }
+
+  // --- ClientProtocol --------------------------------------------------------
+  /// Step 1 of the write workflow: namespace checks, then create the entry.
+  Result<FileId> create(const std::string& path, ClientId client);
+
+  /// Allocates the next block of `file` and chooses its pipeline.
+  Result<LocatedBlock> add_block(FileId file, ClientId client,
+                                 NodeId client_node,
+                                 const std::vector<NodeId>& excluded);
+
+  /// Recovery support: picks `count` replacement datanodes for `block`,
+  /// excluding existing targets and `excluded`.
+  Result<std::vector<NodeId>> get_additional_datanodes(
+      BlockId block, ClientId client, NodeId client_node,
+      const std::vector<NodeId>& existing, const std::vector<NodeId>& excluded,
+      int count);
+
+  /// Replaces the expected pipeline of `block` after recovery.
+  Status update_block_targets(BlockId block, std::vector<NodeId> targets);
+
+  /// Completes the file if every block has at least one reported replica.
+  /// Returns false (retryable) otherwise, matching HDFS complete() semantics.
+  Result<bool> complete(FileId file, ClientId client);
+
+  /// Read path: the blocks of `path` with their live replica holders,
+  /// sorted by network distance from `reader` (HDFS returns the closest
+  /// replica first).
+  Result<std::vector<LocatedBlock>> get_block_locations(
+      const std::string& path, NodeId reader) const;
+
+  // --- Re-replication monitor -------------------------------------------------
+  /// Copies `length` bytes of `block` from `source` to `target` and invokes
+  /// `done(success)`; installed by the cluster wiring (the namenode itself
+  /// never touches block data, it only orchestrates).
+  using ReplicationExecutor =
+      std::function<void(NodeId source, NodeId target, BlockId block,
+                         Bytes length, std::function<void(bool)> done)>;
+
+  /// Starts the background monitor: every `scan_interval` it scans closed
+  /// files for blocks whose live replica count has dropped below the
+  /// replication factor and schedules copies from a surviving holder to a
+  /// freshly placed node (HDFS's under-replicated block queue).
+  void enable_rereplication(ReplicationExecutor executor,
+                            SimDuration scan_interval = seconds(5));
+  void disable_rereplication();
+  std::uint64_t rereplications_scheduled() const {
+    return rereplications_scheduled_;
+  }
+  std::uint64_t rereplications_completed() const {
+    return rereplications_completed_;
+  }
+  /// Blocks of closed files currently below the replication factor
+  /// (counting live holders only).
+  std::vector<BlockId> under_replicated_blocks() const;
+
+  // --- DatanodeProtocol ------------------------------------------------------
+  /// A datanode finished (finalized) a replica of `block`.
+  void block_received(NodeId dn, BlockId block, Bytes length);
+
+  // --- SMARTH extension ------------------------------------------------------
+  /// Clients report observed first-datanode transfer speeds with their
+  /// heartbeats.
+  void report_client_speeds(ClientId client,
+                            const std::vector<SpeedRecord>& records);
+  const SpeedBoard& speed_board() const { return speeds_; }
+
+  // --- Introspection (tests, reports) ---------------------------------------
+  const FileEntry* file(FileId id) const;
+  const FileEntry* file_by_path(const std::string& path) const;
+  const BlockRecord* block(BlockId id) const;
+  std::size_t file_count() const { return files_.size(); }
+  std::size_t block_count() const { return blocks_.size(); }
+  std::uint64_t heartbeats_received() const { return heartbeats_; }
+
+ private:
+  PlacementContext make_context(Rng& rng) const;
+  void scan_for_under_replication();
+  int live_replica_count(const BlockRecord& record) const;
+
+  sim::Simulation& sim_;
+  const net::Topology& topology_;
+  const HdfsConfig& config_;
+  NodeId self_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  bool safe_mode_ = false;
+
+  std::vector<NodeId> datanodes_;
+  std::unordered_map<NodeId, SimTime> last_heartbeat_;
+
+  IdGenerator<FileId> file_ids_;
+  IdGenerator<BlockId> block_ids_;
+  std::unordered_map<FileId, FileEntry> files_;
+  std::unordered_map<std::string, FileId> files_by_path_;
+  std::unordered_map<BlockId, BlockRecord> blocks_;
+
+  SpeedBoard speeds_;
+  std::uint64_t heartbeats_ = 0;
+
+  ReplicationExecutor replication_executor_;
+  std::unique_ptr<sim::PeriodicTask> rereplication_task_;
+  /// Block -> deadline of its in-flight copy. A copy whose completion never
+  /// arrives (partition, target crash) expires and the scan retries it.
+  std::unordered_map<BlockId, SimTime> rereplication_pending_;
+  std::uint64_t rereplications_scheduled_ = 0;
+  std::uint64_t rereplications_completed_ = 0;
+
+  // Reused scratch vector for alive-datanode snapshots.
+  mutable std::vector<NodeId> alive_scratch_;
+};
+
+}  // namespace smarth::hdfs

@@ -1,0 +1,408 @@
+#include "hdfs/output_stream.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "hdfs/recovery.hpp"
+
+namespace smarth::hdfs {
+
+OutputStreamBase::OutputStreamBase(StreamDeps deps, ClientId client,
+                                   NodeId client_node, FileId file,
+                                   Bytes file_size, DoneCallback on_done)
+    : deps_(std::move(deps)), client_(client), client_node_(client_node),
+      file_(file), file_size_(file_size), on_done_(std::move(on_done)) {
+  SMARTH_CHECK_MSG(file_size_ > 0, "cannot upload an empty file");
+  const std::int64_t blocks = total_blocks();
+  total_packets_ = 0;
+  for (std::int64_t b = 0; b < blocks; ++b) total_packets_ += packets_in_block(b);
+  stats_.client = client_;
+  stats_.file_size = file_size_;
+  stats_.blocks = blocks;
+}
+
+OutputStreamBase::~OutputStreamBase() { *alive_ = false; }
+
+void OutputStreamBase::start() {
+  stats_.started_at = deps_.sim.now();
+  pump_production();
+  begin_protocol();
+}
+
+std::int64_t OutputStreamBase::total_blocks() const {
+  return (file_size_ + deps_.config.block_size - 1) / deps_.config.block_size;
+}
+
+Bytes OutputStreamBase::block_bytes(std::int64_t block_index) const {
+  const Bytes start = block_index * deps_.config.block_size;
+  SMARTH_DCHECK(start < file_size_);
+  return std::min(deps_.config.block_size, file_size_ - start);
+}
+
+std::int64_t OutputStreamBase::packets_in_block(
+    std::int64_t block_index) const {
+  const Bytes bytes = block_bytes(block_index);
+  return (bytes + deps_.config.packet_payload - 1) /
+         deps_.config.packet_payload;
+}
+
+Bytes OutputStreamBase::packet_payload(std::int64_t block_index,
+                                       std::int64_t seq) const {
+  const Bytes remaining = block_bytes(block_index) -
+                          seq * deps_.config.packet_payload;
+  SMARTH_DCHECK(remaining > 0);
+  return std::min(deps_.config.packet_payload, remaining);
+}
+
+void OutputStreamBase::pump_production() {
+  if (!producer_armed_) produce_loop();
+}
+
+void OutputStreamBase::produce_loop() {
+  if (finished_ || produced_packets_ >= total_packets_ ||
+      !production_window_open()) {
+    producer_armed_ = false;
+    return;
+  }
+  producer_armed_ = true;
+  producer_event_ =
+      deps_.sim.schedule_after(deps_.config.packet_production_time, [this] {
+    if (finished_) {
+      producer_armed_ = false;
+      return;
+    }
+    ProducedPacket packet;
+    packet.block_index = produce_block_;
+    packet.seq_in_block = produce_seq_;
+    packet.payload = packet_payload(produce_block_, produce_seq_);
+    packet.last_in_block = produce_seq_ + 1 == packets_in_block(produce_block_);
+    if (packet.last_in_block) {
+      ++produce_block_;
+      produce_seq_ = 0;
+    } else {
+      ++produce_seq_;
+    }
+    data_queue_.push_back(packet);
+    ++produced_packets_;
+    ++stats_.packets;
+    on_packet_produced();
+    producer_armed_ = false;
+    produce_loop();
+  });
+}
+
+void OutputStreamBase::request_block(
+    std::vector<NodeId> excluded,
+    std::function<void(Result<LocatedBlock>)> cb) {
+  Namenode& nn = deps_.namenode;
+  deps_.rpc.call<Result<LocatedBlock>>(
+      client_node_, nn.node_id(),
+      [&nn, file = file_, client = client_, node = client_node_,
+       excluded = std::move(excluded)] {
+        return nn.add_block(file, client, node, excluded);
+      },
+      [alive = alive_, cb = std::move(cb)](Result<LocatedBlock> result) {
+        if (!*alive) return;  // stream was pruned while the RPC was in flight
+        cb(std::move(result));
+      });
+}
+
+ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
+                                                  const LocatedBlock& located,
+                                                  Bytes resume_offset,
+                                                  bool smarth_mode) {
+  const PipelineId id = deps_.pipeline_ids.next();
+  ClientPipeline pipeline;
+  pipeline.id = id;
+  pipeline.block_index = block_index;
+  pipeline.block = located.block;
+  pipeline.targets = located.targets;
+  pipeline.block_bytes = block_bytes(block_index);
+  pipeline.num_packets = packets_in_block(block_index);
+  pipeline.resume_offset = resume_offset;
+  pipeline.set_resume_packets(resume_offset / deps_.config.packet_payload);
+  pipeline.created_at = deps_.sim.now();
+
+  auto [it, inserted] = pipelines_.emplace(id, std::move(pipeline));
+  SMARTH_CHECK(inserted);
+  ++stats_.pipelines_created;
+  stats_.max_concurrent_pipelines =
+      std::max(stats_.max_concurrent_pipelines,
+               static_cast<int>(pipelines_.size()));
+
+  PipelineSetup setup;
+  setup.pipeline = id;
+  setup.block = located.block;
+  setup.targets = located.targets;
+  setup.client_node = client_node_;
+  setup.client = client_;
+  setup.smarth_mode = smarth_mode;
+  setup.resume_offset = resume_offset;
+  SMARTH_CHECK_MSG(!located.targets.empty(), "pipeline with no targets");
+  deps_.transport.send_setup(client_node_, located.targets[0], setup);
+  return it->second;
+}
+
+void OutputStreamBase::send_next_packet(ClientPipeline& pipeline) {
+  SMARTH_CHECK(!pipeline.pending.empty());
+  ProducedPacket produced = pipeline.pending.front();
+  pipeline.pending.pop_front();
+
+  WirePacket wire;
+  wire.pipeline = pipeline.id;
+  wire.block = pipeline.block;
+  wire.seq = produced.seq_in_block;
+  wire.payload = produced.payload;
+  wire.last_in_block = produced.last_in_block;
+  if (pipeline.first_packet_sent < 0) {
+    pipeline.first_packet_sent = deps_.sim.now();
+  }
+  deps_.transport.send_packet(client_node_, pipeline.targets[0], wire);
+  pipeline.ack_queue.push_back(produced);
+  arm_watchdog(pipeline);
+}
+
+void OutputStreamBase::complete_file() {
+  if (finished_) return;
+  Namenode& nn = deps_.namenode;
+  deps_.rpc.call<Result<bool>>(
+      client_node_, nn.node_id(),
+      [&nn, file = file_, client = client_] {
+        return nn.complete(file, client);
+      },
+      [this, alive = alive_](Result<bool> result) {
+        if (!*alive || finished_) return;
+        if (!result.ok()) {
+          finish(true, result.error().to_string());
+          return;
+        }
+        if (result.value()) {
+          finish(false, "");
+          return;
+        }
+        // Not all blocks reported yet (blockReceived still in flight):
+        // retry, as the Hadoop client does.
+        complete_retry_ = deps_.sim.schedule_after(
+            milliseconds(300), [this] { complete_file(); });
+      });
+}
+
+void OutputStreamBase::finish(bool failed, const std::string& reason) {
+  if (finished_) return;
+  finished_ = true;
+  stats_.finished_at = deps_.sim.now();
+  stats_.failed = failed;
+  stats_.failure_reason = reason;
+  producer_event_.cancel();
+  complete_retry_.cancel();
+  for (auto& [id, pipeline] : pipelines_) pipeline.watchdog.cancel();
+  if (failed) {
+    SMARTH_ERROR("stream") << "upload failed: " << reason;
+  }
+  if (on_done_) on_done_(stats_);
+}
+
+void OutputStreamBase::arm_watchdog(ClientPipeline& pipeline) {
+  pipeline.watchdog.cancel();
+  if (finished_ || pipeline.failed) return;
+  const PipelineId id = pipeline.id;
+  pipeline.watchdog =
+      deps_.sim.schedule_after(deps_.config.ack_timeout, [this, id] {
+        ClientPipeline* p = find_pipeline(id);
+        if (p == nullptr || p->failed || p->complete() || finished_) return;
+        // A ready pipeline with nothing outstanding is merely idle; one that
+        // never became ready, or has un-acked traffic, has stalled.
+        if (p->ready && p->ack_queue.empty() && p->pending.empty()) return;
+        SMARTH_WARN("stream") << "ack timeout on pipeline " << id.to_string();
+        on_pipeline_error(*p, -1);
+      });
+}
+
+ClientPipeline* OutputStreamBase::find_pipeline(PipelineId id) {
+  auto it = pipelines_.find(id);
+  return it == pipelines_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline HDFS stream
+// ---------------------------------------------------------------------------
+
+DfsOutputStream::DfsOutputStream(StreamDeps deps, ClientId client,
+                                 NodeId client_node, FileId file,
+                                 Bytes file_size, DoneCallback on_done)
+    : OutputStreamBase(std::move(deps), client, client_node, file, file_size,
+                       std::move(on_done)) {}
+
+bool DfsOutputStream::production_window_open() const {
+  // Hadoop caps dataQueue + ackQueue at max_outstanding_packets.
+  std::size_t in_flight = data_queue_.size();
+  for (const auto& [id, p] : pipelines_) {
+    in_flight += p.pending.size() + p.ack_queue.size();
+  }
+  return in_flight <
+         static_cast<std::size_t>(deps_.config.max_outstanding_packets);
+}
+
+void DfsOutputStream::begin_protocol() { allocate_next_block(); }
+
+void DfsOutputStream::on_packet_produced() { pump_stream(); }
+
+void DfsOutputStream::allocate_next_block() {
+  ++current_block_;
+  if (current_block_ >= total_blocks()) {
+    complete_file();
+    return;
+  }
+  SMARTH_CHECK(!awaiting_block_);
+  awaiting_block_ = true;
+  request_block({}, [this](Result<LocatedBlock> result) {
+    if (finished_) return;
+    awaiting_block_ = false;
+    if (!result.ok()) {
+      finish(true, "addBlock failed: " + result.error().to_string());
+      return;
+    }
+    SMARTH_DEBUG("stream") << "addBlock -> " << result.value().block.to_string()
+                           << " (block index " << current_block_
+                           << "); building pipeline";
+    ClientPipeline& pipeline =
+        create_pipeline(current_block_, result.value(), 0,
+                        /*smarth_mode=*/false);
+    active_pipeline_ = pipeline.id;
+    arm_watchdog(pipeline);
+  });
+}
+
+void DfsOutputStream::deliver_setup_ack(const SetupAck& ack) {
+  ClientPipeline* pipeline = find_pipeline(ack.pipeline);
+  if (pipeline == nullptr || finished_) return;
+  if (!ack.success) {
+    on_pipeline_error(*pipeline, ack.error_index);
+    return;
+  }
+  pipeline->ready = true;
+  arm_watchdog(*pipeline);
+  pump_stream();
+}
+
+void DfsOutputStream::pump_stream() {
+  if (finished_ || recovering_) return;
+  ClientPipeline* pipeline = find_pipeline(active_pipeline_);
+  if (pipeline == nullptr || !pipeline->ready || pipeline->failed) return;
+
+  // Window: Hadoop keeps at most max_outstanding_packets un-acked.
+  auto window_open = [&] {
+    return pipeline->ack_queue.size() <
+           static_cast<std::size_t>(deps_.config.max_outstanding_packets);
+  };
+  while (window_open()) {
+    if (!pipeline->pending.empty()) {
+      send_next_packet(*pipeline);
+      continue;
+    }
+    if (!data_queue_.empty() &&
+        data_queue_.front().block_index == current_block_) {
+      pipeline->pending.push_back(data_queue_.front());
+      data_queue_.pop_front();
+      send_next_packet(*pipeline);
+      continue;
+    }
+    break;
+  }
+  pump_production();
+}
+
+void DfsOutputStream::deliver_ack(const PipelineAck& ack) {
+  if (finished_) return;
+  ClientPipeline* pipeline = find_pipeline(ack.pipeline);
+  if (pipeline == nullptr || pipeline->failed) return;
+  if (ack.status != AckStatus::kSuccess) {
+    on_pipeline_error(*pipeline, ack.error_index);
+    return;
+  }
+  SMARTH_CHECK_MSG(!pipeline->ack_queue.empty() &&
+                       pipeline->ack_queue.front().seq_in_block == ack.seq,
+                   "out-of-order ack: got seq " << ack.seq);
+  pipeline->ack_queue.pop_front();
+  ++pipeline->acked_packets;
+  arm_watchdog(*pipeline);
+  if (pipeline->complete()) {
+    pipeline->watchdog.cancel();
+    on_block_fully_acked();
+    return;
+  }
+  pump_stream();
+}
+
+void DfsOutputStream::deliver_fnfa(const FnfaMessage& fnfa) {
+  // The baseline protocol has no FNFA; a stray one indicates mis-wiring.
+  SMARTH_WARN("stream") << "unexpected FNFA on baseline stream for "
+                        << fnfa.block.to_string();
+}
+
+void DfsOutputStream::on_block_fully_acked() {
+  SMARTH_DEBUG("stream") << "block index " << current_block_
+                         << " fully acked; stop-and-wait advances";
+  pipelines_.erase(active_pipeline_);
+  active_pipeline_ = PipelineId{};
+  allocate_next_block();
+  pump_production();
+}
+
+void DfsOutputStream::on_pipeline_error(ClientPipeline& pipeline,
+                                        int error_index) {
+  if (recovering_ || finished_) return;
+  recovering_ = true;
+  ++stats_.recoveries;
+  pipeline.failed = true;
+  pipeline.watchdog.cancel();
+  // Alg. 3 line 3: ACK queue back to the (pipeline-local) resend queue.
+  pipeline.pending.insert(pipeline.pending.begin(),
+                          pipeline.ack_queue.begin(),
+                          pipeline.ack_queue.end());
+  pipeline.ack_queue.clear();
+
+  auto recovery = std::make_unique<BlockRecovery>(
+      deps_, client_, client_node_, pipeline.id, pipeline.block,
+      pipeline.block_bytes, pipeline.targets, error_index,
+      [this, id = pipeline.id](Result<RecoveryOutcome> result) {
+        ClientPipeline* old_pipeline = find_pipeline(id);
+        SMARTH_CHECK(old_pipeline != nullptr);
+        if (!result.ok()) {
+          finish(true, result.error().to_string());
+          return;
+        }
+        resume_after_recovery(*old_pipeline, result.value().targets,
+                              result.value().sync_offset);
+      });
+  BlockRecovery* raw = recovery.get();
+  recoveries_.push_back(std::move(recovery));
+  raw->run();
+}
+
+void DfsOutputStream::resume_after_recovery(ClientPipeline& old_pipeline,
+                                            std::vector<NodeId> targets,
+                                            Bytes sync_offset) {
+  const std::int64_t resume_packets =
+      sync_offset / deps_.config.packet_payload;
+  // Packets already durable everywhere are dropped from the resend queue.
+  std::deque<ProducedPacket> pending = std::move(old_pipeline.pending);
+  while (!pending.empty() &&
+         pending.front().seq_in_block < resume_packets) {
+    pending.pop_front();
+  }
+  const std::int64_t block_index = old_pipeline.block_index;
+  LocatedBlock located{old_pipeline.block, std::move(targets)};
+  pipelines_.erase(old_pipeline.id);
+
+  ClientPipeline& fresh =
+      create_pipeline(block_index, located, sync_offset, /*smarth_mode=*/false);
+  fresh.pending = std::move(pending);
+  active_pipeline_ = fresh.id;
+  recovering_ = false;
+  arm_watchdog(fresh);
+  // Streaming resumes when the new setup ack arrives (deliver_setup_ack).
+}
+
+}  // namespace smarth::hdfs

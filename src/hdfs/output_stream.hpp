@@ -1,0 +1,236 @@
+// Client-side write machinery shared by the baseline HDFS stream and the
+// SMARTH multi-pipeline stream: packet production (the paper's Tc), block and
+// packet geometry, pipeline bookkeeping, and the AckSink plumbing. The
+// concrete protocols differ only in how pipelines are scheduled — exactly the
+// delta the paper proposes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "hdfs/datanode.hpp"
+#include "hdfs/namenode.hpp"
+#include "hdfs/transport.hpp"
+#include "hdfs/types.hpp"
+#include "rpc/rpc_bus.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::hdfs {
+
+class BlockRecovery;
+
+/// Everything a client-side stream needs from its environment.
+struct StreamDeps {
+  sim::Simulation& sim;
+  Transport& transport;
+  rpc::RpcBus& rpc;
+  Namenode& namenode;
+  const HdfsConfig& config;
+  /// Cluster-wide pipeline id source: datanodes key pipeline state by id, so
+  /// ids must be unique across every client and stream.
+  IdGenerator<PipelineId>& pipeline_ids;
+  /// Resolves datanode RPC endpoints (installed by the cluster wiring).
+  std::function<Datanode*(NodeId)> datanode_resolver;
+};
+
+/// A packet produced by the client but not yet bound to a block id (binding
+/// happens when it is handed to a pipeline).
+struct ProducedPacket {
+  std::int64_t block_index = 0;
+  std::int64_t seq_in_block = 0;
+  Bytes payload = 0;
+  bool last_in_block = false;
+};
+
+/// Final statistics of one upload, consumed by the metrics layer.
+struct StreamStats {
+  ClientId client;
+  Bytes file_size = 0;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  std::int64_t blocks = 0;
+  std::int64_t packets = 0;
+  int pipelines_created = 0;
+  int max_concurrent_pipelines = 0;
+  int recoveries = 0;
+  bool failed = false;
+  std::string failure_reason;
+
+  SimDuration elapsed() const { return finished_at - started_at; }
+  Bandwidth throughput() const { return throughput_of(file_size, elapsed()); }
+};
+
+/// One replication pipeline as seen from the client.
+struct ClientPipeline {
+  PipelineId id;
+  std::int64_t block_index = 0;
+  BlockId block;
+  std::vector<NodeId> targets;
+  Bytes block_bytes = 0;
+  std::int64_t num_packets = 0;
+  Bytes resume_offset = 0;
+
+  bool ready = false;   ///< setup acked end-to-end
+  bool failed = false;  ///< recovery in progress or pending
+  bool fnfa = false;    ///< SMARTH: first datanode holds the whole block
+
+  /// Packets waiting to be handed to the network for this pipeline.
+  std::deque<ProducedPacket> pending;
+  /// Sent but not yet fully acked (retransmission source for recovery).
+  std::deque<ProducedPacket> ack_queue;
+  std::int64_t acked_packets = 0;  ///< counted from resume_offset
+
+  SimTime created_at = 0;
+  SimTime first_packet_sent = -1;
+  SimTime fnfa_at = -1;
+  sim::EventHandle watchdog;
+
+  std::int64_t packets_since_resume() const {
+    return num_packets - resume_offset_packets();
+  }
+  std::int64_t resume_offset_packets() const { return resume_packets_; }
+  void set_resume_packets(std::int64_t n) { resume_packets_ = n; }
+  bool complete() const { return acked_packets >= packets_since_resume(); }
+
+ private:
+  std::int64_t resume_packets_ = 0;
+};
+
+/// Base class: owns production and geometry; subclasses implement pipeline
+/// scheduling. Completion is announced through the on_done callback.
+class OutputStreamBase : public AckSink {
+ public:
+  using DoneCallback = std::function<void(const StreamStats&)>;
+
+  OutputStreamBase(StreamDeps deps, ClientId client, NodeId client_node,
+                   FileId file, Bytes file_size, DoneCallback on_done);
+  ~OutputStreamBase() override;
+
+  /// Kicks off production and the first block allocation.
+  void start();
+
+  const StreamStats& stats() const { return stats_; }
+  bool finished() const { return finished_; }
+  /// Used by the cluster wiring to route ACK/FNFA messages to the stream
+  /// that owns the pipeline.
+  bool owns_pipeline(PipelineId id) const {
+    return pipelines_.find(id) != pipelines_.end();
+  }
+  /// Number of pipelines currently in flight (for live sampling).
+  std::size_t active_pipeline_count() const { return pipelines_.size(); }
+  FileId file() const { return file_; }
+  ClientId client() const { return client_; }
+  NodeId client_node() const { return client_node_; }
+
+  // --- geometry --------------------------------------------------------------
+  std::int64_t total_blocks() const;
+  Bytes block_bytes(std::int64_t block_index) const;
+  std::int64_t packets_in_block(std::int64_t block_index) const;
+  Bytes packet_payload(std::int64_t block_index, std::int64_t seq) const;
+
+ protected:
+  // --- production (shared) ----------------------------------------------------
+  /// True while the subclass can accept another produced packet.
+  virtual bool production_window_open() const = 0;
+  /// Called whenever a new packet lands in data_queue_.
+  virtual void on_packet_produced() = 0;
+  /// Called by start() after production is armed.
+  virtual void begin_protocol() = 0;
+
+  /// Re-checks the production gate; subclasses call this when windows open.
+  void pump_production();
+
+  // --- shared helpers ---------------------------------------------------------
+  /// addBlock RPC; invokes cb with the located block (or error).
+  void request_block(std::vector<NodeId> excluded,
+                     std::function<void(Result<LocatedBlock>)> cb);
+  /// Builds a ClientPipeline record and sends the setup chain.
+  ClientPipeline& create_pipeline(std::int64_t block_index,
+                                  const LocatedBlock& located,
+                                  Bytes resume_offset, bool smarth_mode);
+  /// Hands the next pending packet of `pipeline` to the network.
+  void send_next_packet(ClientPipeline& pipeline);
+  /// complete() RPC with retry-until-true, then finishes the stream.
+  void complete_file();
+  void finish(bool failed, const std::string& reason);
+
+  /// Arms/refreshes the no-ack-progress watchdog for a pipeline.
+  void arm_watchdog(ClientPipeline& pipeline);
+  /// Subclass hook invoked when a pipeline times out or receives an error
+  /// ack; `error_index` is the reporting datanode's pipeline position or -1.
+  virtual void on_pipeline_error(ClientPipeline& pipeline, int error_index) = 0;
+
+  ClientPipeline* find_pipeline(PipelineId id);
+
+  StreamDeps deps_;
+  ClientId client_;
+  NodeId client_node_;
+  FileId file_;
+  Bytes file_size_;
+  DoneCallback on_done_;
+
+  /// Produced packets not yet assigned to a pipeline, in file order.
+  std::deque<ProducedPacket> data_queue_;
+  std::unordered_map<PipelineId, ClientPipeline> pipelines_;
+  /// Recovery operations in flight or retired (kept alive until the stream
+  /// dies; recovery objects must outlive their async callbacks).
+  std::vector<std::unique_ptr<BlockRecovery>> recoveries_;
+
+  StreamStats stats_;
+  bool finished_ = false;
+  /// Liveness token captured by in-flight RPC callbacks so a pruned stream's
+  /// late responses are dropped instead of dereferencing freed memory.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+ private:
+  void produce_loop();
+
+  std::int64_t produced_packets_ = 0;
+  std::int64_t total_packets_ = 0;
+  std::int64_t produce_block_ = 0;
+  std::int64_t produce_seq_ = 0;
+  bool producer_armed_ = false;
+  /// Cancelled on finish() so a finished stream has no pending events
+  /// referencing it (lets the cluster prune finished streams safely).
+  sim::EventHandle producer_event_;
+  sim::EventHandle complete_retry_;
+};
+
+/// The baseline HDFS protocol: one pipeline at a time, stop-and-wait at every
+/// block boundary (paper §II).
+class DfsOutputStream : public OutputStreamBase {
+ public:
+  DfsOutputStream(StreamDeps deps, ClientId client, NodeId client_node,
+                  FileId file, Bytes file_size, DoneCallback on_done);
+
+  // AckSink
+  void deliver_ack(const PipelineAck& ack) override;
+  void deliver_setup_ack(const SetupAck& ack) override;
+  void deliver_fnfa(const FnfaMessage& fnfa) override;
+
+ protected:
+  bool production_window_open() const override;
+  void on_packet_produced() override;
+  void begin_protocol() override;
+  void on_pipeline_error(ClientPipeline& pipeline, int error_index) override;
+
+ private:
+  void allocate_next_block();
+  void pump_stream();
+  void on_block_fully_acked();
+  void resume_after_recovery(ClientPipeline& old_pipeline,
+                             std::vector<NodeId> targets, Bytes sync_offset);
+
+  std::int64_t current_block_ = -1;
+  PipelineId active_pipeline_;
+  bool awaiting_block_ = false;
+  bool recovering_ = false;
+};
+
+}  // namespace smarth::hdfs

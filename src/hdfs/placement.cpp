@@ -1,0 +1,89 @@
+#include "hdfs/placement.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace smarth::hdfs {
+
+bool placement_unusable(NodeId node, const std::vector<NodeId>& chosen,
+                        const std::vector<NodeId>& excluded) {
+  return std::find(chosen.begin(), chosen.end(), node) != chosen.end() ||
+         std::find(excluded.begin(), excluded.end(), node) != excluded.end();
+}
+
+NodeId pick_random_node(const PlacementContext& ctx,
+                        const std::vector<NodeId>& chosen,
+                        const std::vector<NodeId>& excluded,
+                        const std::function<bool(NodeId)>& rack_ok) {
+  std::vector<NodeId> candidates;
+  candidates.reserve(ctx.alive.size());
+  for (NodeId node : ctx.alive) {
+    if (placement_unusable(node, chosen, excluded)) continue;
+    if (rack_ok && !rack_ok(node)) continue;
+    candidates.push_back(node);
+  }
+  if (candidates.empty()) return NodeId{};
+  return candidates[ctx.rng.index(candidates.size())];
+}
+
+NodeId pick_remote_rack_node(const PlacementContext& ctx, NodeId relative_to,
+                             const std::vector<NodeId>& chosen,
+                             const std::vector<NodeId>& excluded) {
+  NodeId pick = pick_random_node(ctx, chosen, excluded, [&](NodeId n) {
+    return !ctx.topology.same_rack(n, relative_to);
+  });
+  if (pick.valid()) return pick;
+  // Single-rack (or exhausted remote rack) fallback: any usable node.
+  return pick_random_node(ctx, chosen, excluded, nullptr);
+}
+
+NodeId pick_same_rack_node(const PlacementContext& ctx, NodeId relative_to,
+                           const std::vector<NodeId>& chosen,
+                           const std::vector<NodeId>& excluded) {
+  NodeId pick = pick_random_node(ctx, chosen, excluded, [&](NodeId n) {
+    return ctx.topology.same_rack(n, relative_to);
+  });
+  if (pick.valid()) return pick;
+  return pick_random_node(ctx, chosen, excluded, nullptr);
+}
+
+std::vector<NodeId> DefaultPlacementPolicy::choose_targets(
+    const PlacementRequest& request, const PlacementContext& ctx) {
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<std::size_t>(request.replication));
+
+  // First replica: on the writer itself when the writer is a datanode,
+  // otherwise a random not-excluded node.
+  const bool client_is_datanode =
+      std::find(ctx.alive.begin(), ctx.alive.end(), request.client_node) !=
+      ctx.alive.end();
+  NodeId first;
+  if (client_is_datanode &&
+      !placement_unusable(request.client_node, targets, request.excluded)) {
+    first = request.client_node;
+  } else {
+    first = pick_random_node(ctx, targets, request.excluded, nullptr);
+  }
+  if (!first.valid()) return targets;
+  targets.push_back(first);
+
+  while (static_cast<int>(targets.size()) < request.replication) {
+    NodeId next;
+    if (targets.size() == 1) {
+      // Second replica: a different rack from the first.
+      next = pick_remote_rack_node(ctx, targets[0], targets, request.excluded);
+    } else if (targets.size() == 2) {
+      // Third replica: same rack as the second, different node.
+      next = pick_same_rack_node(ctx, targets[1], targets, request.excluded);
+    } else {
+      next = pick_random_node(ctx, targets, request.excluded, nullptr);
+    }
+    if (!next.valid()) break;
+    targets.push_back(next);
+  }
+  return targets;
+}
+
+}  // namespace smarth::hdfs

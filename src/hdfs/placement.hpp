@@ -1,0 +1,78 @@
+// Replica placement policies. The default policy reproduces HDFS's
+// rack-aware rule (first replica local-or-random, second on a remote rack,
+// third beside the second); SMARTH's global optimization (paper Alg. 1) is a
+// drop-in PlacementPolicy implemented in src/smarth/global_optimizer.*.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace smarth::hdfs {
+
+class SpeedBoard;  // defined in namenode.hpp
+
+/// Everything a policy may consult when choosing targets.
+struct PlacementContext {
+  const net::Topology& topology;
+  /// Datanodes currently alive (heartbeating), in registration order.
+  const std::vector<NodeId>& alive;
+  Rng& rng;
+  /// Per-client speed records (SMARTH); nullptr under the default policy.
+  const SpeedBoard* speeds = nullptr;
+};
+
+struct PlacementRequest {
+  ClientId client;
+  NodeId client_node;
+  int replication = 3;
+  /// Nodes the client cannot use (active-pipeline members, failed nodes).
+  std::vector<NodeId> excluded;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  /// Returns `replication` distinct targets in pipeline order, or fewer if
+  /// the cluster cannot satisfy the request.
+  virtual std::vector<NodeId> choose_targets(const PlacementRequest& request,
+                                             const PlacementContext& ctx) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// HDFS's default rack-aware policy.
+class DefaultPlacementPolicy : public PlacementPolicy {
+ public:
+  std::vector<NodeId> choose_targets(const PlacementRequest& request,
+                                     const PlacementContext& ctx) override;
+  const char* name() const override { return "hdfs-default"; }
+};
+
+// --- Helpers shared with the SMARTH policy ----------------------------------
+
+/// True if `node` is in `chosen` or `excluded`.
+bool placement_unusable(NodeId node, const std::vector<NodeId>& chosen,
+                        const std::vector<NodeId>& excluded);
+
+/// Uniformly random usable node, optionally constrained by a rack predicate;
+/// returns an invalid id when no candidate exists.
+NodeId pick_random_node(const PlacementContext& ctx,
+                        const std::vector<NodeId>& chosen,
+                        const std::vector<NodeId>& excluded,
+                        const std::function<bool(NodeId)>& rack_ok);
+
+/// Remote-rack pick with graceful fallback to any usable node (single-rack
+/// clusters must still be writable, as in HDFS).
+NodeId pick_remote_rack_node(const PlacementContext& ctx, NodeId relative_to,
+                             const std::vector<NodeId>& chosen,
+                             const std::vector<NodeId>& excluded);
+
+/// Same-rack pick with the same fallback.
+NodeId pick_same_rack_node(const PlacementContext& ctx, NodeId relative_to,
+                           const std::vector<NodeId>& chosen,
+                           const std::vector<NodeId>& excluded);
+
+}  // namespace smarth::hdfs

@@ -1,0 +1,77 @@
+// Client-orchestrated pipeline recovery — the body of the paper's
+// Algorithm 3 (and the per-pipeline step of Algorithm 4):
+//   close streams / abort the pipeline at every target, probe the targets to
+//   separate the dead from the living, sync all survivors to the minimum
+//   durable length, obtain replacement datanodes from the namenode, copy the
+//   durable prefix to each replacement through a primary survivor, and hand
+//   the caller a rebuilt target list plus the resume offset.
+// The caller then re-queues the un-acked packets (ACK queue -> data queue)
+// and re-opens the pipeline.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "hdfs/output_stream.hpp"
+
+namespace smarth::hdfs {
+
+struct RecoveryOutcome {
+  std::vector<NodeId> targets;  ///< survivors (pipeline order) + replacements
+  Bytes sync_offset = 0;        ///< durable, packet-aligned resume offset
+};
+
+/// Probes a datanode's replica with a client-side timeout; the callback
+/// always fires exactly once (with alive=false on timeout).
+void probe_replica_with_timeout(StreamDeps& deps, NodeId client_node,
+                                NodeId datanode, BlockId block,
+                                std::function<void(ReplicaProbeResult)> cb);
+
+class BlockRecovery {
+ public:
+  using DoneCallback = std::function<void(Result<RecoveryOutcome>)>;
+
+  /// `block_bytes` is the block's total size; the sync offset is clamped so
+  /// at least the final packet is always retransmitted (the last_in_block
+  /// marker must reach every target for replicas to finalize).
+  BlockRecovery(StreamDeps& deps, ClientId client, NodeId client_node,
+                PipelineId pipeline, BlockId block, Bytes block_bytes,
+                std::vector<NodeId> targets, int error_index,
+                DoneCallback done);
+
+  /// Starts the asynchronous recovery; the object must stay alive until the
+  /// done callback fires (streams own recoveries by unique_ptr).
+  void run();
+
+ private:
+  void probe_targets();
+  void on_probes_done(std::vector<ReplicaProbeResult> results);
+  void sync_and_replace();
+  void truncate_survivors();
+  void request_replacements();
+  void transfer_prefix(std::size_t replacement_index);
+  void finish_success();
+  void fail(const std::string& reason);
+
+  StreamDeps& deps_;
+  ClientId client_;
+  NodeId client_node_;
+  PipelineId pipeline_;
+  BlockId block_;
+  Bytes block_bytes_;
+  std::vector<NodeId> original_targets_;
+  int error_index_;
+  DoneCallback done_;
+
+  std::vector<NodeId> alive_;
+  std::vector<NodeId> dead_;
+  std::vector<NodeId> replacements_;
+  Bytes sync_offset_ = 0;
+  int attempts_ = 0;
+  bool completed_ = false;
+};
+
+}  // namespace smarth::hdfs

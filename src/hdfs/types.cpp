@@ -1,0 +1,14 @@
+#include "hdfs/types.hpp"
+
+namespace smarth::hdfs {
+
+std::string to_string(AckStatus status) {
+  switch (status) {
+    case AckStatus::kSuccess: return "success";
+    case AckStatus::kChecksumError: return "checksum_error";
+    case AckStatus::kNodeError: return "node_error";
+  }
+  return "?";
+}
+
+}  // namespace smarth::hdfs

@@ -1,0 +1,223 @@
+// Wire-level protocol types and tunables shared by the namenode, datanodes
+// and clients. The defaults mirror Hadoop 1.0.3, the version the paper
+// evaluated: 64 MB blocks, 64 KB packets, replication 3, 3-second heartbeats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace smarth::hdfs {
+
+/// All tunables of the simulated DFS. One instance is shared by every
+/// component of a cluster.
+struct HdfsConfig {
+  // --- Data layout ----------------------------------------------------------
+  Bytes block_size = 64 * kMiB;
+  Bytes packet_payload = 64 * kKiB;
+
+  // --- Wire overheads -------------------------------------------------------
+  Bytes packet_header_wire = 512;  ///< checksums + header per data packet
+  Bytes ack_wire = 64;
+  Bytes setup_wire = 256;
+  Bytes fnfa_wire = 64;
+
+  // --- Replication / flow control -------------------------------------------
+  int replication = 3;
+  /// Client-side cap on dataQueue + ackQueue, in packets (Hadoop: 80).
+  int max_outstanding_packets = 80;
+
+  // --- Client-side costs ----------------------------------------------------
+  /// Per-packet production time Tc: read from the local source, checksum,
+  /// frame. Overridden per instance type by the cluster builder.
+  SimDuration packet_production_time = microseconds(800);
+
+  // --- Datanode costs -------------------------------------------------------
+  /// Per-packet checksum verification before store/forward.
+  SimDuration checksum_verify_time = microseconds(30);
+  /// Staging buffer per datanode per client (paper §IV-C: one block).
+  Bytes staging_buffer_bytes = 64 * kMiB;
+
+  // --- Control plane --------------------------------------------------------
+  SimDuration heartbeat_interval = seconds(3);
+  /// A datanode missing heartbeats for this long is considered dead.
+  SimDuration datanode_dead_interval = seconds(15);
+
+  // --- Failure handling -----------------------------------------------------
+  /// No ACK progress on a pipeline for this long => pipeline error.
+  SimDuration ack_timeout = seconds(5);
+  /// Probe RPC timeout used to tell dead targets from slow ones.
+  SimDuration probe_timeout = milliseconds(800);
+  /// Ceiling on a recovery's replica-prefix copy to a replacement node; a
+  /// copy that exceeds it (unreachable target, severed link) is abandoned.
+  SimDuration replacement_transfer_timeout = seconds(30);
+
+  // --- SMARTH ---------------------------------------------------------------
+  /// Local-optimization exploration threshold (paper: 0.8; swap first
+  /// datanode with probability 1 - threshold).
+  double local_opt_threshold = 0.8;
+  bool smarth_global_opt = true;  ///< ablation switch (Alg. 1)
+  bool smarth_local_opt = true;   ///< ablation switch (Alg. 2)
+  /// Enforce the buffer-overflow guard: at most cluster/replication
+  /// concurrent pipelines and one pipeline per datanode per client.
+  bool enforce_pipeline_cap = true;
+  /// SMARTH streams a whole block to the first datanode without waiting for
+  /// full-pipeline ACKs; its per-pipeline window is therefore the block.
+  int smarth_outstanding_packets() const {
+    return static_cast<int>((block_size + packet_payload - 1) /
+                            packet_payload);
+  }
+
+  int packets_per_block() const {
+    return static_cast<int>((block_size + packet_payload - 1) /
+                            packet_payload);
+  }
+  Bytes packet_wire_size(Bytes payload) const {
+    return payload + packet_header_wire;
+  }
+};
+
+/// A block with its assigned pipeline targets, as returned by addBlock().
+/// The read path reuses it with `targets` = live replica holders sorted by
+/// distance and `length` = the finalized block length.
+struct LocatedBlock {
+  BlockId block;
+  std::vector<NodeId> targets;  // pipeline order: first datanode first
+  Bytes length = 0;             // read path only
+};
+
+/// One data packet on the wire.
+struct WirePacket {
+  PipelineId pipeline;
+  BlockId block;
+  std::int64_t seq = 0;        ///< packet index within the block
+  Bytes payload = 0;           ///< payload bytes (last packet may be short)
+  bool last_in_block = false;
+};
+
+/// Status carried by pipeline ACKs (per-packet, aggregated upstream).
+enum class AckStatus {
+  kSuccess,
+  kChecksumError,  ///< verification failed at `error_index`
+  kNodeError,      ///< downstream node unreachable
+};
+
+struct PipelineAck {
+  PipelineId pipeline;
+  std::int64_t seq = 0;
+  AckStatus status = AckStatus::kSuccess;
+  /// Index (in pipeline order) of the datanode that reported the error;
+  /// meaningful when status != kSuccess.
+  int error_index = -1;
+};
+
+/// SMARTH's First-Node-Finish ACK: the first datanode has received and
+/// durably stored every packet of `block`.
+struct FnfaMessage {
+  PipelineId pipeline;
+  BlockId block;
+};
+
+// --- Read path ---------------------------------------------------------------
+
+struct ReadTag { static constexpr const char* prefix = "read-"; };
+/// One block-read operation issued by a client.
+using ReadId = TypedId<ReadTag>;
+
+/// Client -> datanode: stream `length` bytes of `block` starting at
+/// `offset` back to `reader_node`.
+struct ReadRequest {
+  ReadId read;
+  BlockId block;
+  Bytes offset = 0;
+  Bytes length = 0;
+  NodeId reader_node;
+};
+
+/// Datanode -> client: one packet of block data (or an error marker).
+struct ReadPacket {
+  ReadId read;
+  BlockId block;
+  std::int64_t seq = 0;
+  Bytes payload = 0;
+  bool last = false;
+  bool error = false;  ///< replica missing/short or node refusing
+};
+
+/// Pipeline establishment request, forwarded datanode-to-datanode like
+/// Hadoop's WRITE_BLOCK operation.
+struct PipelineSetup {
+  PipelineId pipeline;
+  BlockId block;
+  std::vector<NodeId> targets;
+  NodeId client_node;
+  ClientId client;
+  bool smarth_mode = false;
+  /// Byte offset the write resumes at (0 for fresh blocks; >0 after
+  /// recovery, when a prefix is already durable on every target).
+  Bytes resume_offset = 0;
+};
+
+struct SetupAck {
+  PipelineId pipeline;
+  bool success = true;
+  int error_index = -1;
+};
+
+/// One client->namenode speed record: observed client-to-first-datanode
+/// transfer speed for a completed block (paper §III-B).
+struct SpeedRecord {
+  NodeId datanode;
+  Bandwidth speed;
+  SimTime measured_at = 0;
+};
+
+/// Interface for components that accept pipeline traffic (datanodes).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver_setup(const PipelineSetup& setup) = 0;
+  virtual void deliver_packet(const WirePacket& packet) = 0;
+  /// ACK arriving from the downstream neighbour.
+  virtual void deliver_downstream_ack(const PipelineAck& ack) = 0;
+  virtual void deliver_downstream_setup_ack(const SetupAck& ack) = 0;
+  /// Block-read service; default refuses (only datanodes serve reads).
+  virtual void deliver_read_request(const ReadRequest& request) {
+    (void)request;
+  }
+};
+
+/// Interface for the receiving end of a block read (client input streams).
+class ReadSink {
+ public:
+  virtual ~ReadSink() = default;
+  virtual void deliver_read_packet(const ReadPacket& packet) = 0;
+};
+
+/// Interface for components that terminate a pipeline's upstream end
+/// (client output streams).
+class AckSink {
+ public:
+  virtual ~AckSink() = default;
+  virtual void deliver_ack(const PipelineAck& ack) = 0;
+  virtual void deliver_setup_ack(const SetupAck& ack) = 0;
+  virtual void deliver_fnfa(const FnfaMessage& fnfa) = 0;
+};
+
+/// Resolves a node id to its packet/ack handler. The cluster wiring layer
+/// provides these so that datanodes and clients never hold raw pointers to
+/// one another's concrete types.
+struct SinkResolver {
+  std::function<PacketSink*(NodeId)> packet_sink;
+  std::function<AckSink*(NodeId, PipelineId)> ack_sink;
+  /// Optional: read routing (clusters without readers may omit it).
+  std::function<ReadSink*(NodeId, ReadId)> read_sink;
+};
+
+std::string to_string(AckStatus status);
+
+}  // namespace smarth::hdfs

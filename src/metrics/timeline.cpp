@@ -1,0 +1,75 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace smarth::metrics {
+
+Timeline::Timeline(std::string name) : name_(std::move(name)) {}
+
+void Timeline::record(SimTime t, double value) {
+  SMARTH_CHECK_MSG(points_.empty() || t >= points_.back().t,
+                   "timeline points must be time-ordered");
+  points_.push_back(Point{t, value});
+}
+
+double Timeline::max_value() const {
+  double best = 0.0;
+  for (const Point& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+double Timeline::min_value() const {
+  if (points_.empty()) return 0.0;
+  double best = points_.front().value;
+  for (const Point& p : points_) best = std::min(best, p.value);
+  return best;
+}
+
+double Timeline::time_weighted_mean(SimTime horizon) const {
+  if (points_.empty() || horizon <= points_.front().t) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const SimTime start = points_[i].t;
+    const SimTime end =
+        i + 1 < points_.size() ? std::min(points_[i + 1].t, horizon) : horizon;
+    if (end <= start) continue;
+    weighted += points_[i].value * static_cast<double>(end - start);
+  }
+  return weighted / static_cast<double>(horizon - points_.front().t);
+}
+
+std::string Timeline::render_ascii(int width) const {
+  SMARTH_CHECK(width > 0);
+  if (points_.empty()) return name_ + ": (empty)\n";
+  const SimTime t0 = points_.front().t;
+  const SimTime t1 = points_.back().t;
+  const double span = std::max<double>(1.0, static_cast<double>(t1 - t0));
+
+  // Resample to `width` columns (last value wins per column).
+  std::vector<double> columns(static_cast<std::size_t>(width), 0.0);
+  for (const Point& p : points_) {
+    auto col = static_cast<std::size_t>(
+        static_cast<double>(p.t - t0) / span * (width - 1));
+    columns[col] = p.value;
+    // Carry the value forward so gaps hold the previous level.
+    for (std::size_t c = col + 1; c < columns.size(); ++c) columns[c] = p.value;
+  }
+
+  const double peak = std::max(1.0, max_value());
+  const int levels = static_cast<int>(std::min(8.0, std::ceil(peak)));
+  std::string out = name_ + " (peak " + std::to_string(peak) + ")\n";
+  for (int level = levels; level >= 1; --level) {
+    const double threshold = peak * level / levels;
+    std::string row;
+    for (double v : columns) row += v >= threshold - 1e-9 ? '#' : ' ';
+    out += row + "\n";
+  }
+  out += std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += format_duration(t0) + " .. " + format_duration(t1) + "\n";
+  return out;
+}
+
+}  // namespace smarth::metrics

@@ -1,0 +1,42 @@
+// Time-series capture over simulated time: record (t, value) points, query
+// time-weighted aggregates, and render a compact ASCII chart. Used for
+// pipeline-concurrency and buffer-occupancy traces in examples and reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace smarth::metrics {
+
+class Timeline {
+ public:
+  explicit Timeline(std::string name);
+
+  /// Points must be recorded in non-decreasing time order.
+  void record(SimTime t, double value);
+
+  struct Point {
+    SimTime t;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  const std::string& name() const { return name_; }
+  bool empty() const { return points_.empty(); }
+
+  double max_value() const;
+  double min_value() const;
+  /// Time-weighted mean over [first.t, horizon]; each value holds until the
+  /// next point.
+  double time_weighted_mean(SimTime horizon) const;
+
+  /// Fixed-width ASCII strip chart (one row per integer level up to max).
+  std::string render_ascii(int width = 72) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace smarth::metrics

@@ -1,0 +1,80 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace smarth::model {
+
+namespace {
+void validate(const CostParams& p) {
+  SMARTH_CHECK_MSG(p.file_size > 0 && p.block_size > 0 && p.packet_size > 0,
+                   "cost model sizes must be positive");
+  SMARTH_CHECK(p.t_n >= 0 && p.t_c >= 0 && p.t_w >= 0);
+}
+}  // namespace
+
+SimDuration packet_transmit_time(Bytes packet_size, Bandwidth bw) {
+  return bw.transmit_time(packet_size);
+}
+
+SimDuration production_bound_time(const CostParams& p) {
+  validate(p);
+  return p.t_n * p.blocks() + (p.t_c + p.t_w) * p.packets();
+}
+
+SimDuration hdfs_network_bound_time(const CostParams& p) {
+  validate(p);
+  const SimDuration per_packet =
+      packet_transmit_time(p.packet_size, p.b_min) + p.t_w;
+  return p.t_n * p.blocks() + per_packet * p.packets();
+}
+
+SimDuration smarth_network_bound_time(const CostParams& p) {
+  validate(p);
+  const SimDuration per_packet =
+      packet_transmit_time(p.packet_size, p.b_max) + p.t_w;
+  return p.t_n * p.blocks() + per_packet * p.packets();
+}
+
+SimDuration predict_hdfs_time(const CostParams& p) {
+  if (p.t_c >= packet_transmit_time(p.packet_size, p.b_min)) {
+    return production_bound_time(p);
+  }
+  return hdfs_network_bound_time(p);
+}
+
+SimDuration predict_smarth_time(const CostParams& p) {
+  if (p.t_c >= packet_transmit_time(p.packet_size, p.b_max)) {
+    return production_bound_time(p);
+  }
+  return smarth_network_bound_time(p);
+}
+
+SimDuration production_bound_time_pipelined(const CostParams& p) {
+  validate(p);
+  return p.t_n * p.blocks() + std::max(p.t_c, p.t_w) * p.packets();
+}
+
+SimDuration predict_hdfs_time_pipelined(const CostParams& p) {
+  validate(p);
+  const SimDuration per_packet =
+      std::max({p.t_c, p.t_w, packet_transmit_time(p.packet_size, p.b_min)});
+  return p.t_n * p.blocks() + per_packet * p.packets();
+}
+
+SimDuration predict_smarth_time_pipelined(const CostParams& p) {
+  validate(p);
+  const SimDuration per_packet =
+      std::max({p.t_c, p.t_w, packet_transmit_time(p.packet_size, p.b_max)});
+  return p.t_n * p.blocks() + per_packet * p.packets();
+}
+
+double improvement_percent(SimDuration hdfs_time, SimDuration smarth_time) {
+  SMARTH_CHECK(smarth_time > 0);
+  return (static_cast<double>(hdfs_time) / static_cast<double>(smarth_time) -
+          1.0) *
+         100.0;
+}
+
+}  // namespace smarth::model

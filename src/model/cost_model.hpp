@@ -1,0 +1,66 @@
+// The paper's analytic cost model (§III-D, Formulas 1-3).
+//
+//   (1)  T = Tn * ceil(D/B) + (Tc + Tw)       * ceil(D/P)   production-bound
+//   (2)  T = Tn * ceil(D/B) + (P/Bmin + Tw)   * ceil(D/P)   HDFS, network-bound
+//   (3)  T = Tn * ceil(D/B) + (P/Bmax + Tw)   * ceil(D/P)   SMARTH, network-bound
+//
+// D file size, B block size, P packet size, Tn per-block namenode
+// communication, Tc per-packet production, Tw per-packet datanode store time,
+// Bmin the minimum bandwidth along the whole pipeline, Bmax the bandwidth
+// between client and first datanode. HDFS picks (1) when Tc >= P/Bmin, else
+// (2); SMARTH picks (1) when Tc >= P/Bmax, else (3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace smarth::model {
+
+struct CostParams {
+  Bytes file_size = 0;    ///< D
+  Bytes block_size = 0;   ///< B
+  Bytes packet_size = 0;  ///< P
+  SimDuration t_n = 0;    ///< per-block namenode communication
+  SimDuration t_c = 0;    ///< per-packet production (read + checksum + frame)
+  SimDuration t_w = 0;    ///< per-packet verify + store at a datanode
+  Bandwidth b_min;        ///< min bandwidth along the pipeline
+  Bandwidth b_max;        ///< bandwidth client -> first datanode
+
+  std::int64_t blocks() const {
+    return (file_size + block_size - 1) / block_size;
+  }
+  std::int64_t packets() const {
+    return (file_size + packet_size - 1) / packet_size;
+  }
+};
+
+/// Formula (1): production dominates.
+SimDuration production_bound_time(const CostParams& p);
+/// Formula (2): the slowest pipeline hop dominates (HDFS).
+SimDuration hdfs_network_bound_time(const CostParams& p);
+/// Formula (3): the client -> first-datanode hop dominates (SMARTH).
+SimDuration smarth_network_bound_time(const CostParams& p);
+
+/// Per-packet transmission time P/B.
+SimDuration packet_transmit_time(Bytes packet_size, Bandwidth bw);
+
+/// Model prediction for the baseline protocol (picks Formula 1 or 2).
+SimDuration predict_hdfs_time(const CostParams& p);
+/// Model prediction for SMARTH (picks Formula 1 or 3).
+SimDuration predict_smarth_time(const CostParams& p);
+
+/// The paper's improvement metric, in percent: hdfs/smarth - 1.
+double improvement_percent(SimDuration hdfs_time, SimDuration smarth_time);
+
+// --- Pipelined (overlap-aware) variants -------------------------------------
+// The paper's formulas add the per-packet stage costs (Tc + Tw, P/B + Tw);
+// in a real pipeline the stages overlap, so the steady-state per-packet cost
+// is the *maximum* stage cost, making the serial formulas upper bounds and
+// these variants lower bounds. Together they bracket a real system.
+
+SimDuration production_bound_time_pipelined(const CostParams& p);
+SimDuration predict_hdfs_time_pipelined(const CostParams& p);
+SimDuration predict_smarth_time_pipelined(const CostParams& p);
+
+}  // namespace smarth::model

@@ -1,0 +1,53 @@
+// Background cross-traffic generator: keeps a configurable number of
+// fixed-size transfers in flight between two hosts, consuming a share of the
+// hosts' NICs. Used to emulate "other procedures occupying the bandwidth"
+// (paper §V-B2) as an alternative to hard tc throttles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+
+namespace smarth::net {
+
+class CrossTraffic {
+ public:
+  struct Config {
+    Bytes message_size = 64 * kKiB;
+    /// Number of back-to-back transfer loops kept in flight.
+    int concurrency = 1;
+    /// Idle gap between a delivery and the next send in one loop; zero means
+    /// the loop saturates its share of the path.
+    SimDuration think_time = 0;
+  };
+
+  CrossTraffic(Network& network, NodeId src, NodeId dst, Config config);
+  CrossTraffic(Network& network, NodeId src, NodeId dst)
+      : CrossTraffic(network, src, dst, Config()) {}
+  ~CrossTraffic() = default;
+
+  CrossTraffic(const CrossTraffic&) = delete;
+  CrossTraffic& operator=(const CrossTraffic&) = delete;
+
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  Bytes bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  void send_one();
+
+  Network& network_;
+  NodeId src_;
+  NodeId dst_;
+  Config config_;
+  bool running_ = false;
+  Bytes bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace smarth::net

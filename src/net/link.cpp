@@ -1,0 +1,98 @@
+#include "net/link.hpp"
+
+#include "common/check.hpp"
+
+namespace smarth::net {
+
+Link::Link(sim::Simulation& sim, std::string name, Bandwidth capacity,
+           SimDuration latency)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity),
+      latency_(latency) {
+  SMARTH_CHECK_MSG(latency_ >= 0, "negative link latency on " << name_);
+}
+
+void Link::set_latency(SimDuration latency) {
+  SMARTH_CHECK(latency >= 0);
+  latency_ = latency;
+}
+
+void Link::transmit(Bytes size, DeliveryCallback on_delivered,
+                    LinkPriority priority, FlowKey flow) {
+  SMARTH_CHECK_MSG(size >= 0, "negative message size on " << name_);
+  SMARTH_CHECK(static_cast<bool>(on_delivered));
+  if (priority == LinkPriority::kControl) {
+    control_queue_.push_back(Pending{size, std::move(on_delivered)});
+  } else {
+    auto [it, inserted] = flow_queues_.try_emplace(flow);
+    if (it->second.empty()) active_flows_.push_back(flow);
+    it->second.push_back(Pending{size, std::move(on_delivered)});
+    ++bulk_queued_;
+  }
+  queued_bytes_ += size;
+  try_start_next();
+}
+
+void Link::pause() { paused_ = true; }
+
+void Link::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  try_start_next();
+}
+
+void Link::try_start_next() {
+  if (busy_ || paused_) return;
+  Pending next{0, nullptr};
+  if (!control_queue_.empty()) {
+    next = std::move(control_queue_.front());
+    control_queue_.pop_front();
+  } else if (!active_flows_.empty()) {
+    // Round-robin over flows with queued bulk messages.
+    const FlowKey flow = active_flows_.front();
+    active_flows_.pop_front();
+    auto it = flow_queues_.find(flow);
+    SMARTH_DCHECK(it != flow_queues_.end() && !it->second.empty());
+    next = std::move(it->second.front());
+    it->second.pop_front();
+    --bulk_queued_;
+    if (!it->second.empty()) {
+      active_flows_.push_back(flow);  // stays in the service ring
+    } else {
+      flow_queues_.erase(it);  // bound the map to live flows
+    }
+  } else {
+    return;
+  }
+  queued_bytes_ -= next.size;
+  busy_ = true;
+  busy_since_ = sim_.now();
+  const SimDuration serialize = capacity_.transmit_time(next.size);
+  // Serialization completes after `serialize`; the message then propagates
+  // for `latency_` without occupying the link (cut-through for the wire).
+  sim_.schedule_after(
+      serialize,
+      [this, size = next.size, cb = std::move(next.on_delivered)]() mutable {
+        finish_current(size, std::move(cb));
+      });
+}
+
+void Link::finish_current(Bytes size, DeliveryCallback cb) {
+  busy_ = false;
+  busy_accum_ += sim_.now() - busy_since_;
+  bytes_transmitted_ += size;
+  ++messages_transmitted_;
+  if (latency_ > 0) {
+    sim_.schedule_after(latency_, [cb = std::move(cb)] { cb(); });
+  } else {
+    sim_.schedule_now([cb = std::move(cb)] { cb(); });
+  }
+  try_start_next();
+}
+
+SimDuration Link::busy_time() const {
+  SimDuration t = busy_accum_;
+  if (busy_) t += sim_.now() - busy_since_;
+  return t;
+}
+
+}  // namespace smarth::net

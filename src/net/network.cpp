@@ -1,0 +1,204 @@
+#include "net/network.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace smarth::net {
+
+Network::Network(sim::Simulation& sim, NetworkConfig config)
+    : sim_(sim), config_(config) {}
+
+NodeId Network::add_node(const std::string& name, const std::string& rack,
+                         Bandwidth nic) {
+  const NodeId id = topology_.add_host(name, rack);
+  Port p;
+  p.egress = std::make_unique<Link>(sim_, name + ".egress", nic, 0);
+  p.ingress = std::make_unique<Link>(sim_, name + ".ingress", nic, 0);
+  p.nic = nic;
+  if (cross_throttle_) {
+    p.cross_egress = std::make_unique<Link>(sim_, name + ".xeg",
+                                            *cross_throttle_, 0);
+    p.cross_ingress = std::make_unique<Link>(sim_, name + ".xin",
+                                             *cross_throttle_, 0);
+  }
+  ports_.push_back(std::move(p));
+  return id;
+}
+
+Network::Port& Network::port(NodeId id) {
+  SMARTH_CHECK_MSG(id.valid() &&
+                       static_cast<std::size_t>(id.value()) < ports_.size(),
+                   "unknown node " << id.value());
+  return ports_[static_cast<std::size_t>(id.value())];
+}
+
+const Network::Port& Network::port(NodeId id) const {
+  SMARTH_CHECK_MSG(id.valid() &&
+                       static_cast<std::size_t>(id.value()) < ports_.size(),
+                   "unknown node " << id.value());
+  return ports_[static_cast<std::size_t>(id.value())];
+}
+
+void Network::set_node_nic(NodeId node, Bandwidth bw) {
+  Port& p = port(node);
+  p.nic = bw;
+  p.egress->set_capacity(bw);
+  p.ingress->set_capacity(bw);
+}
+
+Bandwidth Network::node_nic(NodeId node) const { return port(node).nic; }
+
+void Network::set_cross_rack_throttle(Bandwidth bw) {
+  if (bw.is_unlimited()) {
+    cross_throttle_.reset();
+    for (auto& p : ports_) {
+      p.cross_egress.reset();
+      p.cross_ingress.reset();
+    }
+    return;
+  }
+  cross_throttle_ = bw;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    auto& p = ports_[i];
+    const std::string& name = topology_.host_name(NodeId{
+        static_cast<std::int64_t>(i)});
+    if (p.cross_egress) {
+      p.cross_egress->set_capacity(bw);
+      p.cross_ingress->set_capacity(bw);
+    } else {
+      p.cross_egress = std::make_unique<Link>(sim_, name + ".xeg", bw, 0);
+      p.cross_ingress = std::make_unique<Link>(sim_, name + ".xin", bw, 0);
+    }
+  }
+}
+
+void Network::set_shared_rack_uplink(Bandwidth bw) {
+  if (bw.is_unlimited()) {
+    shared_uplink_rate_.reset();
+    rack_uplinks_.clear();
+    return;
+  }
+  shared_uplink_rate_ = bw;
+  for (auto& [rack, link] : rack_uplinks_) link->set_capacity(bw);
+}
+
+Link* Network::rack_uplink(const std::string& rack) {
+  if (!shared_uplink_rate_) return nullptr;
+  auto it = rack_uplinks_.find(rack);
+  if (it == rack_uplinks_.end()) {
+    it = rack_uplinks_
+             .emplace(rack, std::make_unique<Link>(sim_, rack + ".uplink",
+                                                   *shared_uplink_rate_, 0))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Network::set_rack_partition(const std::string& rack_a,
+                                 const std::string& rack_b, bool severed) {
+  auto key = rack_a < rack_b ? std::make_pair(rack_a, rack_b)
+                             : std::make_pair(rack_b, rack_a);
+  if (severed) {
+    partitions_.insert(std::move(key));
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  if (partitions_.empty()) return false;
+  std::string ra = topology_.rack_of(a);
+  std::string rb = topology_.rack_of(b);
+  if (ra == rb) return false;
+  if (rb < ra) std::swap(ra, rb);
+  return partitions_.count(std::make_pair(ra, rb)) > 0;
+}
+
+void Network::pause_ingress(NodeId node) { port(node).ingress->pause(); }
+
+void Network::resume_ingress(NodeId node) { port(node).ingress->resume(); }
+
+bool Network::ingress_paused(NodeId node) const {
+  return port(node).ingress->paused();
+}
+
+const Link& Network::egress_link(NodeId node) const {
+  return *port(node).egress;
+}
+
+const Link& Network::ingress_link(NodeId node) const {
+  return *port(node).ingress;
+}
+
+Bytes Network::bytes_sent(NodeId node) const {
+  return port(node).egress->bytes_transmitted();
+}
+
+Bytes Network::bytes_received(NodeId node) const {
+  return port(node).ingress->bytes_transmitted();
+}
+
+void Network::traverse(std::vector<Link*> chain, std::size_t index, Bytes size,
+                       LinkPriority priority, FlowKey flow,
+                       DeliveryCallback done) {
+  if (index == chain.size()) {
+    done();
+    return;
+  }
+  Link* hop = chain[index];
+  hop->transmit(size,
+                [this, chain = std::move(chain), index, size, priority, flow,
+                 done = std::move(done)]() mutable {
+                  traverse(std::move(chain), index + 1, size, priority, flow,
+                           std::move(done));
+                },
+                priority, flow);
+}
+
+void Network::send(NodeId src, NodeId dst, Bytes wire_size,
+                   DeliveryCallback on_delivered, LinkPriority priority,
+                   FlowKey flow) {
+  SMARTH_CHECK(static_cast<bool>(on_delivered));
+  if (src == dst) {
+    ++messages_delivered_;
+    sim_.schedule_after(config_.loopback_latency, std::move(on_delivered));
+    return;
+  }
+  if (partitioned(src, dst)) {
+    // The inter-switch link is down: the message vanishes (senders discover
+    // it through their own timeouts, exactly as with real partitions).
+    ++messages_dropped_;
+    return;
+  }
+  Port& sp = port(src);
+  Port& dp = port(dst);
+  const bool cross = !topology_.same_rack(src, dst);
+
+  std::vector<Link*> chain;
+  chain.reserve(5);
+  chain.push_back(sp.egress.get());
+  if (cross) {
+    if (sp.cross_egress) chain.push_back(sp.cross_egress.get());
+    if (Link* uplink = rack_uplink(topology_.rack_of(src))) {
+      chain.push_back(uplink);
+    }
+    if (dp.cross_ingress) chain.push_back(dp.cross_ingress.get());
+  }
+  chain.push_back(dp.ingress.get());
+
+  const SimDuration propagation =
+      cross ? config_.cross_rack_latency : config_.same_rack_latency;
+  // Propagation is paid once, after the full store-and-forward chain; it does
+  // not occupy any link.
+  traverse(std::move(chain), 0, wire_size, priority, flow,
+           [this, propagation, cb = std::move(on_delivered)]() mutable {
+             ++messages_delivered_;
+             if (propagation > 0) {
+               sim_.schedule_after(propagation, std::move(cb));
+             } else {
+               cb();
+             }
+           });
+}
+
+}  // namespace smarth::net

@@ -1,0 +1,33 @@
+#include "rpc/rpc_bus.hpp"
+
+#include "common/check.hpp"
+
+namespace smarth::rpc {
+
+RpcBus::RpcBus(net::Network& network, RpcConfig config)
+    : network_(network), config_(config) {}
+
+void RpcBus::set_host_down(NodeId node, bool down) {
+  SMARTH_CHECK(node.valid());
+  const auto idx = static_cast<std::size_t>(node.value());
+  if (down_.size() <= idx) down_.resize(idx + 1, false);
+  down_[idx] = down;
+}
+
+bool RpcBus::host_down(NodeId node) const {
+  const auto idx = static_cast<std::size_t>(node.value());
+  return idx < down_.size() && down_[idx];
+}
+
+void RpcBus::notify(NodeId sender, NodeId receiver,
+                    std::function<void()> handler) {
+  if (host_down(sender) || host_down(receiver)) return;
+  send_control(sender, receiver, config_.request_wire_size,
+               [this, receiver, handler = std::move(handler)]() mutable {
+                 if (host_down(receiver)) return;
+                 network_.simulation().schedule_after(config_.service_time,
+                                                      std::move(handler));
+               });
+}
+
+}  // namespace smarth::rpc

@@ -1,0 +1,107 @@
+// Simulated control plane. An RPC is a small request message over the shared
+// network, a server-side service delay, and a small response message back —
+// together these realize the paper's per-block namenode communication cost
+// `Tn`. RPC messages ride the same NICs as data but, like real small TCP
+// flows, are not stuck behind queued bulk packets (control priority).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+
+namespace smarth::rpc {
+
+struct RpcConfig {
+  Bytes request_wire_size = 256;
+  Bytes response_wire_size = 512;
+  /// Server-side processing time per call.
+  SimDuration service_time = microseconds(200);
+};
+
+class RpcBus {
+ public:
+  explicit RpcBus(net::Network& network, RpcConfig config = {});
+
+  /// Marks a host unreachable: requests to it and responses from it vanish
+  /// (callers time out at the protocol layer). Used by fault injection.
+  void set_host_down(NodeId node, bool down);
+  bool host_down(NodeId node) const;
+
+  /// Typed request/response call. `handler` runs on the server after the
+  /// request arrives plus the service time; its return value is shipped back
+  /// and passed to `on_response` on the caller.
+  template <typename Resp>
+  void call(NodeId client, NodeId server, std::function<Resp()> handler,
+            std::function<void(Resp)> on_response) {
+    call_async<Resp>(
+        client, server,
+        [handler = std::move(handler)](std::function<void(Resp)> respond) {
+          respond(handler());
+        },
+        std::move(on_response));
+  }
+
+  /// Like call(), but the server handler completes asynchronously by
+  /// invoking the supplied `respond` continuation (possibly much later, e.g.
+  /// after a bulk data transfer it coordinates).
+  template <typename Resp>
+  void call_async(NodeId client, NodeId server,
+                  std::function<void(std::function<void(Resp)>)> handler,
+                  std::function<void(Resp)> on_response) {
+    ++calls_started_;
+    if (host_down(client) || host_down(server)) return;  // lost request
+    send_control(
+        client, server, config_.request_wire_size,
+        [this, client, server, handler = std::move(handler),
+         on_response = std::move(on_response)]() mutable {
+          if (host_down(server)) return;  // died mid-flight
+          network_.simulation().schedule_after(
+              config_.service_time,
+              [this, client, server, handler = std::move(handler),
+               on_response = std::move(on_response)]() mutable {
+                if (host_down(server)) return;
+                auto respond = [this, client, server,
+                                on_response =
+                                    std::move(on_response)](Resp resp) mutable {
+                  if (host_down(server)) return;  // died before responding
+                  send_control(server, client, config_.response_wire_size,
+                               [this, client, resp = std::move(resp),
+                                on_response =
+                                    std::move(on_response)]() mutable {
+                                 if (host_down(client)) return;
+                                 ++calls_completed_;
+                                 on_response(std::move(resp));
+                               });
+                };
+                handler(std::move(respond));
+              });
+        });
+  }
+
+  /// One-way notification (e.g. heartbeat): no response message.
+  void notify(NodeId sender, NodeId receiver, std::function<void()> handler);
+
+  std::uint64_t calls_started() const { return calls_started_; }
+  std::uint64_t calls_completed() const { return calls_completed_; }
+  const RpcConfig& config() const { return config_; }
+
+ private:
+  void send_control(NodeId from, NodeId to, Bytes size,
+                    std::function<void()> on_delivered) {
+    network_.send(from, to, size, std::move(on_delivered),
+                  net::LinkPriority::kControl);
+  }
+
+  net::Network& network_;
+  RpcConfig config_;
+  std::vector<bool> down_;
+  std::uint64_t calls_started_ = 0;
+  std::uint64_t calls_completed_ = 0;
+};
+
+}  // namespace smarth::rpc

@@ -1,0 +1,126 @@
+#include "sim/simulation.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace smarth::sim {
+
+struct EventHandle::Record {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  Simulation::Callback callback;
+  bool cancelled = false;
+  bool fired = false;
+};
+
+bool EventHandle::pending() const {
+  return rec_ && !rec_->cancelled && !rec_->fired;
+}
+
+bool EventHandle::cancel() {
+  if (!pending()) return false;
+  rec_->cancelled = true;
+  rec_->callback = nullptr;  // release captured state promptly
+  return true;
+}
+
+namespace {
+
+using Record = EventHandle::Record;
+
+struct QueueCompare {
+  bool operator()(const std::shared_ptr<Record>& a,
+                  const std::shared_ptr<Record>& b) const {
+    if (a->time != b->time) return a->time > b->time;
+    return a->seq > b->seq;  // FIFO among same-time events
+  }
+};
+
+}  // namespace
+
+struct Simulation::Impl {
+  std::priority_queue<std::shared_ptr<Record>,
+                      std::vector<std::shared_ptr<Record>>, QueueCompare>
+      queue;
+};
+
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed), impl_(std::make_unique<Impl>()) {}
+
+Simulation::~Simulation() = default;
+
+EventHandle Simulation::schedule_at(SimTime t, Callback cb) {
+  SMARTH_CHECK_MSG(t >= now_, "scheduling into the past: t="
+                                  << t << " now=" << now_);
+  SMARTH_CHECK_MSG(static_cast<bool>(cb), "null event callback");
+  auto rec = std::make_shared<Record>();
+  rec->time = t;
+  rec->seq = seq_++;
+  rec->callback = std::move(cb);
+  impl_->queue.push(rec);
+  ++scheduled_;
+  return EventHandle{std::move(rec)};
+}
+
+EventHandle Simulation::schedule_after(SimDuration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulation::execute_one() {
+  while (!impl_->queue.empty()) {
+    std::shared_ptr<Record> rec = impl_->queue.top();
+    impl_->queue.pop();
+    if (rec->cancelled) continue;
+    SMARTH_DCHECK(rec->time >= now_);
+    now_ = rec->time;
+    rec->fired = true;
+    Callback cb = std::move(rec->callback);
+    rec->callback = nullptr;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  while (execute_one()) {
+    SMARTH_CHECK_MSG(event_limit_ == 0 || executed_ < event_limit_,
+                     "event limit exceeded — model likely diverges");
+  }
+}
+
+bool Simulation::run_until(SimTime t) {
+  SMARTH_CHECK(t >= now_);
+  while (!impl_->queue.empty()) {
+    // Skip cancelled heads so their stale timestamps don't stall progress.
+    if (impl_->queue.top()->cancelled) {
+      impl_->queue.pop();
+      continue;
+    }
+    if (impl_->queue.top()->time > t) break;
+    if (event_limit_ != 0 && executed_ >= event_limit_) return false;
+    execute_one();
+  }
+  now_ = t;
+  return true;
+}
+
+std::size_t Simulation::run_steps(std::size_t n) {
+  std::size_t done = 0;
+  while (done < n && execute_one()) ++done;
+  return done;
+}
+
+bool Simulation::empty() const {
+  // Cancelled records may linger; report emptiness over live events only.
+  // The queue is not iterable, so approximate by draining cancelled heads.
+  auto& q = impl_->queue;
+  while (!q.empty() && q.top()->cancelled) q.pop();
+  return q.empty();
+}
+
+}  // namespace smarth::sim

@@ -1,0 +1,91 @@
+// The discrete-event simulation kernel. Single-threaded, deterministic:
+// events execute in (time, insertion sequence) order, so two runs with the
+// same seed and configuration are bit-for-bit identical. All model components
+// (links, disks, datanodes, clients, the namenode) are driven exclusively by
+// callbacks scheduled here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace smarth::sim {
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const;
+  /// Cancels the event if still pending; returns whether it was cancelled.
+  bool cancel();
+
+  /// Implementation detail (defined in simulation.cpp); public only so the
+  /// scheduler's queue machinery can see it.
+  struct Record;
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
+  std::shared_ptr<Record> rec_;
+};
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulation(std::uint64_t seed = 0x5eed);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time. Valid inside and outside event callbacks.
+  SimTime now() const { return now_; }
+
+  /// The simulation-owned RNG; all model randomness must come from here.
+  Rng& rng() { return rng_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(SimTime t, Callback cb);
+  /// Schedules `cb` after `delay` (clamped at >= 0).
+  EventHandle schedule_after(SimDuration delay, Callback cb);
+  /// Schedules `cb` to run after all currently queued events at now().
+  EventHandle schedule_now(Callback cb) { return schedule_after(0, cb); }
+
+  /// Runs until the event queue drains. Throws if the event limit is hit
+  /// (runaway-model backstop).
+  void run();
+  /// Runs events with time <= `t`, then sets now() = t.
+  /// Returns false if the event limit was reached with events still pending.
+  bool run_until(SimTime t);
+  /// Executes at most `n` events; returns the number executed.
+  std::size_t run_steps(std::size_t n);
+
+  bool empty() const;
+  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_scheduled() const { return scheduled_; }
+
+  /// Backstop against runaway models; 0 disables. Default: 4e9.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  bool execute_one();
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t event_limit_ = 4'000'000'000ULL;
+  Rng rng_;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace smarth::sim

@@ -1,0 +1,94 @@
+#include "smarth/global_optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "hdfs/namenode.hpp"
+
+namespace smarth::core {
+
+std::vector<NodeId> GlobalOptimizerPolicy::top_n_for_client(
+    const hdfs::PlacementRequest& request, const hdfs::PlacementContext& ctx,
+    std::size_t n) {
+  SMARTH_CHECK(ctx.speeds != nullptr);
+  struct Scored {
+    NodeId node;
+    double speed;
+    bool measured;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(ctx.alive.size());
+  for (NodeId node : ctx.alive) {
+    const auto s = ctx.speeds->speed(request.client, node);
+    scored.push_back(Scored{node, s ? s->bits_per_second() : 0.0,
+                            s.has_value()});
+  }
+  // Measured nodes first (by speed, descending); unmeasured nodes keep their
+  // registration order after them.
+  std::stable_sort(scored.begin(), scored.end(), [](const Scored& a,
+                                                    const Scored& b) {
+    if (a.measured != b.measured) return a.measured;
+    return a.speed > b.speed;
+  });
+  std::vector<NodeId> top;
+  for (const Scored& s : scored) {
+    if (top.size() >= n) break;
+    top.push_back(s.node);
+  }
+  return top;
+}
+
+std::vector<NodeId> GlobalOptimizerPolicy::choose_targets(
+    const hdfs::PlacementRequest& request, const hdfs::PlacementContext& ctx) {
+  // Line 3: n = active datanodes / replication — the pipeline fan-out cap.
+  const std::size_t repli = static_cast<std::size_t>(
+      std::max(1, request.replication));
+  const std::size_t n = std::max<std::size_t>(1, ctx.alive.size() / repli);
+
+  // Line 4: without records for this client, fall back to stock HDFS.
+  if (ctx.speeds == nullptr || !ctx.speeds->has_records(request.client)) {
+    ++fallback_;
+    return fallback_policy_.choose_targets(request, ctx);
+  }
+  ++optimized_;
+
+  std::vector<NodeId> targets;
+  targets.reserve(repli);
+
+  // Lines 5, 9-10: first datanode — random draw from the client's top n.
+  std::vector<NodeId> top = top_n_for_client(request, ctx, n);
+  std::vector<NodeId> usable_top;
+  for (NodeId node : top) {
+    if (!hdfs::placement_unusable(node, targets, request.excluded)) {
+      usable_top.push_back(node);
+    }
+  }
+  NodeId first;
+  if (!usable_top.empty()) {
+    first = usable_top[ctx.rng.index(usable_top.size())];
+  } else {
+    // Every top node is excluded (all in active pipelines): any usable node.
+    first = hdfs::pick_random_node(ctx, targets, request.excluded, nullptr);
+  }
+  if (!first.valid()) return targets;
+  targets.push_back(first);
+
+  // Lines 11-16: rack-aware replicas, then random extras.
+  while (targets.size() < repli) {
+    NodeId next;
+    if (targets.size() == 1) {
+      next = hdfs::pick_remote_rack_node(ctx, targets[0], targets,
+                                         request.excluded);
+    } else if (targets.size() == 2) {
+      next = hdfs::pick_same_rack_node(ctx, targets[1], targets,
+                                       request.excluded);
+    } else {
+      next = hdfs::pick_random_node(ctx, targets, request.excluded, nullptr);
+    }
+    if (!next.valid()) break;
+    targets.push_back(next);
+  }
+  return targets;
+}
+
+}  // namespace smarth::core

@@ -1,0 +1,43 @@
+#include "smarth/local_optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace smarth::core {
+
+LocalOptimizerResult local_optimize(std::vector<NodeId> targets,
+                                    const SpeedTracker& tracker, Rng& rng,
+                                    double threshold) {
+  SMARTH_CHECK(threshold >= 0.0 && threshold <= 1.0);
+  LocalOptimizerResult result;
+  if (targets.size() < 2) {
+    result.targets = std::move(targets);
+    return result;
+  }
+
+  // Line 2-3: build the TransSpeedVector and sort descending. Stable sort
+  // keeps the namenode's order among unmeasured nodes.
+  const std::vector<NodeId> before = targets;
+  auto speed_of = [&](NodeId n) {
+    const auto s = tracker.speed(n);
+    return s ? s->bits_per_second() : -1.0;
+  };
+  std::stable_sort(targets.begin(), targets.end(),
+                   [&](NodeId a, NodeId b) { return speed_of(a) > speed_of(b); });
+  result.sorted_changed_order = targets != before;
+
+  // Lines 4-8: exploration swap with probability 1 - threshold.
+  const double r = rng.uniform();
+  if (r > threshold) {
+    const auto index = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(targets.size()) - 1));
+    std::swap(targets[0], targets[index]);
+    result.exploration_swap = true;
+    result.swap_index = static_cast<int>(index);
+  }
+  result.targets = std::move(targets);
+  return result;
+}
+
+}  // namespace smarth::core

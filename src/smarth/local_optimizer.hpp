@@ -1,0 +1,31 @@
+// Paper Algorithm 2 — local optimization. Runs on the client each time the
+// namenode returns a pipeline: re-sorts the targets by locally measured
+// transfer speed (fastest first), then with probability (1 - threshold)
+// swaps the head with a random other target so that nodes with stale or poor
+// records occasionally get re-measured.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "smarth/speed_tracker.hpp"
+
+namespace smarth::core {
+
+struct LocalOptimizerResult {
+  std::vector<NodeId> targets;
+  bool sorted_changed_order = false;
+  bool exploration_swap = false;  ///< the r > threshold branch fired
+  int swap_index = -1;
+};
+
+/// Applies Algorithm 2. `threshold` is the paper's 0.8: an exploration swap
+/// happens when a uniform draw exceeds it. Datanodes without a local record
+/// sort after all measured ones (measurements, not hope, pick the head; the
+/// exploration swap is the sanctioned way to test unknown nodes).
+LocalOptimizerResult local_optimize(std::vector<NodeId> targets,
+                                    const SpeedTracker& tracker, Rng& rng,
+                                    double threshold);
+
+}  // namespace smarth::core

@@ -1,0 +1,299 @@
+#include "smarth/smarth_stream.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "hdfs/recovery.hpp"
+#include "smarth/local_optimizer.hpp"
+
+namespace smarth::core {
+
+using hdfs::ClientPipeline;
+using hdfs::LocatedBlock;
+using hdfs::PipelineAck;
+using hdfs::RecoveryOutcome;
+using hdfs::SetupAck;
+
+SmarthOutputStream::SmarthOutputStream(hdfs::StreamDeps deps, ClientId client,
+                                       NodeId client_node, FileId file,
+                                       Bytes file_size, SpeedTracker& tracker,
+                                       DoneCallback on_done)
+    : OutputStreamBase(std::move(deps), client, client_node, file, file_size,
+                       std::move(on_done)),
+      tracker_(tracker) {}
+
+bool SmarthOutputStream::production_window_open() const {
+  // Production may run one block ahead of the wire; pipelines hold their own
+  // in-flight state.
+  return data_queue_.size() <
+         static_cast<std::size_t>(deps_.config.packets_per_block());
+}
+
+void SmarthOutputStream::on_packet_produced() { pump_stream(); }
+
+void SmarthOutputStream::begin_protocol() { advance_block(); }
+
+std::vector<NodeId> SmarthOutputStream::active_pipeline_nodes() const {
+  std::vector<NodeId> nodes;
+  for (const auto& [id, p] : pipelines_) {
+    nodes.insert(nodes.end(), p.targets.begin(), p.targets.end());
+  }
+  return nodes;
+}
+
+void SmarthOutputStream::advance_block() {
+  if (finished_ || awaiting_block_ || !error_pipelines_.empty()) return;
+  // The protocol's pacing rule: the next block may start only once the
+  // current block is fully held by its first datanode (FNFA). This guard
+  // also makes post-recovery advance calls safe — a resumed streaming
+  // pipeline blocks further dispatch until its own FNFA arrives.
+  if (ClientPipeline* s = find_pipeline(streaming_); s != nullptr && !s->fnfa) {
+    return;
+  }
+  if (next_block_ >= total_blocks()) {
+    maybe_complete();
+    return;
+  }
+  // The buffer-overflow guard (§IV-C): a datanode already serving one of this
+  // client's pipelines may not join another, which caps concurrent pipelines
+  // at |datanodes| / replication.
+  std::vector<NodeId> excluded;
+  if (deps_.config.enforce_pipeline_cap) excluded = active_pipeline_nodes();
+
+  awaiting_block_ = true;
+  request_block(std::move(excluded), [this](Result<LocatedBlock> result) {
+    if (finished_) return;
+    awaiting_block_ = false;
+    if (!result.ok()) {
+      if (result.error().code == "insufficient_datanodes" &&
+          !pipelines_.empty()) {
+        // Every eligible datanode is busy in one of our pipelines: wait for a
+        // pipeline to drain, then retry (the guard working as intended).
+        ++slot_waits_;
+        waiting_for_slot_ = true;
+        return;
+      }
+      finish(true, "addBlock failed: " + result.error().to_string());
+      return;
+    }
+    LocatedBlock located = result.value();
+    if (deps_.config.smarth_local_opt) {
+      located.targets = local_optimize(std::move(located.targets), tracker_,
+                                       deps_.sim.rng(),
+                                       deps_.config.local_opt_threshold)
+                            .targets;
+    }
+    SMARTH_DEBUG("smarth") << "addBlock -> " << located.block.to_string()
+                           << " (block index " << next_block_ << ", "
+                           << pipelines_.size() << " pipelines already live)";
+    ClientPipeline& pipeline = create_pipeline(
+        next_block_, located, /*resume_offset=*/0, /*smarth_mode=*/true);
+    streaming_ = pipeline.id;
+    ++next_block_;
+    arm_watchdog(pipeline);
+  });
+}
+
+void SmarthOutputStream::pump_stream() {
+  if (finished_ || !error_pipelines_.empty()) return;  // Alg. 4: paused
+
+  const auto window_open = [this](const ClientPipeline& p) {
+    // SMARTH streams a whole block ahead of full-pipeline ACKs; the window is
+    // a block, i.e. effectively open until the block is fully in flight.
+    return p.ack_queue.size() <
+           static_cast<std::size_t>(deps_.config.smarth_outstanding_packets());
+  };
+
+  // Recovered pipelines retransmit their backlog first.
+  for (auto& [id, p] : pipelines_) {
+    if (!p.ready || p.failed) continue;
+    while (!p.pending.empty() && window_open(p)) send_next_packet(p);
+  }
+  // Fresh data flows into the streaming pipeline.
+  ClientPipeline* p = find_pipeline(streaming_);
+  if (p != nullptr && p->ready && !p->failed) {
+    while (!data_queue_.empty() &&
+           data_queue_.front().block_index == p->block_index &&
+           window_open(*p)) {
+      p->pending.push_back(data_queue_.front());
+      data_queue_.pop_front();
+      send_next_packet(*p);
+    }
+  }
+  pump_production();
+}
+
+void SmarthOutputStream::deliver_setup_ack(const SetupAck& ack) {
+  ClientPipeline* pipeline = find_pipeline(ack.pipeline);
+  if (pipeline == nullptr || finished_ || pipeline->failed) return;
+  if (!ack.success) {
+    on_pipeline_error(*pipeline, ack.error_index);
+    return;
+  }
+  pipeline->ready = true;
+  SMARTH_DEBUG("smarth") << "pipeline " << ack.pipeline.to_string()
+                         << " ready";
+  arm_watchdog(*pipeline);
+  pump_stream();
+}
+
+void SmarthOutputStream::deliver_fnfa(const hdfs::FnfaMessage& fnfa) {
+  ClientPipeline* pipeline = find_pipeline(fnfa.pipeline);
+  if (pipeline == nullptr || finished_ || pipeline->failed) return;
+  if (pipeline->fnfa) return;
+  pipeline->fnfa = true;
+  pipeline->fnfa_at = deps_.sim.now();
+  ++fnfa_received_;
+  // The client's speed record for this first datanode: whole-block bytes over
+  // first-packet-sent -> FNFA (network + the node's storage path).
+  if (pipeline->first_packet_sent >= 0) {
+    tracker_.record(pipeline->targets[0],
+                    pipeline->block_bytes - pipeline->resume_offset,
+                    pipeline->fnfa_at - pipeline->first_packet_sent,
+                    deps_.sim.now());
+  }
+  SMARTH_DEBUG("smarth") << "FNFA for " << fnfa.block.to_string()
+                         << "; advancing while replicas drain";
+  // The heart of SMARTH: the first node holds the whole block, so the client
+  // moves on to the next block without waiting for the replica ACKs.
+  if (fnfa.pipeline == streaming_) advance_block();
+}
+
+void SmarthOutputStream::deliver_ack(const PipelineAck& ack) {
+  if (finished_) return;
+  ClientPipeline* pipeline = find_pipeline(ack.pipeline);
+  if (pipeline == nullptr || pipeline->failed) return;
+  if (ack.status != hdfs::AckStatus::kSuccess) {
+    on_pipeline_error(*pipeline, ack.error_index);
+    return;
+  }
+  SMARTH_CHECK_MSG(!pipeline->ack_queue.empty() &&
+                       pipeline->ack_queue.front().seq_in_block == ack.seq,
+                   "out-of-order ack: got seq " << ack.seq);
+  pipeline->ack_queue.pop_front();
+  ++pipeline->acked_packets;
+  arm_watchdog(*pipeline);
+  if (pipeline->complete()) {
+    on_pipeline_complete(ack.pipeline);
+    return;
+  }
+  pump_stream();
+}
+
+void SmarthOutputStream::on_pipeline_complete(PipelineId id) {
+  ClientPipeline* pipeline = find_pipeline(id);
+  SMARTH_CHECK(pipeline != nullptr);
+  pipeline->watchdog.cancel();
+  if (streaming_ == id) streaming_ = PipelineId{};
+  pipelines_.erase(id);
+  if (waiting_for_slot_) waiting_for_slot_ = false;
+  // Completion frees a fan-out slot, and — for single-replica pipelines,
+  // where the final ACK can beat the FNFA message — it also implies the
+  // first datanode holds the whole block. advance_block()'s FNFA guard
+  // keeps this a no-op whenever dispatching would be premature.
+  advance_block();
+  pump_stream();
+  maybe_complete();
+}
+
+void SmarthOutputStream::maybe_complete() {
+  if (finished_) return;
+  if (next_block_ < total_blocks()) {
+    // A stuck slot wait with no pipelines left means the cluster can no
+    // longer place blocks at all.
+    if (waiting_for_slot_ && pipelines_.empty()) {
+      finish(true, "no datanodes available to continue the upload");
+    }
+    return;
+  }
+  if (!pipelines_.empty() || awaiting_block_ || !error_pipelines_.empty()) {
+    return;
+  }
+  complete_file();
+}
+
+void SmarthOutputStream::on_pipeline_error(ClientPipeline& pipeline,
+                                           int error_index) {
+  if (finished_ || pipeline.failed) return;
+  SMARTH_WARN("smarth") << "pipeline " << pipeline.id.to_string()
+                        << " failed (error_index=" << error_index << ")";
+  // Algorithm 4 lines 1-3: stop the current block transfer, move the ACK
+  // queue back to the (re)send queue, and put the pipeline in the error set.
+  pipeline.failed = true;
+  pipeline.watchdog.cancel();
+  ++stats_.recoveries;
+  pipeline.pending.insert(pipeline.pending.begin(),
+                          pipeline.ack_queue.begin(),
+                          pipeline.ack_queue.end());
+  pipeline.ack_queue.clear();
+  error_pipelines_.insert(pipeline.id);
+  pipeline_error_index_[pipeline.id] = error_index;
+  recover_next_error_pipeline();
+}
+
+void SmarthOutputStream::recover_next_error_pipeline() {
+  if (recovery_running_ || error_pipelines_.empty() || finished_) return;
+  recovery_running_ = true;
+  const PipelineId id = *error_pipelines_.begin();
+  ClientPipeline* pipeline = find_pipeline(id);
+  SMARTH_CHECK(pipeline != nullptr);
+  int error_index = -1;
+  if (auto it = pipeline_error_index_.find(id);
+      it != pipeline_error_index_.end()) {
+    error_index = it->second;
+    pipeline_error_index_.erase(it);
+  }
+
+  auto recovery = std::make_unique<hdfs::BlockRecovery>(
+      deps_, client_, client_node_, id, pipeline->block,
+      pipeline->block_bytes, pipeline->targets, error_index,
+      [this, id](Result<RecoveryOutcome> result) {
+        recovery_running_ = false;
+        error_pipelines_.erase(id);
+        if (!result.ok()) {
+          finish(true, result.error().to_string());
+          return;
+        }
+        resume_recovered_pipeline(id, result.value().targets,
+                                  result.value().sync_offset);
+        // Algorithm 4 line 3-6: drain the rest of the error set, then line 7:
+        // the interrupted transfer restarts via pump_stream/advance_block.
+        recover_next_error_pipeline();
+        if (error_pipelines_.empty()) {
+          pump_stream();
+          advance_block();
+        }
+      });
+  hdfs::BlockRecovery* raw = recovery.get();
+  recoveries_.push_back(std::move(recovery));
+  raw->run();
+}
+
+void SmarthOutputStream::resume_recovered_pipeline(PipelineId old_id,
+                                                   std::vector<NodeId> targets,
+                                                   Bytes sync_offset) {
+  ClientPipeline* old_pipeline = find_pipeline(old_id);
+  SMARTH_CHECK(old_pipeline != nullptr);
+  const std::int64_t resume_packets =
+      sync_offset / deps_.config.packet_payload;
+  std::deque<hdfs::ProducedPacket> pending = std::move(old_pipeline->pending);
+  while (!pending.empty() && pending.front().seq_in_block < resume_packets) {
+    pending.pop_front();
+  }
+  const std::int64_t block_index = old_pipeline->block_index;
+  LocatedBlock located{old_pipeline->block, std::move(targets)};
+  const bool was_streaming = streaming_ == old_id;
+  pipelines_.erase(old_id);
+
+  ClientPipeline& fresh = create_pipeline(block_index, located, sync_offset,
+                                          /*smarth_mode=*/true);
+  fresh.pending = std::move(pending);
+  if (was_streaming) streaming_ = fresh.id;
+  SMARTH_DEBUG("smarth") << "resumed " << old_id.to_string() << " as "
+                         << fresh.id.to_string() << " pending="
+                         << fresh.pending.size() << " resume=" << sync_offset;
+  arm_watchdog(fresh);
+}
+
+}  // namespace smarth::core

@@ -1,0 +1,32 @@
+#include "smarth/speed_tracker.hpp"
+
+#include "common/check.hpp"
+
+namespace smarth::core {
+
+void SpeedTracker::record(NodeId datanode, Bytes bytes, SimDuration elapsed,
+                          SimTime now) {
+  SMARTH_CHECK(datanode.valid());
+  if (elapsed <= 0 || bytes <= 0) return;  // degenerate measurement; skip
+  hdfs::SpeedRecord record;
+  record.datanode = datanode;
+  record.speed = throughput_of(bytes, elapsed);
+  record.measured_at = now;
+  records_[datanode] = record;
+  ++samples_;
+}
+
+std::optional<Bandwidth> SpeedTracker::speed(NodeId datanode) const {
+  auto it = records_.find(datanode);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.speed;
+}
+
+std::vector<hdfs::SpeedRecord> SpeedTracker::heartbeat_records() const {
+  std::vector<hdfs::SpeedRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [dn, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+}  // namespace smarth::core

@@ -1,0 +1,39 @@
+// Client-side record of observed block-transfer speeds to first datanodes
+// (paper §III-B). The client measures each completed block (first packet sent
+// to FNFA received — i.e. network plus the first node's storage I/O, exactly
+// the "accessing condition" the paper wants), keeps the latest value per
+// datanode, and hands snapshots to the heartbeat for the namenode's global
+// optimizer and to the local optimizer for pipeline re-sorting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "hdfs/types.hpp"
+
+namespace smarth::core {
+
+class SpeedTracker {
+ public:
+  /// Records that `bytes` reached `datanode` in `elapsed`.
+  void record(NodeId datanode, Bytes bytes, SimDuration elapsed, SimTime now);
+
+  std::optional<Bandwidth> speed(NodeId datanode) const;
+  bool has_records() const { return !records_.empty(); }
+  std::size_t datanode_count() const { return records_.size(); }
+
+  /// Snapshot of the latest record per datanode, for the heartbeat.
+  std::vector<hdfs::SpeedRecord> heartbeat_records() const;
+
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  std::unordered_map<NodeId, hdfs::SpeedRecord> records_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace smarth::core

@@ -1,0 +1,98 @@
+#include "storage/block_store.hpp"
+
+namespace smarth::storage {
+
+Status BlockStore::create_replica(BlockId block) {
+  auto [it, inserted] = replicas_.try_emplace(block);
+  if (!inserted) {
+    return make_error("replica_exists",
+                      "replica already present: " + block.to_string());
+  }
+  it->second.block = block;
+  return Status::ok_status();
+}
+
+Status BlockStore::append(BlockId block, Bytes bytes) {
+  auto it = replicas_.find(block);
+  if (it == replicas_.end()) {
+    return make_error("replica_missing", "no replica " + block.to_string());
+  }
+  if (it->second.state != ReplicaState::kBeingWritten) {
+    return make_error("replica_finalized",
+                      "append to finalized replica " + block.to_string());
+  }
+  if (bytes < 0) {
+    return make_error("bad_length", "negative append length");
+  }
+  it->second.bytes += bytes;
+  return Status::ok_status();
+}
+
+Result<Bytes> BlockStore::finalize(BlockId block) {
+  auto it = replicas_.find(block);
+  if (it == replicas_.end()) {
+    return Error{"replica_missing", "no replica " + block.to_string()};
+  }
+  it->second.state = ReplicaState::kFinalized;
+  return it->second.bytes;
+}
+
+Status BlockStore::remove(BlockId block) {
+  if (replicas_.erase(block) == 0) {
+    return make_error("replica_missing", "no replica " + block.to_string());
+  }
+  return Status::ok_status();
+}
+
+Status BlockStore::truncate(BlockId block, Bytes length) {
+  auto it = replicas_.find(block);
+  if (it == replicas_.end()) {
+    return make_error("replica_missing", "no replica " + block.to_string());
+  }
+  // Pipeline recovery may reopen a replica a fast node already finalized;
+  // it returns to the being-written state until the rebuilt pipeline
+  // finalizes it again (HDFS block recovery does the same).
+  it->second.state = ReplicaState::kBeingWritten;
+  if (length < 0 || length > it->second.bytes) {
+    return make_error("bad_length",
+                      "truncate length outside [0, current] for " +
+                          block.to_string());
+  }
+  it->second.bytes = length;
+  return Status::ok_status();
+}
+
+bool BlockStore::has_replica(BlockId block) const {
+  return replicas_.find(block) != replicas_.end();
+}
+
+Result<ReplicaInfo> BlockStore::replica(BlockId block) const {
+  auto it = replicas_.find(block);
+  if (it == replicas_.end()) {
+    return Error{"replica_missing", "no replica " + block.to_string()};
+  }
+  return it->second;
+}
+
+std::size_t BlockStore::finalized_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, info] : replicas_) {
+    if (info.state == ReplicaState::kFinalized) ++n;
+  }
+  return n;
+}
+
+Bytes BlockStore::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& [id, info] : replicas_) total += info.bytes;
+  return total;
+}
+
+std::vector<ReplicaInfo> BlockStore::all_replicas() const {
+  std::vector<ReplicaInfo> out;
+  out.reserve(replicas_.size());
+  for (const auto& [id, info] : replicas_) out.push_back(info);
+  return out;
+}
+
+}  // namespace smarth::storage

@@ -1,0 +1,55 @@
+// Per-datanode replica catalogue: which blocks this node holds, how many
+// bytes of each have been durably written, and whether the replica has been
+// finalized. Integration tests use it to verify that every byte uploaded by a
+// client ends up in `replication` finalized replicas.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace smarth::storage {
+
+enum class ReplicaState { kBeingWritten, kFinalized };
+
+struct ReplicaInfo {
+  BlockId block;
+  Bytes bytes = 0;
+  ReplicaState state = ReplicaState::kBeingWritten;
+};
+
+class BlockStore {
+ public:
+  /// Starts a replica in kBeingWritten state; fails if it already exists.
+  Status create_replica(BlockId block);
+
+  /// Appends durably written bytes to an open replica.
+  Status append(BlockId block, Bytes bytes);
+
+  /// Marks the replica complete; returns its final length.
+  Result<Bytes> finalize(BlockId block);
+
+  /// Drops a replica (recovery discards partial replicas on failed nodes).
+  Status remove(BlockId block);
+
+  /// Truncates an open replica to `length` (pipeline recovery syncs all
+  /// survivors to the minimum acked length).
+  Status truncate(BlockId block, Bytes length);
+
+  bool has_replica(BlockId block) const;
+  Result<ReplicaInfo> replica(BlockId block) const;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  std::size_t finalized_count() const;
+  Bytes total_bytes() const;
+  std::vector<ReplicaInfo> all_replicas() const;
+
+ private:
+  std::unordered_map<BlockId, ReplicaInfo> replicas_;
+};
+
+}  // namespace smarth::storage

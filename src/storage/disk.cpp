@@ -1,0 +1,82 @@
+#include "storage/disk.hpp"
+
+#include "common/check.hpp"
+
+namespace smarth::storage {
+
+namespace {
+/// Rotational media read somewhat faster than they write; used when no
+/// explicit read bandwidth is configured.
+constexpr double kDefaultReadRatio = 1.2;
+}  // namespace
+
+DiskDevice::DiskDevice(sim::Simulation& sim, std::string name,
+                       Bandwidth write_bandwidth, SimDuration per_op_overhead)
+    : sim_(sim), name_(std::move(name)), write_bandwidth_(write_bandwidth),
+      read_bandwidth_(kUnlimitedBandwidth),
+      per_op_overhead_(per_op_overhead) {
+  SMARTH_CHECK(per_op_overhead_ >= 0);
+}
+
+Bandwidth DiskDevice::read_bandwidth() const {
+  if (!read_bandwidth_.is_unlimited()) return read_bandwidth_;
+  return Bandwidth::bits_per_second(write_bandwidth_.bits_per_second() *
+                                    kDefaultReadRatio);
+}
+
+SimDuration DiskDevice::service_time(Bytes size) const {
+  return per_op_overhead_ + write_bandwidth_.transmit_time(size);
+}
+
+SimDuration DiskDevice::read_service_time(Bytes size) const {
+  return per_op_overhead_ + read_bandwidth().transmit_time(size);
+}
+
+void DiskDevice::write(Bytes size, WriteCallback on_done) {
+  enqueue(size, /*is_read=*/false, std::move(on_done));
+}
+
+void DiskDevice::read(Bytes size, WriteCallback on_done) {
+  enqueue(size, /*is_read=*/true, std::move(on_done));
+}
+
+void DiskDevice::enqueue(Bytes size, bool is_read, WriteCallback on_done) {
+  SMARTH_CHECK_MSG(size >= 0, "negative op size on " << name_);
+  SMARTH_CHECK(static_cast<bool>(on_done));
+  queue_.push_back(Pending{size, is_read, std::move(on_done)});
+  if (!busy_) start_next();
+}
+
+void DiskDevice::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Pending op = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  busy_since_ = sim_.now();
+  const SimDuration service =
+      op.is_read ? read_service_time(op.size) : service_time(op.size);
+  sim_.schedule_after(service, [this, size = op.size, is_read = op.is_read,
+                                cb = std::move(op.on_done)]() mutable {
+    busy_accum_ += sim_.now() - busy_since_;
+    busy_ = false;
+    if (is_read) {
+      bytes_read_ += size;
+    } else {
+      bytes_written_ += size;
+    }
+    ++ops_completed_;
+    cb();
+    if (!busy_) start_next();
+  });
+}
+
+SimDuration DiskDevice::busy_time() const {
+  SimDuration t = busy_accum_;
+  if (busy_) t += sim_.now() - busy_since_;
+  return t;
+}
+
+}  // namespace smarth::storage

@@ -1,0 +1,77 @@
+// A datanode's local disk, modelled as a FIFO write queue with a sustained
+// write bandwidth and a fixed per-operation overhead. The per-packet store
+// time this produces is the paper's `Tw`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::storage {
+
+class DiskDevice {
+ public:
+  using WriteCallback = std::function<void()>;
+
+  /// Reads default to `read_ratio * write_bandwidth` unless set explicitly
+  /// (rotational media typically read somewhat faster than they write).
+  DiskDevice(sim::Simulation& sim, std::string name, Bandwidth write_bandwidth,
+             SimDuration per_op_overhead);
+
+  const std::string& name() const { return name_; }
+  Bandwidth write_bandwidth() const { return write_bandwidth_; }
+  void set_write_bandwidth(Bandwidth bw) { write_bandwidth_ = bw; }
+  Bandwidth read_bandwidth() const;
+  void set_read_bandwidth(Bandwidth bw) { read_bandwidth_ = bw; }
+
+  /// Enqueues a write of `size` bytes; `on_done` fires when it is durable.
+  void write(Bytes size, WriteCallback on_done);
+
+  /// Enqueues a read of `size` bytes; reads and writes share the same FIFO
+  /// (one head), so concurrent readers contend with the write path — the
+  /// I/O-interference effect block reads cause on ingesting datanodes.
+  void read(Bytes size, WriteCallback on_done);
+
+  /// Expected service time for one write of `size` (used by the analytic
+  /// model to derive Tw).
+  SimDuration service_time(Bytes size) const;
+  SimDuration read_service_time(Bytes size) const;
+
+  // --- Statistics -----------------------------------------------------------
+  bool busy() const { return busy_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  Bytes bytes_written() const { return bytes_written_; }
+  Bytes bytes_read() const { return bytes_read_; }
+  std::uint64_t ops_completed() const { return ops_completed_; }
+  SimDuration busy_time() const;
+
+ private:
+  struct Pending {
+    Bytes size;
+    bool is_read;
+    WriteCallback on_done;
+  };
+
+  void enqueue(Bytes size, bool is_read, WriteCallback on_done);
+  void start_next();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  Bandwidth write_bandwidth_;
+  Bandwidth read_bandwidth_;  ///< unlimited sentinel => derived from write
+  SimDuration per_op_overhead_;
+
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  Bytes bytes_written_ = 0;
+  Bytes bytes_read_ = 0;
+  std::uint64_t ops_completed_ = 0;
+  SimDuration busy_accum_ = 0;
+  SimTime busy_since_ = 0;
+};
+
+}  // namespace smarth::storage

@@ -1,0 +1,37 @@
+#include "storage/staging_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace smarth::storage {
+
+StagingBuffer::StagingBuffer(Bytes capacity) : capacity_(capacity) {
+  SMARTH_CHECK_MSG(capacity_ > 0, "staging buffer capacity must be positive");
+}
+
+bool StagingBuffer::reserve(Bytes size) {
+  SMARTH_CHECK(size >= 0);
+  if (!fits(size)) {
+    ++overflow_events_;
+    return false;
+  }
+  used_ += size;
+  high_water_ = std::max(high_water_, used_);
+  return true;
+}
+
+void StagingBuffer::reserve_forced(Bytes size) {
+  SMARTH_CHECK(size >= 0);
+  if (!fits(size)) ++overflow_events_;
+  used_ += size;
+  high_water_ = std::max(high_water_, used_);
+}
+
+void StagingBuffer::release(Bytes size) {
+  SMARTH_CHECK(size >= 0);
+  SMARTH_CHECK_MSG(size <= used_, "releasing more than reserved");
+  used_ -= size;
+}
+
+}  // namespace smarth::storage

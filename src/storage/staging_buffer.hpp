@@ -1,0 +1,41 @@
+// Bounded staging buffer accounting for a datanode: bytes received from
+// upstream but not yet both forwarded downstream and written to disk. The
+// paper's buffer-overflow guard (§IV-C) bounds this at one block per client
+// by capping pipeline fan-out; this class makes the bound observable and the
+// overflow case testable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace smarth::storage {
+
+class StagingBuffer {
+ public:
+  explicit StagingBuffer(Bytes capacity);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return capacity_ - used_; }
+  Bytes high_water() const { return high_water_; }
+  std::uint64_t overflow_events() const { return overflow_events_; }
+
+  bool fits(Bytes size) const { return used_ + size <= capacity_; }
+
+  /// Reserves space; returns false (and counts an overflow event) if the
+  /// buffer cannot hold `size` more bytes.
+  bool reserve(Bytes size);
+  /// Forces the reservation even when over capacity (models memory pressure
+  /// in the unguarded ablation); still records the overflow.
+  void reserve_forced(Bytes size);
+  void release(Bytes size);
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes high_water_ = 0;
+  std::uint64_t overflow_events_ = 0;
+};
+
+}  // namespace smarth::storage

@@ -1,0 +1,26 @@
+#include "workload/fault_plan.hpp"
+
+namespace smarth::workload {
+
+FaultPlan& FaultPlan::crash(std::size_t datanode_index, SimDuration at) {
+  crashes.push_back(Crash{datanode_index, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(std::size_t datanode_index,
+                              std::uint64_t nth_packet) {
+  corruptions.push_back(Corruption{datanode_index, nth_packet});
+  return *this;
+}
+
+void FaultPlan::apply(cluster::Cluster& cluster) const {
+  for (const Crash& c : crashes) {
+    cluster.crash_datanode_at(c.datanode_index, c.at);
+  }
+  for (const Corruption& c : corruptions) {
+    cluster.datanode(c.datanode_index)
+        .inject_checksum_error_on_nth_packet(c.nth_packet);
+  }
+}
+
+}  // namespace smarth::workload

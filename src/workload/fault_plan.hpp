@@ -1,0 +1,34 @@
+// Declarative fault schedules for experiments: datanode crashes at given
+// simulated times and checksum corruptions at given packet arrival counts.
+// Applied to a Cluster before the upload starts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/units.hpp"
+
+namespace smarth::workload {
+
+struct FaultPlan {
+  struct Crash {
+    std::size_t datanode_index;
+    SimDuration at;  ///< simulated time of the crash
+  };
+  struct Corruption {
+    std::size_t datanode_index;
+    std::uint64_t nth_packet;  ///< 1-based arrival count at that node
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<Corruption> corruptions;
+
+  FaultPlan& crash(std::size_t datanode_index, SimDuration at);
+  FaultPlan& corrupt(std::size_t datanode_index, std::uint64_t nth_packet);
+
+  void apply(cluster::Cluster& cluster) const;
+  bool empty() const { return crashes.empty() && corruptions.empty(); }
+};
+
+}  // namespace smarth::workload

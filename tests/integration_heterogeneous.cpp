@@ -1,0 +1,122 @@
+// Heterogeneous-cluster integration (the paper's §V-B3 scenario as tests):
+// SMARTH beats HDFS without any throttling, the speed board separates the
+// instance classes, and the optimizer visibly shifts pipeline heads toward
+// the fast instances.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "hdfs/namenode.hpp"
+
+namespace smarth {
+namespace {
+
+using cluster::Cluster;
+using cluster::Protocol;
+
+cluster::ClusterSpec hetero_spec(std::uint64_t seed = 42) {
+  cluster::ClusterSpec spec = cluster::heterogeneous_cluster(seed);
+  spec.hdfs.block_size = 8 * kMiB;
+  return spec;
+}
+
+std::map<std::string, int> heads_by_type(Cluster& cluster,
+                                         const std::string& path) {
+  std::map<std::string, int> heads;
+  const hdfs::FileEntry* entry = cluster.namenode().file_by_path(path);
+  if (entry == nullptr) return heads;
+  for (BlockId block : entry->blocks) {
+    const hdfs::BlockRecord* record = cluster.namenode().block(block);
+    for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+      if (cluster.datanode_id(i) == record->expected_targets[0]) {
+        heads[cluster.spec().datanodes[i].profile.name]++;
+      }
+    }
+  }
+  return heads;
+}
+
+TEST(Heterogeneous, SmarthBeatsHdfsWithoutThrottling) {
+  const Bytes size = 512 * kMiB;
+  double secs[2];
+  for (int p = 0; p < 2; ++p) {
+    Cluster cluster(hetero_spec());
+    const auto stats = cluster.run_upload(
+        "/f", size, p ? Protocol::kSmarth : Protocol::kHdfs);
+    ASSERT_FALSE(stats.failed);
+    secs[p] = to_seconds(stats.elapsed());
+  }
+  // The paper reports 41% at 8 GB; at 512 MiB the warm-up is a bigger
+  // fraction, so require a solid but smaller margin.
+  EXPECT_LT(secs[1], secs[0] * 0.92);
+}
+
+TEST(Heterogeneous, SpeedBoardSeparatesInstanceClasses) {
+  Cluster cluster(hetero_spec());
+  const auto stats = cluster.run_upload("/f", 512 * kMiB, Protocol::kSmarth);
+  ASSERT_FALSE(stats.failed);
+  // Records for small instances must sit well below medium/large records.
+  double small_max = 0.0;
+  double large_min = 1e12;
+  bool saw_small = false;
+  bool saw_fast = false;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    const auto speed = cluster.speed_tracker().speed(cluster.datanode_id(i));
+    if (!speed) continue;
+    if (cluster.spec().datanodes[i].profile.name == "small") {
+      small_max = std::max(small_max, speed->mbps());
+      saw_small = true;
+    } else {
+      large_min = std::min(large_min, speed->mbps());
+      saw_fast = true;
+    }
+  }
+  if (saw_small && saw_fast) {
+    EXPECT_LT(small_max, large_min);
+  }
+  EXPECT_TRUE(saw_fast);
+}
+
+TEST(Heterogeneous, OptimizerShiftsHeadsToFastInstances) {
+  Cluster smarth_cluster(hetero_spec());
+  const auto smarth_stats =
+      smarth_cluster.run_upload("/f", 768 * kMiB, Protocol::kSmarth);
+  ASSERT_FALSE(smarth_stats.failed);
+  const auto smarth_heads = heads_by_type(smarth_cluster, "/f");
+
+  Cluster hdfs_cluster(hetero_spec());
+  const auto hdfs_stats =
+      hdfs_cluster.run_upload("/f", 768 * kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(hdfs_stats.failed);
+  const auto hdfs_heads = heads_by_type(hdfs_cluster, "/f");
+
+  const int blocks = 768 / 8;
+  auto fast_share = [blocks](const std::map<std::string, int>& heads) {
+    const auto medium = heads.find("medium");
+    const auto large = heads.find("large");
+    const int fast = (medium != heads.end() ? medium->second : 0) +
+                     (large != heads.end() ? large->second : 0);
+    return static_cast<double>(fast) / blocks;
+  };
+  // Stock HDFS spreads heads ~uniformly (2/3 fast nodes); SMARTH should
+  // push nearly everything onto medium/large once warmed up.
+  EXPECT_GT(fast_share(smarth_heads), 0.85);
+  EXPECT_LT(fast_share(hdfs_heads), 0.85);
+  EXPECT_GT(fast_share(smarth_heads), fast_share(hdfs_heads));
+}
+
+TEST(Heterogeneous, ReplicationAndReadsWorkAcrossClasses) {
+  Cluster cluster(hetero_spec());
+  const auto stats = cluster.run_upload("/f", 256 * kMiB, Protocol::kSmarth);
+  ASSERT_FALSE(stats.failed);
+  cluster.sim().run_until(cluster.sim().now() + seconds(3));
+  EXPECT_TRUE(cluster.file_fully_replicated("/f"));
+  const auto read = cluster.run_download("/f");
+  ASSERT_FALSE(read.failed);
+  EXPECT_EQ(read.bytes_read, 256 * kMiB);
+}
+
+}  // namespace
+}  // namespace smarth

@@ -1,0 +1,160 @@
+// End-to-end tests of the baseline HDFS write protocol on a full simulated
+// cluster: create -> addBlock -> pipeline -> packets -> ACKs -> complete,
+// including replica placement and durability checks.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "hdfs/namenode.hpp"
+
+namespace smarth {
+namespace {
+
+using cluster::Cluster;
+using cluster::Protocol;
+
+cluster::ClusterSpec small_spec(std::uint64_t seed = 42) {
+  // A scaled-down small-instance cluster for fast tests: 64 MiB blocks would
+  // make tiny uploads single-block, so shrink blocks to get multi-block
+  // behaviour at small sizes.
+  cluster::ClusterSpec spec = cluster::small_cluster(seed);
+  spec.hdfs.block_size = 4 * kMiB;
+  return spec;
+}
+
+TEST(UploadHdfs, SingleBlockUploadCompletes) {
+  Cluster cluster(small_spec());
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 2 * kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(stats.failed) << stats.failure_reason;
+  EXPECT_EQ(stats.blocks, 1);
+  EXPECT_EQ(stats.pipelines_created, 1);
+  EXPECT_GT(stats.elapsed(), 0);
+}
+
+TEST(UploadHdfs, MultiBlockUploadCompletes) {
+  Cluster cluster(small_spec());
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 10 * kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(stats.failed) << stats.failure_reason;
+  EXPECT_EQ(stats.blocks, 3);  // 4 + 4 + 2 MiB
+  EXPECT_EQ(stats.pipelines_created, 3);
+  // Baseline is strictly one pipeline at a time.
+  EXPECT_EQ(stats.max_concurrent_pipelines, 1);
+}
+
+TEST(UploadHdfs, FileIsFullyReplicated) {
+  Cluster cluster(small_spec());
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 9 * kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(stats.failed);
+  // Let trailing blockReceived notifications drain.
+  cluster.sim().run_until(cluster.sim().now() + seconds(2));
+  EXPECT_TRUE(cluster.file_fully_replicated("/data/a.bin"));
+  EXPECT_EQ(cluster.total_finalized_replica_bytes(),
+            3 * 9 * kMiB);  // replication factor 3
+}
+
+TEST(UploadHdfs, NamenodeNamespaceReflectsUpload) {
+  Cluster cluster(small_spec());
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 6 * kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(stats.failed);
+  const hdfs::FileEntry* entry = cluster.namenode().file_by_path("/data/a.bin");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->state, hdfs::FileState::kClosed);
+  EXPECT_EQ(entry->blocks.size(), 2u);
+}
+
+TEST(UploadHdfs, DuplicateCreateFails) {
+  Cluster cluster(small_spec());
+  const auto first =
+      cluster.run_upload("/data/a.bin", kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(first.failed);
+  const auto second =
+      cluster.run_upload("/data/a.bin", kMiB, Protocol::kHdfs);
+  EXPECT_TRUE(second.failed);
+  EXPECT_NE(second.failure_reason.find("file_exists"), std::string::npos);
+}
+
+TEST(UploadHdfs, RackAwarePlacement) {
+  Cluster cluster(small_spec());
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 8 * kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(stats.failed);
+  const hdfs::FileEntry* entry = cluster.namenode().file_by_path("/data/a.bin");
+  ASSERT_NE(entry, nullptr);
+  const auto& topo = cluster.network().topology();
+  for (BlockId block : entry->blocks) {
+    const hdfs::BlockRecord* record = cluster.namenode().block(block);
+    ASSERT_NE(record, nullptr);
+    ASSERT_EQ(record->expected_targets.size(), 3u);
+    const auto& t = record->expected_targets;
+    // Replica 2 on a different rack than replica 1; replica 3 beside 2.
+    EXPECT_FALSE(topo.same_rack(t[0], t[1]));
+    EXPECT_TRUE(topo.same_rack(t[1], t[2]));
+    // All distinct.
+    EXPECT_NE(t[0], t[1]);
+    EXPECT_NE(t[1], t[2]);
+    EXPECT_NE(t[0], t[2]);
+  }
+}
+
+TEST(UploadHdfs, ThroughputBoundedByNic) {
+  Cluster cluster(small_spec());
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 32 * kMiB, Protocol::kHdfs);
+  ASSERT_FALSE(stats.failed);
+  // Cannot beat the client NIC (216 Mbps for small instances).
+  EXPECT_LT(stats.throughput().mbps(), 216.0);
+  EXPECT_GT(stats.throughput().mbps(), 20.0);
+}
+
+TEST(UploadHdfs, CrossRackThrottleSlowsUpload) {
+  cluster::ClusterSpec spec = small_spec();
+  Cluster fast(spec);
+  const auto fast_stats =
+      fast.run_upload("/data/a.bin", 16 * kMiB, Protocol::kHdfs);
+
+  Cluster slow(spec);
+  slow.throttle_cross_rack(Bandwidth::mbps(20));
+  const auto slow_stats =
+      slow.run_upload("/data/a.bin", 16 * kMiB, Protocol::kHdfs);
+
+  ASSERT_FALSE(fast_stats.failed);
+  ASSERT_FALSE(slow_stats.failed);
+  // The pipeline always crosses racks once, so the throttle gates it.
+  EXPECT_GT(slow_stats.elapsed(), 2 * fast_stats.elapsed());
+}
+
+TEST(UploadHdfs, DeterministicAcrossRuns) {
+  Cluster a(small_spec(7));
+  Cluster b(small_spec(7));
+  const auto sa = a.run_upload("/data/a.bin", 8 * kMiB, Protocol::kHdfs);
+  const auto sb = b.run_upload("/data/a.bin", 8 * kMiB, Protocol::kHdfs);
+  EXPECT_EQ(sa.elapsed(), sb.elapsed());
+  EXPECT_EQ(a.sim().events_executed(), b.sim().events_executed());
+}
+
+TEST(UploadHdfs, SafeModeRejectsCreate) {
+  Cluster cluster(small_spec());
+  cluster.namenode().set_safe_mode(true);
+  const auto stats = cluster.run_upload("/data/a.bin", kMiB, Protocol::kHdfs);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_NE(stats.failure_reason.find("safe_mode"), std::string::npos);
+}
+
+TEST(UploadHdfs, PartialLastPacketAndBlock) {
+  Cluster cluster(small_spec());
+  // 4 MiB blocks, 64 KiB packets: 5 MiB + 100 bytes -> 2 blocks, the last
+  // block holding 1 MiB + 100 B with a 100-byte final packet.
+  const Bytes size = 5 * kMiB + 100;
+  const auto stats = cluster.run_upload("/data/a.bin", size, Protocol::kHdfs);
+  ASSERT_FALSE(stats.failed);
+  cluster.sim().run_until(cluster.sim().now() + seconds(2));
+  EXPECT_TRUE(cluster.file_fully_replicated("/data/a.bin"));
+  EXPECT_EQ(cluster.total_finalized_replica_bytes(), 3 * size);
+}
+
+}  // namespace
+}  // namespace smarth

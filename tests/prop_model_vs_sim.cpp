@@ -1,0 +1,150 @@
+// Property suite: the paper's analytic cost model (Formulas 1-3) must
+// bracket the simulator. The serial formulas add per-packet stage costs and
+// are therefore upper-bound-ish; the pipelined variants take the max stage
+// cost and are lower bounds; SMARTH additionally saturates at the aggregate
+// pipeline drain rate (n concurrent pipelines over the throttled hop).
+// Speed records are pre-warmed so the runs measure steady state, which is
+// what the closed-form model describes.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "harness/experiment.hpp"
+#include "model/cost_model.hpp"
+
+namespace smarth {
+namespace {
+
+using cluster::Cluster;
+using cluster::Protocol;
+
+struct Case {
+  double throttle_mbps;  // cross-rack throttle; 0 = none
+  Bytes file_size;
+};
+
+class ModelVsSim : public ::testing::TestWithParam<Case> {
+ protected:
+  static cluster::ClusterSpec make_spec() {
+    cluster::ClusterSpec spec = cluster::small_cluster(42);
+    spec.hdfs.block_size = 16 * kMiB;  // paper geometry, scaled for test speed
+    return spec;
+  }
+
+  /// Derives the model parameters the way §III-D defines them.
+  static model::CostParams derive_params(const cluster::ClusterSpec& spec,
+                                         double throttle_mbps,
+                                         Bytes file_size) {
+    model::CostParams p;
+    p.file_size = file_size;
+    p.block_size = spec.hdfs.block_size;
+    p.packet_size = spec.hdfs.packet_payload;
+    p.t_c = spec.hdfs.packet_production_time;
+    // Tw: datanode disk service for one packet plus checksum verification.
+    const auto& profile = spec.datanodes[0].profile;
+    p.t_w = profile.disk_op_overhead +
+            profile.disk_write.transmit_time(p.packet_size) +
+            spec.hdfs.checksum_verify_time;
+    // Tn: an addBlock round trip plus the pipeline setup chain.
+    p.t_n = milliseconds(2);
+    const Bandwidth nic = profile.network;
+    const Bandwidth cross =
+        throttle_mbps > 0 ? Bandwidth::mbps(throttle_mbps) : nic;
+    p.b_min = min(nic, cross);
+    p.b_max = nic;  // warmed SMARTH keeps the first hop on the client's rack
+    return p;
+  }
+
+  double run_seconds(const Case& c, Protocol protocol) {
+    Cluster cluster(make_spec());
+    if (c.throttle_mbps > 0) {
+      cluster.throttle_cross_rack(Bandwidth::mbps(c.throttle_mbps));
+    }
+    harness::warm_speed_records(cluster);
+    const auto stats = cluster.run_upload("/f", c.file_size, protocol);
+    EXPECT_FALSE(stats.failed) << stats.failure_reason;
+    return to_seconds(stats.elapsed());
+  }
+
+  /// Replica-drain makespan bound for SMARTH: blocks are served by at most
+  /// n = |datanodes|/replication concurrent pipelines, each needing
+  /// block_size over the throttled hop, so the finite-block schedule takes
+  /// ceil(blocks/n) drain rounds (a steady-state rate bound would be too
+  /// optimistic for files only a few blocks long).
+  static double smarth_drain_seconds(const Case& c,
+                                     const cluster::ClusterSpec& spec) {
+    if (c.throttle_mbps <= 0) return 0.0;
+    const std::int64_t n = static_cast<std::int64_t>(spec.datanode_count()) /
+                           spec.hdfs.replication;
+    const std::int64_t blocks =
+        (c.file_size + spec.hdfs.block_size - 1) / spec.hdfs.block_size;
+    const std::int64_t rounds = (blocks + n - 1) / n;
+    const double per_block = static_cast<double>(spec.hdfs.block_size) * 8.0 /
+                             (c.throttle_mbps * 1e6);
+    return static_cast<double>(rounds) * per_block;
+  }
+};
+
+TEST_P(ModelVsSim, HdfsBracketedByModel) {
+  const Case& c = GetParam();
+  const cluster::ClusterSpec spec = make_spec();
+  const model::CostParams params =
+      derive_params(spec, c.throttle_mbps, c.file_size);
+  const double serial = to_seconds(model::predict_hdfs_time(params));
+  const double pipelined =
+      to_seconds(model::predict_hdfs_time_pipelined(params));
+  const double simulated = run_seconds(c, Protocol::kHdfs);
+  EXPECT_GT(simulated, pipelined * 0.90)
+      << "serial " << serial << " pipelined " << pipelined;
+  EXPECT_LT(simulated, serial * 1.25)
+      << "serial " << serial << " pipelined " << pipelined;
+}
+
+TEST_P(ModelVsSim, SmarthBracketedByModelPlusDrain) {
+  const Case& c = GetParam();
+  const cluster::ClusterSpec spec = make_spec();
+  const model::CostParams params =
+      derive_params(spec, c.throttle_mbps, c.file_size);
+  const double serial = to_seconds(model::predict_smarth_time(params));
+  const double pipelined =
+      to_seconds(model::predict_smarth_time_pipelined(params));
+  const double drain = smarth_drain_seconds(c, spec);
+  const double simulated = run_seconds(c, Protocol::kSmarth);
+  EXPECT_GT(simulated, pipelined * 0.90)
+      << "pipelined " << pipelined << " drain " << drain;
+  // Upper envelope: the larger of the paper's Formula-3 regime and the
+  // aggregate drain bound, plus tolerance for block-boundary effects.
+  const double upper = std::max(serial, drain);
+  EXPECT_LT(simulated, upper * 1.35)
+      << "serial " << serial << " drain " << drain;
+}
+
+TEST_P(ModelVsSim, ModelOrderingMatchesSim) {
+  // Whenever the serial model says SMARTH wins by >20%, the simulator must
+  // agree on the direction.
+  const Case& c = GetParam();
+  const cluster::ClusterSpec spec = make_spec();
+  const model::CostParams params =
+      derive_params(spec, c.throttle_mbps, c.file_size);
+  const SimDuration m_hdfs = model::predict_hdfs_time(params);
+  const SimDuration m_smarth = model::predict_smarth_time(params);
+  const double hdfs_secs = run_seconds(c, Protocol::kHdfs);
+  const double smarth_secs = run_seconds(c, Protocol::kSmarth);
+  if (static_cast<double>(m_hdfs) > 1.2 * static_cast<double>(m_smarth)) {
+    EXPECT_GT(hdfs_secs, smarth_secs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelVsSim,
+    ::testing::Values(Case{0, 64 * kMiB}, Case{100, 64 * kMiB},
+                      Case{50, 64 * kMiB}, Case{50, 128 * kMiB},
+                      Case{20, 64 * kMiB}, Case{150, 96 * kMiB}),
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      return "t" +
+             std::to_string(static_cast<int>(param_info.param.throttle_mbps)) +
+             "_" + std::to_string(param_info.param.file_size / kMiB) + "mib";
+    });
+
+}  // namespace
+}  // namespace smarth

@@ -1,0 +1,105 @@
+// Property sweep over replication factors: for r in {1,2,3,4}, uploads must
+// conserve bytes (r finalized replicas per block), respect the fan-out cap
+// |datanodes|/r, and keep the rack-aware spread where r >= 2.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "hdfs/namenode.hpp"
+
+namespace smarth {
+namespace {
+
+using cluster::Cluster;
+using cluster::Protocol;
+
+struct Params {
+  int replication;
+  Protocol protocol;
+};
+
+class ReplicationSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  static cluster::ClusterSpec make_spec(int replication) {
+    cluster::ClusterSpec spec = cluster::small_cluster(31);
+    spec.hdfs.block_size = 4 * kMiB;
+    spec.hdfs.replication = replication;
+    return spec;
+  }
+};
+
+TEST_P(ReplicationSweep, BytesConservedAtFactor) {
+  const Params& p = GetParam();
+  Cluster cluster(make_spec(p.replication));
+  const Bytes size = 12 * kMiB;
+  const auto stats = cluster.run_upload("/f", size, p.protocol);
+  ASSERT_FALSE(stats.failed) << stats.failure_reason;
+  cluster.sim().run_until(cluster.sim().now() + seconds(3));
+  EXPECT_TRUE(cluster.file_fully_replicated("/f"));
+  EXPECT_EQ(cluster.total_finalized_replica_bytes(), p.replication * size);
+}
+
+TEST_P(ReplicationSweep, PipelineLengthMatchesFactor) {
+  const Params& p = GetParam();
+  Cluster cluster(make_spec(p.replication));
+  const auto stats = cluster.run_upload("/f", 8 * kMiB, p.protocol);
+  ASSERT_FALSE(stats.failed);
+  const hdfs::FileEntry* entry = cluster.namenode().file_by_path("/f");
+  ASSERT_NE(entry, nullptr);
+  for (BlockId block : entry->blocks) {
+    const hdfs::BlockRecord* record = cluster.namenode().block(block);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->expected_targets.size(),
+              static_cast<std::size_t>(p.replication));
+  }
+}
+
+TEST_P(ReplicationSweep, FanOutCapHolds) {
+  const Params& p = GetParam();
+  if (p.protocol != Protocol::kSmarth) GTEST_SKIP();
+  Cluster cluster(make_spec(p.replication));
+  cluster.throttle_cross_rack(Bandwidth::mbps(10));
+  const auto stats = cluster.run_upload("/f", 32 * kMiB, p.protocol);
+  ASSERT_FALSE(stats.failed);
+  EXPECT_LE(stats.max_concurrent_pipelines,
+            9 / p.replication);  // nine datanodes
+}
+
+TEST_P(ReplicationSweep, RackSpreadWherePossible) {
+  const Params& p = GetParam();
+  if (p.replication < 2) GTEST_SKIP();
+  Cluster cluster(make_spec(p.replication));
+  const auto stats = cluster.run_upload("/f", 8 * kMiB, p.protocol);
+  ASSERT_FALSE(stats.failed);
+  const auto& topo = cluster.network().topology();
+  const hdfs::FileEntry* entry = cluster.namenode().file_by_path("/f");
+  for (BlockId block : entry->blocks) {
+    const hdfs::BlockRecord* record = cluster.namenode().block(block);
+    // At least two racks hold the block (the rack-aware rule's purpose).
+    bool rack0 = false;
+    bool rack1 = false;
+    for (NodeId t : record->expected_targets) {
+      (topo.rack_of(t) == "/rack0" ? rack0 : rack1) = true;
+    }
+    EXPECT_TRUE(rack0 && rack1) << block.to_string();
+  }
+}
+
+std::string name(const ::testing::TestParamInfo<Params>& info) {
+  return std::string(info.param.protocol == Protocol::kHdfs ? "hdfs"
+                                                            : "smarth") +
+         "_r" + std::to_string(info.param.replication);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Factors, ReplicationSweep,
+    ::testing::Values(Params{1, Protocol::kHdfs}, Params{2, Protocol::kHdfs},
+                      Params{3, Protocol::kHdfs}, Params{4, Protocol::kHdfs},
+                      Params{1, Protocol::kSmarth},
+                      Params{2, Protocol::kSmarth},
+                      Params{3, Protocol::kSmarth},
+                      Params{4, Protocol::kSmarth}),
+    name);
+
+}  // namespace
+}  // namespace smarth

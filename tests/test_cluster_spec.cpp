@@ -1,0 +1,124 @@
+// Tests for the EC2 instance profiles (paper Table I) and the cluster
+// builders (the paper's four evaluation clusters).
+#include "cluster/cluster_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/cluster.hpp"
+
+namespace smarth::cluster {
+namespace {
+
+TEST(InstanceProfile, TableOneValues) {
+  const InstanceProfile small = small_instance();
+  EXPECT_EQ(small.name, "small");
+  EXPECT_DOUBLE_EQ(small.memory_gb, 1.7);
+  EXPECT_EQ(small.ecus, 1);
+  EXPECT_DOUBLE_EQ(small.network.mbps(), 216.0);
+
+  const InstanceProfile medium = medium_instance();
+  EXPECT_DOUBLE_EQ(medium.memory_gb, 3.75);
+  EXPECT_EQ(medium.ecus, 2);
+  EXPECT_DOUBLE_EQ(medium.network.mbps(), 376.0);
+
+  const InstanceProfile large = large_instance();
+  EXPECT_DOUBLE_EQ(large.memory_gb, 7.5);
+  EXPECT_EQ(large.ecus, 4);
+  EXPECT_DOUBLE_EQ(large.network.mbps(), 376.0);
+}
+
+TEST(InstanceProfile, ProductionCostDecreasesWithEcus) {
+  // Tc is CPU-bound: more ECUs, faster packet production.
+  EXPECT_GT(small_instance().packet_production_time,
+            medium_instance().packet_production_time);
+  EXPECT_GT(medium_instance().packet_production_time,
+            large_instance().packet_production_time);
+}
+
+TEST(InstanceProfile, LookupByName) {
+  EXPECT_EQ(instance_by_name("small").name, "small");
+  EXPECT_EQ(instance_by_name("medium").name, "medium");
+  EXPECT_EQ(instance_by_name("large").name, "large");
+  EXPECT_THROW(instance_by_name("xlarge"), std::logic_error);
+  EXPECT_EQ(all_instance_profiles().size(), 3u);
+}
+
+TEST(ClusterSpec, HomogeneousHasNineDatanodesOnTwoRacks) {
+  const ClusterSpec spec = small_cluster();
+  EXPECT_EQ(spec.datanode_count(), 9u);
+  std::map<std::string, int> racks;
+  for (const auto& dn : spec.datanodes) racks[dn.rack]++;
+  ASSERT_EQ(racks.size(), 2u);
+  EXPECT_EQ(racks["/rack0"], 5);
+  EXPECT_EQ(racks["/rack1"], 4);
+  EXPECT_EQ(spec.namenode.rack, "/rack0");
+  EXPECT_EQ(spec.client.rack, "/rack0");
+}
+
+TEST(ClusterSpec, ProductionTimeFollowsClientProfile) {
+  EXPECT_EQ(small_cluster().hdfs.packet_production_time,
+            small_instance().packet_production_time);
+  EXPECT_EQ(large_cluster().hdfs.packet_production_time,
+            large_instance().packet_production_time);
+}
+
+TEST(ClusterSpec, HeterogeneousMixMatchesPaper) {
+  const ClusterSpec spec = heterogeneous_cluster();
+  EXPECT_EQ(spec.datanode_count(), 9u);
+  std::map<std::string, int> types;
+  for (const auto& dn : spec.datanodes) types[dn.profile.name]++;
+  EXPECT_EQ(types["small"], 3);
+  EXPECT_EQ(types["medium"], 3);
+  EXPECT_EQ(types["large"], 3);
+  // Namenode is a medium instance (paper §V-A).
+  EXPECT_EQ(spec.namenode.profile.name, "medium");
+  // Both racks populated.
+  std::map<std::string, int> racks;
+  for (const auto& dn : spec.datanodes) racks[dn.rack]++;
+  EXPECT_EQ(racks.size(), 2u);
+}
+
+TEST(ClusterSpec, CustomSizeAndMinimum) {
+  const ClusterSpec spec = homogeneous_cluster(medium_instance(), 12);
+  EXPECT_EQ(spec.datanode_count(), 12u);
+  EXPECT_THROW(homogeneous_cluster(medium_instance(), 2), std::logic_error);
+}
+
+TEST(Cluster, WiringMatchesSpec) {
+  Cluster cluster(small_cluster());
+  EXPECT_EQ(cluster.datanode_count(), 9u);
+  EXPECT_EQ(cluster.namenode().registered_datanode_count(), 9u);
+  const auto& topo = cluster.network().topology();
+  // namenode + 9 datanodes + client.
+  EXPECT_EQ(topo.host_count(), 11u);
+  EXPECT_EQ(topo.rack_of(cluster.client_node()), "/rack0");
+}
+
+TEST(Cluster, NodeNicsMatchProfiles) {
+  Cluster cluster(heterogeneous_cluster());
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    const auto& spec_node = cluster.spec().datanodes[i];
+    EXPECT_EQ(cluster.network().node_nic(cluster.datanode_id(i)).mbps(),
+              spec_node.profile.network.mbps())
+        << spec_node.name;
+  }
+}
+
+TEST(Cluster, AddExtraClient) {
+  Cluster cluster(small_cluster());
+  const std::size_t idx = cluster.add_client("/rack1", medium_instance());
+  EXPECT_EQ(idx, 1u);
+  EXPECT_NE(cluster.client_node(0), cluster.client_node(1));
+  EXPECT_EQ(cluster.network().topology().rack_of(cluster.client_node(1)),
+            "/rack1");
+}
+
+TEST(Cluster, ProtocolNames) {
+  EXPECT_STREQ(protocol_name(Protocol::kHdfs), "HDFS");
+  EXPECT_STREQ(protocol_name(Protocol::kSmarth), "SMARTH");
+}
+
+}  // namespace
+}  // namespace smarth::cluster

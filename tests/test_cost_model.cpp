@@ -1,0 +1,113 @@
+// Unit tests for the paper's analytic cost model (Formulas 1-3, §III-D).
+#include "model/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smarth::model {
+namespace {
+
+CostParams paper_params() {
+  CostParams p;
+  p.file_size = 8 * kGiB;
+  p.block_size = 64 * kMiB;
+  p.packet_size = 64 * kKiB;
+  p.t_n = milliseconds(2);
+  p.t_c = microseconds(500);
+  p.t_w = microseconds(700);
+  p.b_min = Bandwidth::mbps(50);
+  p.b_max = Bandwidth::mbps(216);
+  return p;
+}
+
+TEST(CostModel, BlockAndPacketCounts) {
+  const CostParams p = paper_params();
+  EXPECT_EQ(p.blocks(), 128);
+  EXPECT_EQ(p.packets(), 131072);
+  CostParams q = p;
+  q.file_size = 64 * kMiB + 1;
+  EXPECT_EQ(q.blocks(), 2);  // ceil
+}
+
+TEST(CostModel, Formula1ProductionBound) {
+  const CostParams p = paper_params();
+  const SimDuration expected =
+      p.t_n * 128 + (p.t_c + p.t_w) * 131072;
+  EXPECT_EQ(production_bound_time(p), expected);
+}
+
+TEST(CostModel, Formula2UsesMinBandwidth) {
+  const CostParams p = paper_params();
+  const SimDuration per_packet =
+      Bandwidth::mbps(50).transmit_time(64 * kKiB) + p.t_w;
+  EXPECT_EQ(hdfs_network_bound_time(p), p.t_n * 128 + per_packet * 131072);
+}
+
+TEST(CostModel, Formula3UsesClientFirstHop) {
+  const CostParams p = paper_params();
+  const SimDuration per_packet =
+      Bandwidth::mbps(216).transmit_time(64 * kKiB) + p.t_w;
+  EXPECT_EQ(smarth_network_bound_time(p), p.t_n * 128 + per_packet * 131072);
+}
+
+TEST(CostModel, PredictorPicksNetworkBoundWhenProductionFast) {
+  const CostParams p = paper_params();
+  // Tc (0.5 ms) < P/Bmin (10.5 ms) => Formula 2; and < P/Bmax (2.4 ms) => 3.
+  EXPECT_EQ(predict_hdfs_time(p), hdfs_network_bound_time(p));
+  EXPECT_EQ(predict_smarth_time(p), smarth_network_bound_time(p));
+}
+
+TEST(CostModel, PredictorPicksProductionBoundWhenTcDominates) {
+  CostParams p = paper_params();
+  p.t_c = milliseconds(20);  // slower than any hop
+  EXPECT_EQ(predict_hdfs_time(p), production_bound_time(p));
+  EXPECT_EQ(predict_smarth_time(p), production_bound_time(p));
+}
+
+TEST(CostModel, MixedRegime) {
+  CostParams p = paper_params();
+  // Tc between P/Bmax (2.4 ms) and P/Bmin (10.5 ms): HDFS network-bound,
+  // SMARTH production-bound.
+  p.t_c = milliseconds(5);
+  EXPECT_EQ(predict_hdfs_time(p), hdfs_network_bound_time(p));
+  EXPECT_EQ(predict_smarth_time(p), production_bound_time(p));
+}
+
+TEST(CostModel, SmarthNeverSlowerInModel) {
+  // Bmax >= Bmin implies predicted SMARTH time <= predicted HDFS time —
+  // the paper's §III-D argument — across a parameter grid.
+  for (double bmin : {10.0, 50.0, 100.0, 216.0}) {
+    for (double bmax : {216.0, 376.0}) {
+      for (std::int64_t tc_us : {100, 1000, 5000, 20000}) {
+        CostParams p = paper_params();
+        p.b_min = Bandwidth::mbps(bmin);
+        p.b_max = Bandwidth::mbps(bmax);
+        p.t_c = microseconds(tc_us);
+        EXPECT_LE(predict_smarth_time(p), predict_hdfs_time(p))
+            << "bmin=" << bmin << " bmax=" << bmax << " tc=" << tc_us;
+      }
+    }
+  }
+}
+
+TEST(CostModel, ImprovementPercent) {
+  EXPECT_DOUBLE_EQ(improvement_percent(seconds(200), seconds(100)), 100.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(seconds(100), seconds(100)), 0.0);
+  EXPECT_NEAR(improvement_percent(seconds(127), seconds(100)), 27.0, 1e-9);
+}
+
+TEST(CostModel, ScalesLinearlyInFileSize) {
+  CostParams p = paper_params();
+  const SimDuration t8 = predict_hdfs_time(p);
+  p.file_size = 4 * kGiB;
+  const SimDuration t4 = predict_hdfs_time(p);
+  EXPECT_NEAR(static_cast<double>(t8) / static_cast<double>(t4), 2.0, 0.01);
+}
+
+TEST(CostModel, InvalidParamsThrow) {
+  CostParams p = paper_params();
+  p.file_size = 0;
+  EXPECT_THROW(production_bound_time(p), std::logic_error);
+}
+
+}  // namespace
+}  // namespace smarth::model

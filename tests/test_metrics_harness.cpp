@@ -1,0 +1,138 @@
+// Tests for the metrics renderers and the experiment harness: comparison
+// math, table/CSV shapes, scenario builders, speed pre-warming, and
+// protocol-pairing on identical worlds.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "metrics/report.hpp"
+
+namespace smarth {
+namespace {
+
+TEST(Metrics, ImprovementPercent) {
+  metrics::ComparisonRow row{"x", 200.0, 100.0};
+  EXPECT_DOUBLE_EQ(row.improvement_percent(), 100.0);
+  row.smarth_seconds = 200.0;
+  EXPECT_DOUBLE_EQ(row.improvement_percent(), 0.0);
+}
+
+TEST(Metrics, ComparisonTableShape) {
+  std::vector<metrics::ComparisonRow> rows{{"50 Mbps", 100, 50},
+                                           {"100 Mbps", 60, 40}};
+  const std::string table = metrics::render_comparison_table("throttle", rows);
+  EXPECT_NE(table.find("throttle"), std::string::npos);
+  EXPECT_NE(table.find("50 Mbps"), std::string::npos);
+  EXPECT_NE(table.find("100.0"), std::string::npos);  // improvement column
+  const std::string csv = metrics::comparison_csv("throttle", rows);
+  EXPECT_NE(csv.find("throttle,hdfs_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("50 Mbps,100.0000"), std::string::npos);
+}
+
+TEST(Metrics, ObservationsTable) {
+  hdfs::StreamStats stats;
+  stats.file_size = kGiB;
+  stats.started_at = 0;
+  stats.finished_at = seconds(10);
+  stats.blocks = 16;
+  stats.pipelines_created = 16;
+  stats.max_concurrent_pipelines = 3;
+  metrics::UploadObservation obs{"hetero", "SMARTH", stats};
+  EXPECT_DOUBLE_EQ(obs.seconds(), 10.0);
+  EXPECT_NEAR(obs.throughput_mbps(), 859.0, 1.0);
+  const std::string table = metrics::render_observations({obs});
+  EXPECT_NE(table.find("SMARTH"), std::string::npos);
+  EXPECT_NE(table.find("hetero"), std::string::npos);
+}
+
+TEST(Harness, RunProtocolProducesCleanStats) {
+  harness::Scenario scenario = harness::two_rack_scenario(
+      "t", [](std::uint64_t seed) {
+        cluster::ClusterSpec spec = cluster::small_cluster(seed);
+        spec.hdfs.block_size = 4 * kMiB;
+        return spec;
+      },
+      Bandwidth::mbps(50), 8 * kMiB);
+  const auto stats =
+      harness::run_protocol(scenario, cluster::Protocol::kHdfs, 7);
+  EXPECT_FALSE(stats.failed);
+  EXPECT_EQ(stats.blocks, 2);
+}
+
+TEST(Harness, CompareUsesIdenticalWorlds) {
+  harness::Scenario scenario = harness::two_rack_scenario(
+      "t", [](std::uint64_t seed) {
+        cluster::ClusterSpec spec = cluster::small_cluster(seed);
+        spec.hdfs.block_size = 4 * kMiB;
+        return spec;
+      },
+      Bandwidth::mbps(50), 12 * kMiB);
+  const auto row = harness::compare_protocols(scenario, 7);
+  EXPECT_GT(row.hdfs_seconds, 0.0);
+  EXPECT_GT(row.smarth_seconds, 0.0);
+  // Under a deep throttle, SMARTH must not lose.
+  EXPECT_GE(row.improvement_percent(), -5.0);
+  // Deterministic: re-running yields the identical row.
+  const auto row2 = harness::compare_protocols(scenario, 7);
+  EXPECT_DOUBLE_EQ(row.hdfs_seconds, row2.hdfs_seconds);
+  EXPECT_DOUBLE_EQ(row.smarth_seconds, row2.smarth_seconds);
+}
+
+TEST(Harness, AveragedRepeatsDiffer) {
+  harness::Scenario scenario = harness::contention_scenario(
+      "c", [](std::uint64_t seed) {
+        cluster::ClusterSpec spec = cluster::small_cluster(seed);
+        spec.hdfs.block_size = 4 * kMiB;
+        return spec;
+      },
+      2, Bandwidth::mbps(50), 12 * kMiB);
+  const auto mean = harness::compare_protocols_averaged(scenario, 3, 100);
+  EXPECT_GT(mean.hdfs_seconds, 0.0);
+  EXPECT_GT(mean.smarth_seconds, 0.0);
+}
+
+TEST(Harness, ContentionScenarioThrottlesExactlyK) {
+  harness::Scenario scenario = harness::contention_scenario(
+      "c", [](std::uint64_t seed) { return cluster::small_cluster(seed); },
+      3, Bandwidth::mbps(50), kMiB);
+  cluster::Cluster cluster(scenario.make_spec(1));
+  scenario.prepare(cluster);
+  int slow = 0;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    if (cluster.network().node_nic(cluster.datanode_id(i)).mbps() == 50.0) {
+      ++slow;
+    }
+  }
+  EXPECT_EQ(slow, 3);
+}
+
+TEST(Harness, WarmSpeedRecordsMatchConfiguration) {
+  cluster::ClusterSpec spec = cluster::small_cluster(1);
+  cluster::Cluster cluster(spec);
+  cluster.throttle_cross_rack(Bandwidth::mbps(50));
+  harness::warm_speed_records(cluster);
+  const auto& topo = cluster.network().topology();
+  ASSERT_TRUE(cluster.speed_tracker().has_records());
+  ASSERT_TRUE(
+      cluster.namenode().speed_board().has_records(cluster.client().id()));
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    const auto speed = cluster.speed_tracker().speed(cluster.datanode_id(i));
+    ASSERT_TRUE(speed.has_value());
+    if (topo.same_rack(cluster.datanode_id(i), cluster.client_node())) {
+      EXPECT_GT(speed->mbps(), 200.0);
+    } else {
+      EXPECT_LE(speed->mbps(), 51.0);
+    }
+  }
+}
+
+TEST(Harness, TwoRackScenarioUnlimitedMeansNoThrottle) {
+  harness::Scenario scenario = harness::two_rack_scenario(
+      "t", [](std::uint64_t seed) { return cluster::small_cluster(seed); },
+      kUnlimitedBandwidth, kMiB);
+  cluster::Cluster cluster(scenario.make_spec(1));
+  scenario.prepare(cluster);
+  EXPECT_FALSE(cluster.network().cross_rack_throttle().has_value());
+}
+
+}  // namespace
+}  // namespace smarth

@@ -1,0 +1,203 @@
+#include "hdfs/namenode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::hdfs {
+namespace {
+
+class NamenodeTest : public ::testing::Test {
+ protected:
+  NamenodeTest() {
+    nn_node_ = topo_.add_host("nn", "/rack0");
+    for (int i = 0; i < 6; ++i) {
+      dns_.push_back(topo_.add_host("dn" + std::to_string(i),
+                                    i < 3 ? "/rack0" : "/rack1"));
+    }
+    client_node_ = topo_.add_host("client", "/rack0");
+    nn_ = std::make_unique<Namenode>(sim_, topo_, config_, nn_node_);
+    for (NodeId dn : dns_) nn_->register_datanode(dn);
+  }
+
+  Result<LocatedBlock> add_block(FileId file) {
+    return nn_->add_block(file, client_, client_node_, {});
+  }
+
+  sim::Simulation sim_;
+  net::Topology topo_;
+  HdfsConfig config_;
+  NodeId nn_node_, client_node_;
+  std::vector<NodeId> dns_;
+  ClientId client_{0};
+  std::unique_ptr<Namenode> nn_;
+};
+
+TEST_F(NamenodeTest, CreateChecksPath) {
+  EXPECT_FALSE(nn_->create("", client_).ok());
+  EXPECT_FALSE(nn_->create("relative/path", client_).ok());
+  EXPECT_TRUE(nn_->create("/ok", client_).ok());
+}
+
+TEST_F(NamenodeTest, CreateRejectsDuplicates) {
+  ASSERT_TRUE(nn_->create("/a", client_).ok());
+  const auto dup = nn_->create("/a", client_);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, "file_exists");
+}
+
+TEST_F(NamenodeTest, SafeModeBlocksWrites) {
+  nn_->set_safe_mode(true);
+  EXPECT_EQ(nn_->create("/a", client_).error().code, "safe_mode");
+  nn_->set_safe_mode(false);
+  const auto file = nn_->create("/a", client_);
+  ASSERT_TRUE(file.ok());
+  nn_->set_safe_mode(true);
+  EXPECT_EQ(add_block(file.value()).error().code, "safe_mode");
+}
+
+TEST_F(NamenodeTest, AddBlockAllocatesDistinctTargets) {
+  const auto file = nn_->create("/a", client_);
+  ASSERT_TRUE(file.ok());
+  const auto located = add_block(file.value());
+  ASSERT_TRUE(located.ok());
+  const auto& targets = located.value().targets;
+  ASSERT_EQ(targets.size(), 3u);
+  EXPECT_NE(targets[0], targets[1]);
+  EXPECT_NE(targets[1], targets[2]);
+  EXPECT_NE(targets[0], targets[2]);
+}
+
+TEST_F(NamenodeTest, AddBlockRequiresLease) {
+  const auto file = nn_->create("/a", client_);
+  ASSERT_TRUE(file.ok());
+  const auto foreign =
+      nn_->add_block(file.value(), ClientId{99}, client_node_, {});
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.error().code, "lease_mismatch");
+}
+
+TEST_F(NamenodeTest, AddBlockHonoursExclusions) {
+  const auto file = nn_->create("/a", client_);
+  ASSERT_TRUE(file.ok());
+  // Exclude three nodes; allocation must avoid them.
+  std::vector<NodeId> excluded{dns_[0], dns_[1], dns_[2]};
+  const auto located =
+      nn_->add_block(file.value(), client_, client_node_, excluded);
+  ASSERT_TRUE(located.ok());
+  for (NodeId t : located.value().targets) {
+    for (NodeId e : excluded) EXPECT_NE(t, e);
+  }
+}
+
+TEST_F(NamenodeTest, AddBlockFailsWhenPoolExhausted) {
+  const auto file = nn_->create("/a", client_);
+  ASSERT_TRUE(file.ok());
+  // Exclude all but two nodes: replication 3 cannot be satisfied.
+  std::vector<NodeId> excluded(dns_.begin(), dns_.end() - 2);
+  const auto located =
+      nn_->add_block(file.value(), client_, client_node_, excluded);
+  ASSERT_FALSE(located.ok());
+  EXPECT_EQ(located.error().code, "insufficient_datanodes");
+}
+
+TEST_F(NamenodeTest, CompleteRequiresReportedBlocks) {
+  const auto file = nn_->create("/a", client_);
+  ASSERT_TRUE(file.ok());
+  const auto located = add_block(file.value());
+  ASSERT_TRUE(located.ok());
+  // Not reported yet: complete() is retryable-false.
+  auto completion = nn_->complete(file.value(), client_);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_FALSE(completion.value());
+  // After one replica reports, completion succeeds.
+  nn_->block_received(located.value().targets[0], located.value().block,
+                      config_.block_size);
+  completion = nn_->complete(file.value(), client_);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_TRUE(completion.value());
+  EXPECT_EQ(nn_->file(file.value())->state, FileState::kClosed);
+  // Idempotent.
+  EXPECT_TRUE(nn_->complete(file.value(), client_).value());
+}
+
+TEST_F(NamenodeTest, AddBlockOnClosedFileFails) {
+  const auto file = nn_->create("/a", client_);
+  const auto located = add_block(file.value());
+  nn_->block_received(located.value().targets[0], located.value().block, 1);
+  ASSERT_TRUE(nn_->complete(file.value(), client_).value());
+  EXPECT_EQ(add_block(file.value()).error().code, "file_closed");
+}
+
+TEST_F(NamenodeTest, HeartbeatLiveness) {
+  EXPECT_TRUE(nn_->is_alive(dns_[0]));
+  // Advance past the dead interval without heartbeats.
+  sim_.run_until(config_.datanode_dead_interval + seconds(1));
+  EXPECT_FALSE(nn_->is_alive(dns_[0]));
+  nn_->handle_heartbeat(dns_[0]);
+  EXPECT_TRUE(nn_->is_alive(dns_[0]));
+  EXPECT_EQ(nn_->alive_datanodes().size(), 1u);
+}
+
+TEST_F(NamenodeTest, DeadNodesNotPlaced) {
+  sim_.run_until(config_.datanode_dead_interval + seconds(1));
+  for (int i = 0; i < 3; ++i) nn_->handle_heartbeat(dns_[static_cast<size_t>(i)]);
+  const auto file = nn_->create("/a", client_);
+  const auto located = add_block(file.value());
+  ASSERT_TRUE(located.ok());
+  for (NodeId t : located.value().targets) {
+    EXPECT_TRUE(nn_->is_alive(t));
+  }
+}
+
+TEST_F(NamenodeTest, GetAdditionalDatanodesExcludesExisting) {
+  const auto file = nn_->create("/a", client_);
+  const auto located = add_block(file.value());
+  ASSERT_TRUE(located.ok());
+  const auto extra = nn_->get_additional_datanodes(
+      located.value().block, client_, client_node_, located.value().targets,
+      {}, 2);
+  ASSERT_TRUE(extra.ok());
+  EXPECT_EQ(extra.value().size(), 2u);
+  for (NodeId n : extra.value()) {
+    for (NodeId t : located.value().targets) EXPECT_NE(n, t);
+  }
+}
+
+TEST_F(NamenodeTest, UpdateBlockTargets) {
+  const auto file = nn_->create("/a", client_);
+  const auto located = add_block(file.value());
+  std::vector<NodeId> fresh{dns_[3], dns_[4], dns_[5]};
+  ASSERT_TRUE(nn_->update_block_targets(located.value().block, fresh).ok());
+  EXPECT_EQ(nn_->block(located.value().block)->expected_targets, fresh);
+  EXPECT_FALSE(nn_->update_block_targets(BlockId{999}, fresh).ok());
+}
+
+TEST_F(NamenodeTest, SpeedBoardStoresLatestPerDatanode) {
+  SpeedRecord r1{dns_[0], Bandwidth::mbps(100), 10};
+  SpeedRecord r2{dns_[0], Bandwidth::mbps(50), 20};
+  nn_->report_client_speeds(client_, {r1});
+  nn_->report_client_speeds(client_, {r2});
+  const auto speed = nn_->speed_board().speed(client_, dns_[0]);
+  ASSERT_TRUE(speed.has_value());
+  EXPECT_DOUBLE_EQ(speed->mbps(), 50.0);  // newer record wins
+  // Stale record does not overwrite a newer one.
+  nn_->report_client_speeds(client_, {r1});
+  EXPECT_DOUBLE_EQ(nn_->speed_board().speed(client_, dns_[0])->mbps(), 50.0);
+}
+
+TEST_F(NamenodeTest, SpeedBoardPerClientIsolation) {
+  nn_->report_client_speeds(client_, {{dns_[0], Bandwidth::mbps(10), 1}});
+  EXPECT_TRUE(nn_->speed_board().has_records(client_));
+  EXPECT_FALSE(nn_->speed_board().has_records(ClientId{5}));
+  EXPECT_FALSE(nn_->speed_board().speed(ClientId{5}, dns_[0]).has_value());
+}
+
+TEST_F(NamenodeTest, BlockReceivedForUnknownBlockIsIgnored) {
+  nn_->block_received(dns_[0], BlockId{777}, 1);  // must not throw
+  EXPECT_EQ(nn_->block_count(), 0u);
+}
+
+}  // namespace
+}  // namespace smarth::hdfs

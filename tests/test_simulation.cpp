@@ -1,0 +1,178 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/periodic_task.hpp"
+
+namespace smarth::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, SameTimeIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(-5, [&] { fired = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulation, SchedulingIntoThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());  // double-cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelAfterFireIsNoop) {
+  Simulation sim;
+  EventHandle handle = sim.schedule_at(1, [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 50; t += 10) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  EXPECT_TRUE(sim.run_until(30));
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(Simulation, RunStepsBounded) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(sim.run_steps(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.run_steps(100), 6u);
+}
+
+TEST(Simulation, EventLimitThrows) {
+  Simulation sim;
+  sim.set_event_limit(100);
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { sim.schedule_after(1, loop); };
+  sim.schedule_at(0, loop);
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulation, CountersTrackActivity) {
+  Simulation sim;
+  sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_scheduled(), 2u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulation, RngIsSeedStable) {
+  Simulation a(99);
+  Simulation b(99);
+  EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+TEST(PeriodicTask, FiresAtFixedPeriod) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, 100, [&] { fires.push_back(sim.now()); });
+  task.start();
+  // Stop strictly after the 10th fire; a stop scheduled exactly at t=1000
+  // would run first (earlier insertion seq) and cancel that fire.
+  sim.schedule_at(1050, [&] { task.stop(); });
+  sim.run();
+  ASSERT_EQ(fires.size(), 10u);
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    EXPECT_EQ(fires[i], static_cast<SimTime>((i + 1) * 100));
+  }
+}
+
+TEST(PeriodicTask, InitialDelayOverride) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, 100, [&] { fires.push_back(sim.now()); });
+  task.start_with_delay(5);
+  sim.schedule_at(300, [&] { task.stop(); });
+  sim.run();
+  EXPECT_EQ(fires, (std::vector<SimTime>{5, 105, 205}));
+}
+
+TEST(PeriodicTask, StopFromInsideCallback) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTask task(sim, 10, [&] {
+    if (++fires == 3) task.stop();
+  });
+  task.start();
+  sim.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, DestructorCancelsCleanly) {
+  Simulation sim;
+  int fires = 0;
+  {
+    PeriodicTask task(sim, 10, [&] { ++fires; });
+    task.start();
+    sim.run_until(35);
+  }
+  sim.run();  // must not crash or fire further
+  EXPECT_EQ(fires, 3);
+}
+
+}  // namespace
+}  // namespace smarth::sim

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "storage/block_store.hpp"
+#include "storage/disk.hpp"
+#include "storage/staging_buffer.hpp"
+
+namespace smarth::storage {
+namespace {
+
+// --- DiskDevice -------------------------------------------------------------
+
+TEST(Disk, ServiceTimeIsOverheadPlusBandwidth) {
+  sim::Simulation sim;
+  DiskDevice disk(sim, "d", Bandwidth::mega_bytes_per_second(100),
+                  microseconds(50));
+  const SimDuration expected =
+      microseconds(50) +
+      Bandwidth::mega_bytes_per_second(100).transmit_time(64 * kKiB);
+  EXPECT_EQ(disk.service_time(64 * kKiB), expected);
+  SimTime done = -1;
+  disk.write(64 * kKiB, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, expected);
+}
+
+TEST(Disk, FifoOrdering) {
+  sim::Simulation sim;
+  DiskDevice disk(sim, "d", Bandwidth::mega_bytes_per_second(10),
+                  microseconds(10));
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    disk.write(kKiB, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(disk.ops_completed(), 4u);
+  EXPECT_EQ(disk.bytes_written(), 4 * kKiB);
+}
+
+TEST(Disk, QueueDepthVisible) {
+  sim::Simulation sim;
+  DiskDevice disk(sim, "d", Bandwidth::mega_bytes_per_second(1),
+                  milliseconds(1));
+  disk.write(kMiB, [] {});
+  disk.write(kMiB, [] {});
+  disk.write(kMiB, [] {});
+  EXPECT_TRUE(disk.busy());
+  EXPECT_EQ(disk.queue_depth(), 2u);  // one in service
+  sim.run();
+  EXPECT_EQ(disk.queue_depth(), 0u);
+  EXPECT_FALSE(disk.busy());
+}
+
+TEST(Disk, BusyTimeAccumulates) {
+  sim::Simulation sim;
+  DiskDevice disk(sim, "d", Bandwidth::mega_bytes_per_second(100),
+                  microseconds(0));
+  disk.write(kMiB, [] {});
+  sim.run();
+  EXPECT_EQ(disk.busy_time(),
+            Bandwidth::mega_bytes_per_second(100).transmit_time(kMiB));
+}
+
+TEST(Disk, WriteFromCompletionCallback) {
+  sim::Simulation sim;
+  DiskDevice disk(sim, "d", Bandwidth::mega_bytes_per_second(100),
+                  microseconds(10));
+  int writes = 0;
+  disk.write(kKiB, [&] {
+    ++writes;
+    disk.write(kKiB, [&] { ++writes; });
+  });
+  sim.run();
+  EXPECT_EQ(writes, 2);
+}
+
+// --- BlockStore ---------------------------------------------------------------
+
+TEST(BlockStore, CreateAppendFinalize) {
+  BlockStore store;
+  const BlockId b{1};
+  ASSERT_TRUE(store.create_replica(b).ok());
+  ASSERT_TRUE(store.append(b, 100).ok());
+  ASSERT_TRUE(store.append(b, 28).ok());
+  const auto info = store.replica(b);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().bytes, 128);
+  EXPECT_EQ(info.value().state, ReplicaState::kBeingWritten);
+  const auto len = store.finalize(b);
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(len.value(), 128);
+  EXPECT_EQ(store.finalized_count(), 1u);
+}
+
+TEST(BlockStore, DuplicateCreateFails) {
+  BlockStore store;
+  const BlockId b{1};
+  ASSERT_TRUE(store.create_replica(b).ok());
+  EXPECT_FALSE(store.create_replica(b).ok());
+}
+
+TEST(BlockStore, AppendToFinalizedFails) {
+  BlockStore store;
+  const BlockId b{1};
+  ASSERT_TRUE(store.create_replica(b).ok());
+  ASSERT_TRUE(store.finalize(b).ok());
+  EXPECT_FALSE(store.append(b, 10).ok());
+}
+
+TEST(BlockStore, AppendToMissingFails) {
+  BlockStore store;
+  EXPECT_FALSE(store.append(BlockId{9}, 10).ok());
+  EXPECT_FALSE(store.finalize(BlockId{9}).ok());
+}
+
+TEST(BlockStore, TruncateToSyncPoint) {
+  BlockStore store;
+  const BlockId b{1};
+  ASSERT_TRUE(store.create_replica(b).ok());
+  ASSERT_TRUE(store.append(b, 1000).ok());
+  ASSERT_TRUE(store.truncate(b, 600).ok());
+  EXPECT_EQ(store.replica(b).value().bytes, 600);
+  EXPECT_FALSE(store.truncate(b, 700).ok());  // cannot extend
+  EXPECT_FALSE(store.truncate(b, -1).ok());
+}
+
+TEST(BlockStore, TruncateReopensFinalizedReplica) {
+  BlockStore store;
+  const BlockId b{1};
+  ASSERT_TRUE(store.create_replica(b).ok());
+  ASSERT_TRUE(store.append(b, 1000).ok());
+  ASSERT_TRUE(store.finalize(b).ok());
+  ASSERT_TRUE(store.truncate(b, 500).ok());
+  EXPECT_EQ(store.replica(b).value().state, ReplicaState::kBeingWritten);
+  ASSERT_TRUE(store.append(b, 500).ok());  // writable again
+}
+
+TEST(BlockStore, RemoveReplica) {
+  BlockStore store;
+  const BlockId b{1};
+  ASSERT_TRUE(store.create_replica(b).ok());
+  ASSERT_TRUE(store.remove(b).ok());
+  EXPECT_FALSE(store.has_replica(b));
+  EXPECT_FALSE(store.remove(b).ok());
+}
+
+TEST(BlockStore, Totals) {
+  BlockStore store;
+  ASSERT_TRUE(store.create_replica(BlockId{1}).ok());
+  ASSERT_TRUE(store.create_replica(BlockId{2}).ok());
+  ASSERT_TRUE(store.append(BlockId{1}, 100).ok());
+  ASSERT_TRUE(store.append(BlockId{2}, 50).ok());
+  EXPECT_EQ(store.total_bytes(), 150);
+  EXPECT_EQ(store.replica_count(), 2u);
+  EXPECT_EQ(store.all_replicas().size(), 2u);
+}
+
+// --- StagingBuffer -------------------------------------------------------------
+
+TEST(StagingBuffer, ReserveRelease) {
+  StagingBuffer buf(1000);
+  EXPECT_TRUE(buf.reserve(600));
+  EXPECT_EQ(buf.used(), 600);
+  EXPECT_EQ(buf.free(), 400);
+  buf.release(200);
+  EXPECT_EQ(buf.used(), 400);
+}
+
+TEST(StagingBuffer, OverflowRefusedAndCounted) {
+  StagingBuffer buf(1000);
+  EXPECT_TRUE(buf.reserve(900));
+  EXPECT_FALSE(buf.reserve(200));
+  EXPECT_EQ(buf.overflow_events(), 1u);
+  EXPECT_EQ(buf.used(), 900);  // refused reservation does not change usage
+}
+
+TEST(StagingBuffer, ForcedReserveRecordsOverflow) {
+  StagingBuffer buf(1000);
+  buf.reserve_forced(1500);
+  EXPECT_EQ(buf.used(), 1500);
+  EXPECT_EQ(buf.overflow_events(), 1u);
+  EXPECT_EQ(buf.high_water(), 1500);
+}
+
+TEST(StagingBuffer, HighWaterTracksPeak) {
+  StagingBuffer buf(1000);
+  EXPECT_TRUE(buf.reserve(800));
+  buf.release(600);
+  EXPECT_TRUE(buf.reserve(100));
+  EXPECT_EQ(buf.high_water(), 800);
+}
+
+TEST(StagingBuffer, OverReleaseThrows) {
+  StagingBuffer buf(1000);
+  EXPECT_TRUE(buf.reserve(100));
+  EXPECT_THROW(buf.release(200), std::logic_error);
+}
+
+}  // namespace
+}  // namespace smarth::storage

@@ -1,0 +1,82 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smarth::net {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = topo_.add_host("a", "/rack0");
+    b_ = topo_.add_host("b", "/rack0");
+    c_ = topo_.add_host("c", "/rack1");
+  }
+  Topology topo_;
+  NodeId a_, b_, c_;
+};
+
+TEST_F(TopologyTest, Counts) {
+  EXPECT_EQ(topo_.host_count(), 3u);
+  EXPECT_EQ(topo_.rack_count(), 2u);
+}
+
+TEST_F(TopologyTest, Lookup) {
+  EXPECT_EQ(topo_.host_name(a_), "a");
+  EXPECT_EQ(topo_.rack_of(c_), "/rack1");
+  EXPECT_EQ(topo_.network_location(b_), "/rack0/b");
+}
+
+TEST_F(TopologyTest, SameRack) {
+  EXPECT_TRUE(topo_.same_rack(a_, b_));
+  EXPECT_FALSE(topo_.same_rack(a_, c_));
+}
+
+TEST_F(TopologyTest, HdfsDistances) {
+  EXPECT_EQ(topo_.distance(a_, a_), 0);
+  EXPECT_EQ(topo_.distance(a_, b_), 2);
+  EXPECT_EQ(topo_.distance(a_, c_), 4);
+}
+
+TEST_F(TopologyTest, HostsOnRackInOrder) {
+  const auto& rack0 = topo_.hosts_on_rack("/rack0");
+  ASSERT_EQ(rack0.size(), 2u);
+  EXPECT_EQ(rack0[0], a_);
+  EXPECT_EQ(rack0[1], b_);
+}
+
+TEST_F(TopologyTest, RackOrderIsFirstRegistration) {
+  const auto& racks = topo_.racks();
+  ASSERT_EQ(racks.size(), 2u);
+  EXPECT_EQ(racks[0], "/rack0");
+  EXPECT_EQ(racks[1], "/rack1");
+}
+
+TEST_F(TopologyTest, FindHost) {
+  const auto found = topo_.find_host("c");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), c_);
+  EXPECT_FALSE(topo_.find_host("nope").ok());
+}
+
+TEST_F(TopologyTest, AllHosts) {
+  const auto hosts = topo_.all_hosts();
+  ASSERT_EQ(hosts.size(), 3u);
+  EXPECT_EQ(hosts[0], a_);
+  EXPECT_EQ(hosts[2], c_);
+}
+
+TEST_F(TopologyTest, DuplicateNameThrows) {
+  EXPECT_THROW(topo_.add_host("a", "/rack2"), std::logic_error);
+}
+
+TEST_F(TopologyTest, UnknownRackThrows) {
+  EXPECT_THROW(topo_.hosts_on_rack("/nope"), std::logic_error);
+}
+
+TEST_F(TopologyTest, UnknownNodeThrows) {
+  EXPECT_THROW(topo_.host_name(NodeId{99}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace smarth::net

@@ -1,0 +1,107 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace smarth {
+namespace {
+
+TEST(Units, DurationConstructors) {
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(milliseconds(3), 3'000'000);
+  EXPECT_EQ(microseconds(5), 5'000);
+  EXPECT_EQ(seconds_f(0.5), 500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(8)), 8.0);
+}
+
+TEST(Units, ByteConstructors) {
+  EXPECT_EQ(kib(1), 1024);
+  EXPECT_EQ(mib(64), 64LL * 1024 * 1024);
+  EXPECT_EQ(gib(8), 8LL * 1024 * 1024 * 1024);
+}
+
+TEST(Units, BandwidthTransmitTime) {
+  const Bandwidth bw = Bandwidth::mbps(100);
+  // 64 KiB at 100 Mbps = 65536*8/100e6 s = 5.24288 ms.
+  EXPECT_EQ(bw.transmit_time(64 * kKiB), 5'242'880);
+  EXPECT_EQ(bw.transmit_time(0), 0);
+}
+
+TEST(Units, UnlimitedBandwidth) {
+  EXPECT_TRUE(kUnlimitedBandwidth.is_unlimited());
+  EXPECT_EQ(kUnlimitedBandwidth.transmit_time(gib(1)), 0);
+  // Unlimited compares greater than any finite rate.
+  EXPECT_TRUE(Bandwidth::mbps(1000) < kUnlimitedBandwidth);
+  EXPECT_FALSE(kUnlimitedBandwidth < Bandwidth::mbps(1000));
+}
+
+TEST(Units, BandwidthMinOrdering) {
+  const Bandwidth a = Bandwidth::mbps(50);
+  const Bandwidth b = Bandwidth::mbps(216);
+  EXPECT_TRUE(a < b);
+  EXPECT_EQ(min(a, b), a);
+  EXPECT_EQ(min(b, a), a);
+  EXPECT_EQ(min(a, kUnlimitedBandwidth), a);
+}
+
+TEST(Units, MegaBytesPerSecond) {
+  const Bandwidth disk = Bandwidth::mega_bytes_per_second(100);
+  EXPECT_DOUBLE_EQ(disk.bits_per_second(), 800e6);
+  EXPECT_DOUBLE_EQ(disk.bytes_per_second(), 100e6);
+}
+
+TEST(Units, ThroughputOf) {
+  // 1 GiB in 10 s.
+  const Bandwidth t = throughput_of(gib(1), seconds(10));
+  EXPECT_NEAR(t.bits_per_second(), 8.0 * 1073741824.0 / 10.0, 1.0);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_bytes(gib(8)), "8.00 GiB");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bandwidth(Bandwidth::mbps(50)), "50.00 Mbps");
+  EXPECT_EQ(format_bandwidth(kUnlimitedBandwidth), "unlimited");
+  EXPECT_EQ(format_duration(seconds(2)), "2.000 s");
+}
+
+TEST(Ids, TypedIdsAreDistinctAndComparable) {
+  const NodeId a{1};
+  const NodeId b{2};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.to_string(), "node-1");
+  EXPECT_FALSE(NodeId{}.valid());
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Ids, GeneratorIsMonotonic) {
+  IdGenerator<BlockId> gen;
+  EXPECT_EQ(gen.next().value(), 0);
+  EXPECT_EQ(gen.next().value(), 1);
+  EXPECT_EQ(gen.issued(), 2);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 7;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  Result<int> err = make_error("nope", "does not work");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, "nope");
+  EXPECT_THROW(err.value(), std::logic_error);
+}
+
+TEST(Result, StatusSemantics) {
+  Status ok = Status::ok_status();
+  EXPECT_TRUE(ok.ok());
+  Status bad = make_error("bad", "broken");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "bad");
+  EXPECT_THROW(ok.error(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace smarth

@@ -1,0 +1,185 @@
+// smarthsim — command-line driver for the simulator. Builds a cluster from
+// flags, applies throttles and faults, runs one upload per requested
+// protocol on fresh identical worlds, and prints a report (optionally with a
+// pipeline-concurrency timeline and protocol-level logging).
+//
+//   smarthsim --cluster=medium --size-gb=8 --throttle-mbps=50
+//   smarthsim --cluster=hetero --protocol=both --timeline
+//   smarthsim --cluster=small --slow-nodes=2 --slow-mbps=50 --crash=3@30
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "common/flags.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "metrics/timeline.hpp"
+#include "sim/periodic_task.hpp"
+#include "workload/fault_plan.hpp"
+
+using namespace smarth;
+
+namespace {
+
+cluster::ClusterSpec spec_from_flags(const FlagSet& flags) {
+  const std::string name = flags.get("cluster");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed").value_or(42));
+  cluster::ClusterSpec spec;
+  if (name == "hetero" || name == "heterogeneous") {
+    spec = cluster::heterogeneous_cluster(seed);
+  } else {
+    const auto datanodes = static_cast<std::size_t>(
+        flags.get_int("datanodes").value_or(9));
+    spec = cluster::homogeneous_cluster(cluster::instance_by_name(name),
+                                        datanodes, seed);
+  }
+  if (const auto block_mb = flags.get_int("block-mb")) {
+    spec.hdfs.block_size = *block_mb * kMiB;
+  }
+  if (const auto repl = flags.get_int("replication")) {
+    spec.hdfs.replication = static_cast<int>(*repl);
+  }
+  return spec;
+}
+
+struct RunOutcome {
+  hdfs::StreamStats stats;
+  metrics::Timeline concurrency{"pipeline concurrency"};
+  std::uint64_t events = 0;
+};
+
+RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
+  cluster::Cluster cluster(spec_from_flags(flags));
+
+  if (const auto throttle = flags.get_double("throttle-mbps");
+      throttle && *throttle > 0) {
+    cluster.throttle_cross_rack(Bandwidth::mbps(*throttle));
+  }
+  const auto slow_nodes = flags.get_int("slow-nodes").value_or(0);
+  const double slow_mbps = flags.get_double("slow-mbps").value_or(50);
+  for (std::int64_t i = 0; i < slow_nodes; ++i) {
+    cluster.throttle_datanode(static_cast<std::size_t>(i),
+                              Bandwidth::mbps(slow_mbps));
+  }
+  if (flags.has("crash")) {
+    // --crash=<datanode>@<seconds>
+    const std::string crash = flags.get("crash");
+    const auto at = crash.find('@');
+    if (at != std::string::npos) {
+      workload::FaultPlan plan;
+      plan.crash(static_cast<std::size_t>(std::stol(crash.substr(0, at))),
+                 seconds_f(std::stod(crash.substr(at + 1))));
+      plan.apply(cluster);
+    }
+  }
+  if (flags.get_bool("verbose")) {
+    Logger::instance().set_level(LogLevel::kInfo);
+    Logger::instance().set_time_source(
+        [&cluster] { return cluster.sim().now(); });
+  }
+
+  RunOutcome outcome;
+  const Bytes size =
+      static_cast<Bytes>(flags.get_double("size-gb").value_or(1.0) *
+                         static_cast<double>(kGiB));
+
+  std::unique_ptr<sim::PeriodicTask> sampler;
+  if (flags.get_bool("timeline")) {
+    sampler = std::make_unique<sim::PeriodicTask>(
+        cluster.sim(), seconds(1), [&cluster, &outcome] {
+          const hdfs::OutputStreamBase* stream = cluster.latest_stream();
+          outcome.concurrency.record(
+              cluster.sim().now(),
+              stream != nullptr && !stream->finished()
+                  ? static_cast<double>(stream->active_pipeline_count())
+                  : 0.0);
+        });
+    sampler->start_with_delay(0);
+  }
+
+  outcome.stats = cluster.run_upload("/data/cli.bin", size, protocol);
+  outcome.events = cluster.sim().events_executed();
+  if (sampler) sampler->stop();
+  Logger::instance().set_level(LogLevel::kWarn);
+  Logger::instance().set_time_source(nullptr);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("smarthsim");
+  flags.declare("cluster", "small | medium | large | hetero", "small");
+  flags.declare("datanodes", "datanode count for homogeneous clusters", "9");
+  flags.declare("size-gb", "upload size in GiB (fractional ok)", "1");
+  flags.declare("protocol", "hdfs | smarth | both", "both");
+  flags.declare("throttle-mbps", "cross-rack throttle (0 = none)", "0");
+  flags.declare("slow-nodes", "number of individually throttled datanodes",
+                "0");
+  flags.declare("slow-mbps", "bandwidth of the slow datanodes", "50");
+  flags.declare("crash", "crash fault: <datanode>@<seconds>", "");
+  flags.declare("block-mb", "HDFS block size in MiB", "64");
+  flags.declare("replication", "replication factor", "3");
+  flags.declare("seed", "simulation seed", "42");
+  flags.declare_bool("timeline", "print a pipeline-concurrency timeline");
+  flags.declare_bool("verbose", "protocol-level logging");
+  flags.declare_bool("help", "show usage");
+
+  if (const Status parsed = flags.parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.error().to_string().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help")) {
+    std::printf("%s", flags.usage().c_str());
+    return 0;
+  }
+
+  const std::string protocol_choice = flags.get("protocol");
+  std::vector<cluster::Protocol> protocols;
+  if (protocol_choice == "hdfs" || protocol_choice == "both") {
+    protocols.push_back(cluster::Protocol::kHdfs);
+  }
+  if (protocol_choice == "smarth" || protocol_choice == "both") {
+    protocols.push_back(cluster::Protocol::kSmarth);
+  }
+  if (protocols.empty()) {
+    std::fprintf(stderr, "unknown --protocol=%s\n", protocol_choice.c_str());
+    return 2;
+  }
+
+  TextTable table({"protocol", "seconds", "throughput (Mbps)", "blocks",
+                   "pipelines", "max concurrent", "recoveries", "events"});
+  std::vector<double> seconds_by_protocol;
+  for (const cluster::Protocol protocol : protocols) {
+    const RunOutcome outcome = run_once(flags, protocol);
+    if (outcome.stats.failed) {
+      std::fprintf(stderr, "%s upload failed: %s\n",
+                   cluster::protocol_name(protocol),
+                   outcome.stats.failure_reason.c_str());
+      return 1;
+    }
+    seconds_by_protocol.push_back(to_seconds(outcome.stats.elapsed()));
+    table.add_row({cluster::protocol_name(protocol),
+                   TextTable::num(to_seconds(outcome.stats.elapsed())),
+                   TextTable::num(outcome.stats.throughput().mbps(), 1),
+                   std::to_string(outcome.stats.blocks),
+                   std::to_string(outcome.stats.pipelines_created),
+                   std::to_string(outcome.stats.max_concurrent_pipelines),
+                   std::to_string(outcome.stats.recoveries),
+                   std::to_string(outcome.events)});
+    if (flags.get_bool("timeline") && !outcome.concurrency.empty()) {
+      std::printf("%s\n", outcome.concurrency.render_ascii().c_str());
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (seconds_by_protocol.size() == 2) {
+    std::printf("improvement: %.1f%%\n",
+                (seconds_by_protocol[0] / seconds_by_protocol[1] - 1.0) *
+                    100.0);
+  }
+  return 0;
+}
