@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_balance.dir/bench_ext_balance.cpp.o"
+  "CMakeFiles/bench_ext_balance.dir/bench_ext_balance.cpp.o.d"
+  "bench_ext_balance"
+  "bench_ext_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

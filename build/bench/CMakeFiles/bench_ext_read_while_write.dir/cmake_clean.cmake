@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_read_while_write.dir/bench_ext_read_while_write.cpp.o"
+  "CMakeFiles/bench_ext_read_while_write.dir/bench_ext_read_while_write.cpp.o.d"
+  "bench_ext_read_while_write"
+  "bench_ext_read_while_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_read_while_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

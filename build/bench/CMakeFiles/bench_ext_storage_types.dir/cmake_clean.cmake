@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_storage_types.dir/bench_ext_storage_types.cpp.o"
+  "CMakeFiles/bench_ext_storage_types.dir/bench_ext_storage_types.cpp.o.d"
+  "bench_ext_storage_types"
+  "bench_ext_storage_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_storage_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_filesize.dir/bench_fig5_filesize.cpp.o"
+  "CMakeFiles/bench_fig5_filesize.dir/bench_fig5_filesize.cpp.o.d"
+  "bench_fig5_filesize"
+  "bench_fig5_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_contention.dir/bandwidth_contention.cpp.o"
+  "CMakeFiles/bandwidth_contention.dir/bandwidth_contention.cpp.o.d"
+  "bandwidth_contention"
+  "bandwidth_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

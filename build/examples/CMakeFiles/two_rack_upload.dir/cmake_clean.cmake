@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_rack_upload.dir/two_rack_upload.cpp.o"
+  "CMakeFiles/two_rack_upload.dir/two_rack_upload.cpp.o.d"
+  "two_rack_upload"
+  "two_rack_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_rack_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

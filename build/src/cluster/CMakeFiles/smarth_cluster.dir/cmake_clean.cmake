@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/smarth_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/smarth_cluster.dir/cluster_spec.cpp.o"
+  "CMakeFiles/smarth_cluster.dir/cluster_spec.cpp.o.d"
+  "CMakeFiles/smarth_cluster.dir/instance_profile.cpp.o"
+  "CMakeFiles/smarth_cluster.dir/instance_profile.cpp.o.d"
+  "libsmarth_cluster.a"
+  "libsmarth_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

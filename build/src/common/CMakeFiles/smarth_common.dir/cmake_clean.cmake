@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_common.dir/check.cpp.o"
+  "CMakeFiles/smarth_common.dir/check.cpp.o.d"
+  "CMakeFiles/smarth_common.dir/flags.cpp.o"
+  "CMakeFiles/smarth_common.dir/flags.cpp.o.d"
+  "CMakeFiles/smarth_common.dir/histogram.cpp.o"
+  "CMakeFiles/smarth_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/smarth_common.dir/log.cpp.o"
+  "CMakeFiles/smarth_common.dir/log.cpp.o.d"
+  "CMakeFiles/smarth_common.dir/rng.cpp.o"
+  "CMakeFiles/smarth_common.dir/rng.cpp.o.d"
+  "CMakeFiles/smarth_common.dir/table.cpp.o"
+  "CMakeFiles/smarth_common.dir/table.cpp.o.d"
+  "CMakeFiles/smarth_common.dir/units.cpp.o"
+  "CMakeFiles/smarth_common.dir/units.cpp.o.d"
+  "libsmarth_common.a"
+  "libsmarth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_harness.dir/experiment.cpp.o"
+  "CMakeFiles/smarth_harness.dir/experiment.cpp.o.d"
+  "libsmarth_harness.a"
+  "libsmarth_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

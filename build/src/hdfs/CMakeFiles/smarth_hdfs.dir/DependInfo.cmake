@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdfs/datanode.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/datanode.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/datanode.cpp.o.d"
+  "/root/repo/src/hdfs/dfs_client.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/dfs_client.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/dfs_client.cpp.o.d"
+  "/root/repo/src/hdfs/input_stream.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/input_stream.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/input_stream.cpp.o.d"
+  "/root/repo/src/hdfs/namenode.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/namenode.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/namenode.cpp.o.d"
+  "/root/repo/src/hdfs/output_stream.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/output_stream.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/output_stream.cpp.o.d"
+  "/root/repo/src/hdfs/placement.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/placement.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/placement.cpp.o.d"
+  "/root/repo/src/hdfs/recovery.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/recovery.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/recovery.cpp.o.d"
+  "/root/repo/src/hdfs/transport.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/transport.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/transport.cpp.o.d"
+  "/root/repo/src/hdfs/types.cpp" "src/hdfs/CMakeFiles/smarth_hdfs.dir/types.cpp.o" "gcc" "src/hdfs/CMakeFiles/smarth_hdfs.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smarth_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smarth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smarth_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/smarth_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/smarth_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_hdfs.dir/datanode.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/datanode.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/dfs_client.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/dfs_client.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/input_stream.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/input_stream.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/namenode.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/namenode.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/output_stream.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/output_stream.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/placement.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/placement.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/recovery.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/recovery.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/transport.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/transport.cpp.o.d"
+  "CMakeFiles/smarth_hdfs.dir/types.cpp.o"
+  "CMakeFiles/smarth_hdfs.dir/types.cpp.o.d"
+  "libsmarth_hdfs.a"
+  "libsmarth_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_metrics.dir/report.cpp.o"
+  "CMakeFiles/smarth_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/smarth_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/smarth_metrics.dir/timeline.cpp.o.d"
+  "libsmarth_metrics.a"
+  "libsmarth_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_model.dir/cost_model.cpp.o"
+  "CMakeFiles/smarth_model.dir/cost_model.cpp.o.d"
+  "libsmarth_model.a"
+  "libsmarth_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cross_traffic.cpp" "src/net/CMakeFiles/smarth_net.dir/cross_traffic.cpp.o" "gcc" "src/net/CMakeFiles/smarth_net.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/smarth_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/smarth_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/smarth_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/smarth_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/smarth_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/smarth_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smarth_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smarth_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

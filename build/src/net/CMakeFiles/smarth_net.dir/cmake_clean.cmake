@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_net.dir/cross_traffic.cpp.o"
+  "CMakeFiles/smarth_net.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/smarth_net.dir/link.cpp.o"
+  "CMakeFiles/smarth_net.dir/link.cpp.o.d"
+  "CMakeFiles/smarth_net.dir/network.cpp.o"
+  "CMakeFiles/smarth_net.dir/network.cpp.o.d"
+  "CMakeFiles/smarth_net.dir/topology.cpp.o"
+  "CMakeFiles/smarth_net.dir/topology.cpp.o.d"
+  "libsmarth_net.a"
+  "libsmarth_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

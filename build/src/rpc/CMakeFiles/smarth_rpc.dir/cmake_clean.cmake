@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_rpc.dir/rpc_bus.cpp.o"
+  "CMakeFiles/smarth_rpc.dir/rpc_bus.cpp.o.d"
+  "libsmarth_rpc.a"
+  "libsmarth_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

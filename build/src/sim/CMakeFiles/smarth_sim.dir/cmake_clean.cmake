@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_sim.dir/periodic_task.cpp.o"
+  "CMakeFiles/smarth_sim.dir/periodic_task.cpp.o.d"
+  "CMakeFiles/smarth_sim.dir/simulation.cpp.o"
+  "CMakeFiles/smarth_sim.dir/simulation.cpp.o.d"
+  "libsmarth_sim.a"
+  "libsmarth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmarth_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_core.dir/global_optimizer.cpp.o"
+  "CMakeFiles/smarth_core.dir/global_optimizer.cpp.o.d"
+  "CMakeFiles/smarth_core.dir/local_optimizer.cpp.o"
+  "CMakeFiles/smarth_core.dir/local_optimizer.cpp.o.d"
+  "CMakeFiles/smarth_core.dir/smarth_stream.cpp.o"
+  "CMakeFiles/smarth_core.dir/smarth_stream.cpp.o.d"
+  "CMakeFiles/smarth_core.dir/speed_tracker.cpp.o"
+  "CMakeFiles/smarth_core.dir/speed_tracker.cpp.o.d"
+  "libsmarth_core.a"
+  "libsmarth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

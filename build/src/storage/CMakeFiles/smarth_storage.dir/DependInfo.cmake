@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_store.cpp" "src/storage/CMakeFiles/smarth_storage.dir/block_store.cpp.o" "gcc" "src/storage/CMakeFiles/smarth_storage.dir/block_store.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/smarth_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/smarth_storage.dir/disk.cpp.o.d"
+  "/root/repo/src/storage/staging_buffer.cpp" "src/storage/CMakeFiles/smarth_storage.dir/staging_buffer.cpp.o" "gcc" "src/storage/CMakeFiles/smarth_storage.dir/staging_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smarth_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smarth_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_storage.dir/block_store.cpp.o"
+  "CMakeFiles/smarth_storage.dir/block_store.cpp.o.d"
+  "CMakeFiles/smarth_storage.dir/disk.cpp.o"
+  "CMakeFiles/smarth_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/smarth_storage.dir/staging_buffer.cpp.o"
+  "CMakeFiles/smarth_storage.dir/staging_buffer.cpp.o.d"
+  "libsmarth_storage.a"
+  "libsmarth_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

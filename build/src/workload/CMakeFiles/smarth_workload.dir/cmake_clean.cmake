@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarth_workload.dir/fault_plan.cpp.o"
+  "CMakeFiles/smarth_workload.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/smarth_workload.dir/upload_workload.cpp.o"
+  "CMakeFiles/smarth_workload.dir/upload_workload.cpp.o.d"
+  "libsmarth_workload.a"
+  "libsmarth_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarth_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for smarth_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fault_tolerance.dir/integration_fault_tolerance.cpp.o"
+  "CMakeFiles/integration_fault_tolerance.dir/integration_fault_tolerance.cpp.o.d"
+  "integration_fault_tolerance"
+  "integration_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_heterogeneous.dir/integration_heterogeneous.cpp.o"
+  "CMakeFiles/integration_heterogeneous.dir/integration_heterogeneous.cpp.o.d"
+  "integration_heterogeneous"
+  "integration_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_partition.cpp" "tests/CMakeFiles/integration_partition.dir/integration_partition.cpp.o" "gcc" "tests/CMakeFiles/integration_partition.dir/integration_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smarth_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smarth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smarth_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/smarth_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/smarth_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/smarth_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/smarth/CMakeFiles/smarth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/smarth_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/smarth_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smarth_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/smarth_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/smarth_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

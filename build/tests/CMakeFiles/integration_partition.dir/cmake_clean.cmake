@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_partition.dir/integration_partition.cpp.o"
+  "CMakeFiles/integration_partition.dir/integration_partition.cpp.o.d"
+  "integration_partition"
+  "integration_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

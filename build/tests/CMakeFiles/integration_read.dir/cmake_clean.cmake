@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_read.dir/integration_read.cpp.o"
+  "CMakeFiles/integration_read.dir/integration_read.cpp.o.d"
+  "integration_read"
+  "integration_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

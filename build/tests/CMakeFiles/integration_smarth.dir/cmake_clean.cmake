@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_smarth.dir/integration_smarth.cpp.o"
+  "CMakeFiles/integration_smarth.dir/integration_smarth.cpp.o.d"
+  "integration_smarth"
+  "integration_smarth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_smarth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

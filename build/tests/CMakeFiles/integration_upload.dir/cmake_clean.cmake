@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_upload.dir/integration_upload.cpp.o"
+  "CMakeFiles/integration_upload.dir/integration_upload.cpp.o.d"
+  "integration_upload"
+  "integration_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

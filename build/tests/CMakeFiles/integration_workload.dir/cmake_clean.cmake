@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_workload.dir/integration_workload.cpp.o"
+  "CMakeFiles/integration_workload.dir/integration_workload.cpp.o.d"
+  "integration_workload"
+  "integration_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_fault_determinism.dir/prop_fault_determinism.cpp.o"
+  "CMakeFiles/prop_fault_determinism.dir/prop_fault_determinism.cpp.o.d"
+  "prop_fault_determinism"
+  "prop_fault_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_fault_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_invariants.dir/prop_invariants.cpp.o"
+  "CMakeFiles/prop_invariants.dir/prop_invariants.cpp.o.d"
+  "prop_invariants"
+  "prop_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_model_vs_sim.dir/prop_model_vs_sim.cpp.o"
+  "CMakeFiles/prop_model_vs_sim.dir/prop_model_vs_sim.cpp.o.d"
+  "prop_model_vs_sim"
+  "prop_model_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_model_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

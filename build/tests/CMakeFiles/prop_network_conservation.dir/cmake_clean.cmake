@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_network_conservation.dir/prop_network_conservation.cpp.o"
+  "CMakeFiles/prop_network_conservation.dir/prop_network_conservation.cpp.o.d"
+  "prop_network_conservation"
+  "prop_network_conservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_network_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prop_network_conservation.
+# This may be replaced when dependencies are built.

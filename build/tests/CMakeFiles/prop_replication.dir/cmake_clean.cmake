@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_replication.dir/prop_replication.cpp.o"
+  "CMakeFiles/prop_replication.dir/prop_replication.cpp.o.d"
+  "prop_replication"
+  "prop_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_spec.dir/test_cluster_spec.cpp.o"
+  "CMakeFiles/test_cluster_spec.dir/test_cluster_spec.cpp.o.d"
+  "test_cluster_spec"
+  "test_cluster_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datanode.dir/test_datanode.cpp.o"
+  "CMakeFiles/test_datanode.dir/test_datanode.cpp.o.d"
+  "test_datanode"
+  "test_datanode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datanode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

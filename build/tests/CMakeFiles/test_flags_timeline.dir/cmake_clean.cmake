@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flags_timeline.dir/test_flags_timeline.cpp.o"
+  "CMakeFiles/test_flags_timeline.dir/test_flags_timeline.cpp.o.d"
+  "test_flags_timeline"
+  "test_flags_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flags_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

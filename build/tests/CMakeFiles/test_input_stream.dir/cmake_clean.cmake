@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_stream.dir/test_input_stream.cpp.o"
+  "CMakeFiles/test_input_stream.dir/test_input_stream.cpp.o.d"
+  "test_input_stream"
+  "test_input_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

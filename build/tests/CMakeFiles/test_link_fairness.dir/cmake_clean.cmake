@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_fairness.dir/test_link_fairness.cpp.o"
+  "CMakeFiles/test_link_fairness.dir/test_link_fairness.cpp.o.d"
+  "test_link_fairness"
+  "test_link_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

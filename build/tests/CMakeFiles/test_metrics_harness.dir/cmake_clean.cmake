@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_harness.dir/test_metrics_harness.cpp.o"
+  "CMakeFiles/test_metrics_harness.dir/test_metrics_harness.cpp.o.d"
+  "test_metrics_harness"
+  "test_metrics_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

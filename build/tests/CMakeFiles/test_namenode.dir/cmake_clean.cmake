@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_namenode.dir/test_namenode.cpp.o"
+  "CMakeFiles/test_namenode.dir/test_namenode.cpp.o.d"
+  "test_namenode"
+  "test_namenode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_namenode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output_stream.dir/test_output_stream.cpp.o"
+  "CMakeFiles/test_output_stream.dir/test_output_stream.cpp.o.d"
+  "test_output_stream"
+  "test_output_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

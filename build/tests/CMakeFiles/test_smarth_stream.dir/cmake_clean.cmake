@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smarth_stream.dir/test_smarth_stream.cpp.o"
+  "CMakeFiles/test_smarth_stream.dir/test_smarth_stream.cpp.o.d"
+  "test_smarth_stream"
+  "test_smarth_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smarth_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarthsim.dir/smarthsim.cpp.o"
+  "CMakeFiles/smarthsim.dir/smarthsim.cpp.o.d"
+  "smarthsim"
+  "smarthsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarthsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
