@@ -68,6 +68,8 @@ std::size_t Cluster::add_client(const std::string& rack,
   ClientRuntime runtime;
   runtime.node = node;
   runtime.tracker = std::make_unique<core::SpeedTracker>();
+  runtime.quarantine = std::make_unique<hdfs::QuarantineList>(
+      *sim_, spec_.hdfs.quarantine_duration);
   runtime.dfs = std::make_unique<hdfs::DfsClient>(
       *sim_, *rpc_, *namenode_, spec_.hdfs, client_ids_.next(), node);
   core::SpeedTracker* tracker = runtime.tracker.get();
@@ -140,6 +142,16 @@ void Cluster::crash_datanode_at(std::size_t index, SimTime at) {
   sim_->schedule_at(at, [dn] { dn->crash(); });
 }
 
+void Cluster::restart_datanode_at(std::size_t index, SimTime at) {
+  hdfs::Datanode* dn = &datanode(index);
+  sim_->schedule_at(at, [dn] { dn->restart(); });
+}
+
+hdfs::QuarantineList& Cluster::quarantine(std::size_t client_index) {
+  SMARTH_CHECK(client_index < clients_.size());
+  return *clients_[client_index].quarantine;
+}
+
 void Cluster::enable_rereplication(SimDuration scan_interval) {
   namenode_->enable_rereplication(
       [this](NodeId source, NodeId target, BlockId block, Bytes length,
@@ -164,7 +176,7 @@ void Cluster::enable_rereplication(SimDuration scan_interval) {
       scan_interval);
 }
 
-hdfs::StreamDeps Cluster::make_stream_deps() {
+hdfs::StreamDeps Cluster::make_stream_deps(std::size_t client_index) {
   return hdfs::StreamDeps{
       *sim_,
       *transport_,
@@ -172,7 +184,8 @@ hdfs::StreamDeps Cluster::make_stream_deps() {
       *namenode_,
       spec_.hdfs,
       pipeline_ids_,
-      [this](NodeId node) { return resolve_datanode(node); }};
+      [this](NodeId node) { return resolve_datanode(node); },
+      clients_[client_index].quarantine.get()};
 }
 
 void Cluster::apply_placement_policy(Protocol protocol) {
@@ -207,6 +220,7 @@ void Cluster::upload(const std::string& path, Bytes size, Protocol protocol,
   core::SpeedTracker* tracker = runtime.tracker.get();
 
   dfs->create_file(path, [this, path, size, protocol, dfs, tracker,
+                          client_index,
                           on_done = std::move(on_done)](
                              Result<FileId> result) mutable {
     if (!result.ok()) {
@@ -221,12 +235,12 @@ void Cluster::upload(const std::string& path, Bytes size, Protocol protocol,
     std::unique_ptr<hdfs::OutputStreamBase> stream;
     if (protocol == Protocol::kSmarth) {
       stream = std::make_unique<core::SmarthOutputStream>(
-          make_stream_deps(), dfs->id(), dfs->node(), result.value(), size,
-          *tracker, std::move(on_done));
+          make_stream_deps(client_index), dfs->id(), dfs->node(),
+          result.value(), size, *tracker, std::move(on_done));
     } else {
       stream = std::make_unique<hdfs::DfsOutputStream>(
-          make_stream_deps(), dfs->id(), dfs->node(), result.value(), size,
-          std::move(on_done));
+          make_stream_deps(client_index), dfs->id(), dfs->node(),
+          result.value(), size, std::move(on_done));
     }
     hdfs::OutputStreamBase* raw = stream.get();
     streams_.push_back(std::move(stream));

@@ -62,6 +62,12 @@ class Cluster {
 
   // --- Fault injection ---------------------------------------------------------
   void crash_datanode_at(std::size_t index, SimTime at);
+  /// Crash-and-rejoin: the node reboots at `at` with its staging cleared and
+  /// non-finalized replicas discarded, then re-registers with the namenode.
+  void restart_datanode_at(std::size_t index, SimTime at);
+
+  /// The quarantine list recovery feeds and placement consults, per client.
+  hdfs::QuarantineList& quarantine(std::size_t client_index = 0);
 
   /// Turns on the namenode's background re-replication of under-replicated
   /// blocks (off by default; the paper's experiments do not rely on it).
@@ -110,9 +116,10 @@ class Cluster {
     NodeId node;
     std::unique_ptr<hdfs::DfsClient> dfs;
     std::unique_ptr<core::SpeedTracker> tracker;
+    std::unique_ptr<hdfs::QuarantineList> quarantine;
   };
 
-  hdfs::StreamDeps make_stream_deps();
+  hdfs::StreamDeps make_stream_deps(std::size_t client_index = 0);
   hdfs::DfsInputStream::Deps make_read_deps();
   void prune_finished_endpoints();
   void apply_placement_policy(Protocol protocol);

@@ -32,6 +32,11 @@ constexpr SimDuration seconds_f(double s) {
   return static_cast<SimDuration>(s * static_cast<double>(kSecond));
 }
 
+/// Converts a (possibly fractional) millisecond count to a SimDuration.
+constexpr SimDuration milliseconds_f(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
 /// Converts a SimDuration to fractional seconds (for reporting only).
 constexpr double to_seconds(SimDuration d) {
   return static_cast<double>(d) / static_cast<double>(kSecond);

@@ -1,0 +1,191 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace smarth::faults {
+
+FaultInjector::FaultInjector(cluster::Cluster& cluster,
+                             std::uint64_t chaos_seed)
+    : cluster_(cluster), rng_(chaos_seed) {
+  busy_until_.assign(cluster_.datanode_count(), 0);
+}
+
+void FaultInjector::crash(std::size_t datanode_index, SimTime at) {
+  hdfs::Datanode* dn = &cluster_.datanode(datanode_index);
+  cluster_.sim().schedule_at(at, [this, dn, datanode_index] {
+    if (dn->crashed()) return;
+    SMARTH_INFO("faults") << "crash: datanode " << datanode_index;
+    dn->crash();
+    ++counts_.crashes;
+  });
+}
+
+void FaultInjector::crash_and_rejoin(std::size_t datanode_index, SimTime at,
+                                     SimTime rejoin_at) {
+  SMARTH_CHECK_MSG(rejoin_at > at, "rejoin must come after the crash");
+  crash(datanode_index, at);
+  hdfs::Datanode* dn = &cluster_.datanode(datanode_index);
+  cluster_.sim().schedule_at(rejoin_at, [this, dn, datanode_index] {
+    if (!dn->crashed()) return;
+    SMARTH_INFO("faults") << "rejoin: datanode " << datanode_index;
+    dn->restart();
+    ++counts_.restarts;
+  });
+  mark_busy(datanode_index, rejoin_at);
+}
+
+void FaultInjector::fail_slow(std::size_t datanode_index, SimTime from,
+                              SimTime until, double disk_factor,
+                              double nic_factor) {
+  SMARTH_CHECK_MSG(until > from, "fail-slow window must have positive length");
+  hdfs::Datanode* dn = &cluster_.datanode(datanode_index);
+  const NodeId node = cluster_.datanode_id(datanode_index);
+  net::Network* net = &cluster_.network();
+
+  cluster_.sim().schedule_at(from, [this, dn, net, node, datanode_index, until,
+                                    disk_factor, nic_factor] {
+    const Bandwidth disk_before = dn->disk().write_bandwidth();
+    const Bandwidth nic_before = net->node_nic(node);
+    if (disk_factor > 1.0 && !disk_before.is_unlimited()) {
+      dn->disk().set_write_bandwidth(Bandwidth::bits_per_second(
+          disk_before.bits_per_second() / disk_factor));
+    }
+    if (nic_factor > 1.0 && !nic_before.is_unlimited()) {
+      net->set_node_nic(node, Bandwidth::bits_per_second(
+                                  nic_before.bits_per_second() / nic_factor));
+    }
+    ++counts_.fail_slows;
+    SMARTH_INFO("faults") << "fail-slow: datanode " << datanode_index
+                          << " (disk /" << disk_factor << ", nic /"
+                          << nic_factor << ") until " << until;
+    cluster_.sim().schedule_at(until,
+                               [dn, net, node, disk_before, nic_before,
+                                datanode_index] {
+                                 dn->disk().set_write_bandwidth(disk_before);
+                                 net->set_node_nic(node, nic_before);
+                                 SMARTH_INFO("faults")
+                                     << "fail-slow over: datanode "
+                                     << datanode_index;
+                               });
+  });
+  mark_busy(datanode_index, until);
+}
+
+void FaultInjector::flap_node(std::size_t datanode_index, SimTime down_at,
+                              SimTime up_at) {
+  SMARTH_CHECK_MSG(up_at > down_at, "flap window must have positive length");
+  const NodeId node = cluster_.datanode_id(datanode_index);
+  net::Network* net = &cluster_.network();
+  cluster_.sim().schedule_at(down_at, [this, net, node, datanode_index] {
+    SMARTH_INFO("faults") << "flap down: datanode " << datanode_index;
+    net->set_node_isolated(node, true);
+    ++counts_.flaps;
+  });
+  cluster_.sim().schedule_at(up_at, [net, node, datanode_index] {
+    SMARTH_INFO("faults") << "flap up: datanode " << datanode_index;
+    net->set_node_isolated(node, false);
+  });
+  mark_busy(datanode_index, up_at);
+}
+
+void FaultInjector::partition_racks(const std::string& rack_a,
+                                    const std::string& rack_b, SimTime sever_at,
+                                    SimTime heal_at) {
+  SMARTH_CHECK_MSG(heal_at > sever_at,
+                   "partition window must have positive length");
+  net::Network* net = &cluster_.network();
+  cluster_.sim().schedule_at(sever_at, [this, net, rack_a, rack_b] {
+    SMARTH_INFO("faults") << "partition: " << rack_a << " <-/-> " << rack_b;
+    net->set_rack_partition(rack_a, rack_b, true);
+    ++counts_.partitions;
+  });
+  cluster_.sim().schedule_at(heal_at, [net, rack_a, rack_b] {
+    SMARTH_INFO("faults") << "partition healed: " << rack_a << " <-> "
+                          << rack_b;
+    net->set_rack_partition(rack_a, rack_b, false);
+  });
+}
+
+void FaultInjector::corrupt_nth_packet(std::size_t datanode_index,
+                                       std::uint64_t nth) {
+  cluster_.datanode(datanode_index).inject_checksum_error_on_nth_packet(nth);
+  ++counts_.corruptions;
+}
+
+void FaultInjector::set_rpc_chaos(double loss_probability,
+                                  SimDuration delay_mean,
+                                  SimDuration delay_jitter) {
+  rpc::RpcChaos chaos;
+  chaos.loss_probability = loss_probability;
+  chaos.delay_mean = delay_mean;
+  chaos.delay_jitter = delay_jitter;
+  cluster_.rpc().set_chaos(chaos);
+}
+
+void FaultInjector::start_chaos(const ChaosRates& rates, SimDuration tick) {
+  SMARTH_CHECK_MSG(tick > 0, "chaos tick must be positive");
+  rates_ = rates;
+  tick_ = tick;
+  set_rpc_chaos(rates_.rpc_loss, rates_.rpc_delay_mean,
+                rates_.rpc_delay_jitter);
+  if (rates_.crash_per_minute <= 0.0 && rates_.fail_slow_per_minute <= 0.0 &&
+      rates_.flap_per_minute <= 0.0) {
+    return;  // only RPC chaos requested; no sampling loop needed
+  }
+  chaos_task_ = std::make_unique<sim::PeriodicTask>(cluster_.sim(), tick_,
+                                                    [this] { chaos_tick(); });
+  chaos_task_->start();
+}
+
+void FaultInjector::stop_chaos() {
+  if (chaos_task_) chaos_task_->stop();
+  cluster_.rpc().set_chaos(rpc::RpcChaos{});
+}
+
+bool FaultInjector::chaos_running() const {
+  return chaos_task_ != nullptr && chaos_task_->running();
+}
+
+bool FaultInjector::node_busy(std::size_t index) const {
+  return busy_until_[index] > cluster_.sim().now();
+}
+
+void FaultInjector::mark_busy(std::size_t index, SimTime until) {
+  if (index < busy_until_.size()) {
+    busy_until_[index] = std::max(busy_until_[index], until);
+  }
+}
+
+void FaultInjector::chaos_tick() {
+  const double per_minute_to_per_tick =
+      to_seconds(tick_) / 60.0;
+  const SimTime now = cluster_.sim().now();
+  for (std::size_t i = 0; i < cluster_.datanode_count(); ++i) {
+    // One draw per enabled fault class per node per tick, whether or not the
+    // node is busy: the consumption pattern stays fixed, so a fault firing
+    // early never shifts every later draw.
+    const bool crash_hit =
+        rates_.crash_per_minute > 0.0 &&
+        rng_.uniform() < rates_.crash_per_minute * per_minute_to_per_tick;
+    const bool slow_hit =
+        rates_.fail_slow_per_minute > 0.0 &&
+        rng_.uniform() < rates_.fail_slow_per_minute * per_minute_to_per_tick;
+    const bool flap_hit =
+        rates_.flap_per_minute > 0.0 &&
+        rng_.uniform() < rates_.flap_per_minute * per_minute_to_per_tick;
+    if (node_busy(i)) continue;
+    if (crash_hit) {
+      crash_and_rejoin(i, now, now + rates_.rejoin_delay);
+    } else if (slow_hit) {
+      fail_slow(i, now, now + rates_.fail_slow_duration,
+                rates_.fail_slow_factor, rates_.fail_slow_factor);
+    } else if (flap_hit) {
+      flap_node(i, now, now + rates_.flap_duration);
+    }
+  }
+}
+
+}  // namespace smarth::faults

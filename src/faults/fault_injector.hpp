@@ -1,0 +1,128 @@
+// The chaos engine: a single place that turns a Cluster into a hostile one.
+// Two modes compose freely:
+//
+//  * Deterministic one-shot injections — crash-and-rejoin, fail-slow windows
+//    (disk and/or NIC throttled by a factor, then restored), NIC flaps
+//    (node isolated then healed), rack partition windows, checksum
+//    corruption, RPC loss/delay — each scheduled at explicit simulated times.
+//    This subsumes workload::FaultPlan (kept for back-compat).
+//
+//  * Seeded chaos mode — a periodic tick samples per-datanode Bernoulli
+//    trials from configurable per-minute rates and applies the same
+//    injections with durations drawn from the chaos Rng. The injector owns
+//    its own generator, so a (chaos seed, rates, cluster seed) triple
+//    reproduces the fault timeline bit-for-bit, independent of how much
+//    randomness the workload itself consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/periodic_task.hpp"
+
+namespace smarth::faults {
+
+/// Per-minute event rates (and shape parameters) for seeded chaos mode.
+/// A rate of r means each datanode suffers that fault ~r times per simulated
+/// minute, sampled independently per tick.
+struct ChaosRates {
+  double crash_per_minute = 0.0;      ///< crash-and-rejoin events
+  double fail_slow_per_minute = 0.0;  ///< transient disk+NIC degradation
+  double flap_per_minute = 0.0;       ///< NIC isolation windows
+
+  /// Control-plane chaos, applied to the RPC bus when any() holds.
+  double rpc_loss = 0.0;              ///< per-message drop probability
+  SimDuration rpc_delay_mean = 0;     ///< extra control-message latency
+  SimDuration rpc_delay_jitter = 0;   ///< uniform extra on top of the mean
+
+  // Shape parameters for sampled events.
+  SimDuration rejoin_delay = seconds(5);        ///< crash -> restart
+  SimDuration fail_slow_duration = seconds(10); ///< throttle window
+  double fail_slow_factor = 8.0;                ///< bandwidth divisor
+  SimDuration flap_duration = seconds(2);       ///< isolation window
+
+  bool any() const {
+    return crash_per_minute > 0.0 || fail_slow_per_minute > 0.0 ||
+           flap_per_minute > 0.0 || rpc_loss > 0.0 || rpc_delay_mean > 0;
+  }
+};
+
+/// How many of each fault the injector has applied (deterministic + chaos).
+struct InjectionCounts {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t fail_slows = 0;
+  std::uint64_t flaps = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t corruptions = 0;
+
+  std::uint64_t total() const {
+    return crashes + restarts + fail_slows + flaps + partitions + corruptions;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// `chaos_seed` seeds the injector's private Rng (chaos mode and duration
+  /// jitter); deterministic one-shot APIs never draw from it.
+  explicit FaultInjector(cluster::Cluster& cluster,
+                         std::uint64_t chaos_seed = 0xc4a05c4a05ULL);
+
+  // --- Deterministic one-shot injections ------------------------------------
+  /// Hard crash with no rejoin (the node stays dark).
+  void crash(std::size_t datanode_index, SimTime at);
+  /// Crash at `at`, reboot (cleared staging, re-registration, block
+  /// re-report) at `rejoin_at`.
+  void crash_and_rejoin(std::size_t datanode_index, SimTime at,
+                        SimTime rejoin_at);
+  /// Fail-slow window: divides the node's disk write bandwidth by
+  /// `disk_factor` and its NIC by `nic_factor` during [from, until), then
+  /// restores the previous rates. Factors <= 1 leave that resource alone.
+  void fail_slow(std::size_t datanode_index, SimTime from, SimTime until,
+                 double disk_factor, double nic_factor);
+  /// Link flap: the node's NIC drops every message during [down_at, up_at).
+  void flap_node(std::size_t datanode_index, SimTime down_at, SimTime up_at);
+  /// Transient inter-rack partition during [sever_at, heal_at).
+  void partition_racks(const std::string& rack_a, const std::string& rack_b,
+                       SimTime sever_at, SimTime heal_at);
+  /// Checksum corruption on the nth packet arriving at the node (1-based).
+  void corrupt_nth_packet(std::size_t datanode_index, std::uint64_t nth);
+  /// Installs RPC chaos on the bus (loss probability + delay distribution).
+  void set_rpc_chaos(double loss_probability, SimDuration delay_mean,
+                     SimDuration delay_jitter);
+
+  // --- Seeded chaos mode ------------------------------------------------------
+  /// Starts the sampling loop. Each tick draws, per datanode, one Bernoulli
+  /// trial per enabled fault class with p = rate * tick / minute; a node
+  /// already serving a fault window is skipped (draws still happen, keeping
+  /// the stream aligned). Also installs the rates' RPC chaos.
+  void start_chaos(const ChaosRates& rates,
+                   SimDuration tick = milliseconds(500));
+  void stop_chaos();
+  bool chaos_running() const;
+
+  const InjectionCounts& counts() const { return counts_; }
+  const ChaosRates& rates() const { return rates_; }
+
+ private:
+  void chaos_tick();
+  bool node_busy(std::size_t index) const;
+  void mark_busy(std::size_t index, SimTime until);
+
+  cluster::Cluster& cluster_;
+  Rng rng_;
+  ChaosRates rates_;
+  std::unique_ptr<sim::PeriodicTask> chaos_task_;
+  SimDuration tick_ = milliseconds(500);
+  InjectionCounts counts_;
+  /// Per-datanode end of the current fault window (chaos mode skips busy
+  /// nodes so windows never overlap on one node).
+  std::vector<SimTime> busy_until_;
+};
+
+}  // namespace smarth::faults

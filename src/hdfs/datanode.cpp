@@ -24,8 +24,23 @@ void Datanode::start() {
   heartbeat_ = std::make_unique<sim::PeriodicTask>(
       sim_, config_.heartbeat_interval, [this] {
         if (crashed_) return;
+        // Each heartbeat carries an incremental block report (finalized
+        // replicas). blockReceived notifications are fire-and-forget and can
+        // be lost to RPC chaos or partitions; the periodic report makes the
+        // namenode's replica map self-healing (block_received is idempotent).
+        std::vector<std::pair<BlockId, Bytes>> report;
+        for (const auto& replica : store_.all_replicas()) {
+          if (replica.state == storage::ReplicaState::kFinalized) {
+            report.emplace_back(replica.block, replica.bytes);
+          }
+        }
         rpc_.notify(self_, namenode_.node_id(),
-                    [this] { namenode_.handle_heartbeat(self_); });
+                    [this, report = std::move(report)] {
+                      namenode_.handle_heartbeat(self_);
+                      for (const auto& [block, bytes] : report) {
+                        namenode_.block_received(self_, block, bytes);
+                      }
+                    });
       });
   // Spread heartbeats so the cluster's are not phase-locked.
   const auto jitter = static_cast<SimDuration>(
@@ -43,6 +58,37 @@ void Datanode::crash() {
     buf.release(std::min(ctx.staging_held, buf.used()));
   }
   pipelines_.clear();
+}
+
+void Datanode::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // Replicas that were mid-write when the node died are untrusted and
+  // discarded; finalized replicas survive the reboot.
+  for (const auto& replica : store_.all_replicas()) {
+    if (replica.state != storage::ReplicaState::kFinalized) {
+      store_.remove(replica.block);
+    }
+  }
+  staging_.clear();
+  rpc_.set_host_down(self_, false);
+  namenode_.register_datanode(self_);
+  // Re-report surviving finalized replicas (HDFS's post-registration block
+  // report) so the namenode's replica map reflects reality again.
+  for (const auto& replica : store_.all_replicas()) {
+    rpc_.notify(self_, namenode_.node_id(),
+                [this, block = replica.block, bytes = replica.bytes] {
+                  namenode_.block_received(self_, block, bytes);
+                });
+  }
+  if (heartbeat_) {
+    const auto jitter = static_cast<SimDuration>(
+        sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));
+    heartbeat_->start_with_delay(jitter);
+  }
+  SMARTH_INFO("datanode") << "node " << self_.value() << " restarted with "
+                          << store_.finalized_count()
+                          << " finalized replicas";
 }
 
 void Datanode::inject_checksum_error(BlockId block, std::int64_t seq) {

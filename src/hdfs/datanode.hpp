@@ -65,6 +65,10 @@ class Datanode : public PacketSink {
   /// cease. Used by fault injection.
   void crash();
   bool crashed() const { return crashed_; }
+  /// Brings a crashed node back: open (never-finalized) replicas are dropped
+  /// — like real HDFS discarding rbw/ directories on restart — finalized ones
+  /// survive and are re-reported, the node re-registers and heartbeats again.
+  void restart();
 
   /// Fault injection: the packet (block, seq) fails checksum verification at
   /// this node (once).
@@ -101,6 +105,8 @@ class Datanode : public PacketSink {
   // --- Introspection ----------------------------------------------------------
   const storage::BlockStore& block_store() const { return store_; }
   const storage::DiskDevice& disk() const { return *disk_; }
+  /// Mutable access for fault injection (fail-slow disk throttling).
+  storage::DiskDevice& disk() { return *disk_; }
   Bytes staging_used(ClientId client) const;
   Bytes staging_high_water(ClientId client) const;
   std::uint64_t staging_overflows(ClientId client) const;

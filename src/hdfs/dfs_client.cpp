@@ -13,10 +13,24 @@ DfsClient::~DfsClient() = default;
 void DfsClient::create_file(const std::string& path,
                             std::function<void(Result<FileId>)> cb) {
   Namenode& nn = namenode_;
-  rpc_.call<Result<FileId>>(
-      node_, nn.node_id(),
+  rpc::RetryPolicy policy;
+  policy.timeout = config_.rpc_timeout;
+  policy.max_attempts = config_.rpc_max_attempts;
+  policy.backoff_base = config_.rpc_backoff_base;
+  policy.backoff_max = config_.rpc_backoff_max;
+  policy.jitter = config_.rpc_backoff_jitter;
+  auto shared_cb =
+      std::make_shared<std::function<void(Result<FileId>)>>(std::move(cb));
+  rpc::call_with_retry<Result<FileId>>(
+      rpc_, sim_, policy, node_, nn.node_id(),
       [&nn, path, client = id_] { return nn.create(path, client); },
-      std::move(cb));
+      [shared_cb](Result<FileId> result) { (*shared_cb)(std::move(result)); },
+      [shared_cb, path] {
+        (*shared_cb)(Error{"rpc_timeout",
+                           "create(" + path +
+                               ") gave up after repeated timeouts"});
+      },
+      retry_stats_);
 }
 
 void DfsClient::start_heartbeat(

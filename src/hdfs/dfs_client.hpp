@@ -12,6 +12,7 @@
 #include "common/result.hpp"
 #include "hdfs/namenode.hpp"
 #include "hdfs/types.hpp"
+#include "rpc/retry.hpp"
 #include "rpc/rpc_bus.hpp"
 #include "sim/periodic_task.hpp"
 #include "sim/simulation.hpp"
@@ -28,8 +29,12 @@ class DfsClient {
   NodeId node() const { return node_; }
 
   /// create() RPC (paper §II step 1): namespace checks then file creation.
+  /// Retries with exponential backoff when the namenode is unreachable.
   void create_file(const std::string& path,
                    std::function<void(Result<FileId>)> cb);
+
+  /// Control-plane attempts beyond the first / calls abandoned entirely.
+  const rpc::RetryStats& retry_stats() const { return *retry_stats_; }
 
   /// Starts the periodic heartbeat. `speed_source` (may be null) supplies
   /// the transfer-speed records to piggyback; an empty vector sends a plain
@@ -49,6 +54,8 @@ class DfsClient {
   std::function<std::vector<SpeedRecord>()> speed_source_;
   std::unique_ptr<sim::PeriodicTask> heartbeat_;
   std::uint64_t heartbeats_sent_ = 0;
+  std::shared_ptr<rpc::RetryStats> retry_stats_ =
+      std::make_shared<rpc::RetryStats>();
 };
 
 }  // namespace smarth::hdfs

@@ -49,10 +49,16 @@ void Namenode::set_placement_policy(std::unique_ptr<PlacementPolicy> policy) {
 }
 
 void Namenode::register_datanode(NodeId dn) {
-  SMARTH_CHECK_MSG(std::find(datanodes_.begin(), datanodes_.end(), dn) ==
-                       datanodes_.end(),
-                   "datanode registered twice: " << dn.value());
-  datanodes_.push_back(dn);
+  // Idempotent: a crashed datanode that restarts re-registers (real HDFS
+  // treats it as a fresh registration of a known storage id); the heartbeat
+  // clock restarts so the node counts as alive again immediately.
+  if (std::find(datanodes_.begin(), datanodes_.end(), dn) !=
+      datanodes_.end()) {
+    ++reregistrations_;
+    SMARTH_INFO("namenode") << "datanode " << dn.value() << " re-registered";
+  } else {
+    datanodes_.push_back(dn);
+  }
   last_heartbeat_[dn] = sim_.now();
 }
 
@@ -79,9 +85,14 @@ std::vector<NodeId> Namenode::alive_datanodes() const {
   return out;
 }
 
-PlacementContext Namenode::make_context(Rng& rng) const {
+PlacementContext Namenode::make_context(
+    Rng& rng, const std::vector<NodeId>* deprioritized) const {
   alive_scratch_ = alive_datanodes();
-  return PlacementContext{topology_, alive_scratch_, rng, &speeds_};
+  PlacementContext ctx{topology_, alive_scratch_, rng, &speeds_};
+  if (deprioritized != nullptr && !deprioritized->empty()) {
+    ctx.deprioritized = deprioritized;
+  }
+  return ctx;
 }
 
 Result<FileId> Namenode::create(const std::string& path, ClientId client) {
@@ -92,7 +103,14 @@ Result<FileId> Namenode::create(const std::string& path, ClientId client) {
   if (path.empty() || path.front() != '/') {
     return Error{"invalid_path", "path must be absolute: " + path};
   }
-  if (files_by_path_.find(path) != files_by_path_.end()) {
+  if (auto it = files_by_path_.find(path); it != files_by_path_.end()) {
+    FileEntry& existing = files_.at(it->second);
+    if (existing.lease_holder == client &&
+        existing.state == FileState::kUnderConstruction) {
+      // Retry of a create() whose response was lost: same client, file still
+      // open — hand back the existing entry instead of failing.
+      return existing.id;
+    }
     return Error{"file_exists", "file already exists: " + path};
   }
   const FileId id = file_ids_.next();
@@ -106,9 +124,10 @@ Result<FileId> Namenode::create(const std::string& path, ClientId client) {
   return id;
 }
 
-Result<LocatedBlock> Namenode::add_block(FileId file, ClientId client,
-                                         NodeId client_node,
-                                         const std::vector<NodeId>& excluded) {
+Result<LocatedBlock> Namenode::add_block(
+    FileId file, ClientId client, NodeId client_node,
+    const std::vector<NodeId>& excluded,
+    const std::vector<NodeId>& deprioritized, std::int64_t block_index) {
   if (safe_mode_) {
     return Error{"safe_mode", "namenode is in safe mode"};
   }
@@ -124,14 +143,27 @@ Result<LocatedBlock> Namenode::add_block(FileId file, ClientId client,
     return Error{"lease_mismatch", "client does not hold the lease on " +
                                        entry.path};
   }
+  if (block_index >= 0 &&
+      block_index < static_cast<std::int64_t>(entry.blocks.size())) {
+    // Retry of an addBlock whose response was lost: return the allocation
+    // already made for this index rather than leaking an orphan block that
+    // would keep complete() failing forever.
+    const BlockId existing = entry.blocks[static_cast<std::size_t>(
+        block_index)];
+    const BlockRecord& record = blocks_.at(existing);
+    SMARTH_DEBUG("namenode") << "addBlock retry for index " << block_index
+                             << "; returning " << existing.to_string();
+    return LocatedBlock{existing, record.expected_targets};
+  }
 
   PlacementRequest request;
   request.client = client;
   request.client_node = client_node;
   request.replication = config_.replication;
   request.excluded = excluded;
-  std::vector<NodeId> targets =
-      policy_->choose_targets(request, make_context(sim_.rng()));
+  request.deprioritized = deprioritized;
+  std::vector<NodeId> targets = policy_->choose_targets(
+      request, make_context(sim_.rng(), &request.deprioritized));
   if (static_cast<int>(targets.size()) < config_.replication) {
     return Error{"insufficient_datanodes",
                  "could only place " + std::to_string(targets.size()) +
@@ -152,7 +184,7 @@ Result<LocatedBlock> Namenode::add_block(FileId file, ClientId client,
 Result<std::vector<NodeId>> Namenode::get_additional_datanodes(
     BlockId block, ClientId client, NodeId client_node,
     const std::vector<NodeId>& existing, const std::vector<NodeId>& excluded,
-    int count) {
+    int count, const std::vector<NodeId>& deprioritized) {
   auto it = blocks_.find(block);
   if (it == blocks_.end()) {
     return Error{"block_not_found", "unknown block " + block.to_string()};
@@ -162,12 +194,14 @@ Result<std::vector<NodeId>> Namenode::get_additional_datanodes(
   request.client_node = client_node;
   request.replication = count;
   request.excluded = excluded;
+  request.deprioritized = deprioritized;
   // Existing pipeline members must not be chosen again.
   request.excluded.insert(request.excluded.end(), existing.begin(),
                           existing.end());
 
   std::vector<NodeId> chosen;
-  const PlacementContext ctx = make_context(sim_.rng());
+  const PlacementContext ctx =
+      make_context(sim_.rng(), &request.deprioritized);
   for (int i = 0; i < count; ++i) {
     NodeId pick = pick_random_node(ctx, chosen, request.excluded, nullptr);
     if (!pick.valid()) break;

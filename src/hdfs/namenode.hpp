@@ -76,22 +76,31 @@ class Namenode {
   bool is_alive(NodeId dn) const;
   std::vector<NodeId> alive_datanodes() const;
   std::size_t registered_datanode_count() const { return datanodes_.size(); }
+  /// Registrations from already-known datanodes (crash-and-rejoin).
+  std::uint64_t reregistrations() const { return reregistrations_; }
 
   // --- ClientProtocol --------------------------------------------------------
   /// Step 1 of the write workflow: namespace checks, then create the entry.
   Result<FileId> create(const std::string& path, ClientId client);
 
   /// Allocates the next block of `file` and chooses its pipeline.
+  /// `deprioritized` nodes (client quarantine) are placed only as a last
+  /// resort. `block_index` is the index the client is asking for (HDFS's
+  /// `previous` argument): if that block was already allocated — the earlier
+  /// response was lost and this is a retry — the existing allocation is
+  /// returned instead of leaking an orphan block.
   Result<LocatedBlock> add_block(FileId file, ClientId client,
                                  NodeId client_node,
-                                 const std::vector<NodeId>& excluded);
+                                 const std::vector<NodeId>& excluded,
+                                 const std::vector<NodeId>& deprioritized = {},
+                                 std::int64_t block_index = -1);
 
   /// Recovery support: picks `count` replacement datanodes for `block`,
-  /// excluding existing targets and `excluded`.
+  /// excluding existing targets and `excluded`; `deprioritized` as above.
   Result<std::vector<NodeId>> get_additional_datanodes(
       BlockId block, ClientId client, NodeId client_node,
       const std::vector<NodeId>& existing, const std::vector<NodeId>& excluded,
-      int count);
+      int count, const std::vector<NodeId>& deprioritized = {});
 
   /// Replaces the expected pipeline of `block` after recovery.
   Status update_block_targets(BlockId block, std::vector<NodeId> targets);
@@ -151,7 +160,9 @@ class Namenode {
   std::uint64_t heartbeats_received() const { return heartbeats_; }
 
  private:
-  PlacementContext make_context(Rng& rng) const;
+  PlacementContext make_context(Rng& rng,
+                                const std::vector<NodeId>* deprioritized =
+                                    nullptr) const;
   void scan_for_under_replication();
   int live_replica_count(const BlockRecord& record) const;
 
@@ -173,6 +184,7 @@ class Namenode {
 
   SpeedBoard speeds_;
   std::uint64_t heartbeats_ = 0;
+  std::uint64_t reregistrations_ = 0;
 
   ReplicationExecutor replication_executor_;
   std::unique_ptr<sim::PeriodicTask> rereplication_task_;

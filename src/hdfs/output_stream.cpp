@@ -92,20 +92,63 @@ void OutputStreamBase::produce_loop() {
   });
 }
 
+rpc::RetryPolicy OutputStreamBase::retry_policy() const {
+  rpc::RetryPolicy policy;
+  policy.timeout = deps_.config.rpc_timeout;
+  policy.max_attempts = deps_.config.rpc_max_attempts;
+  policy.backoff_base = deps_.config.rpc_backoff_base;
+  policy.backoff_max = deps_.config.rpc_backoff_max;
+  policy.jitter = deps_.config.rpc_backoff_jitter;
+  return policy;
+}
+
+bool OutputStreamBase::recovery_budget_exhausted(BlockId block) {
+  const int attempts = ++recovery_attempts_[block.value()];
+  if (attempts <= deps_.config.recovery_attempts_per_block) return false;
+  SMARTH_ERROR("stream") << "recovery budget ("
+                         << deps_.config.recovery_attempts_per_block
+                         << ") exhausted for " << block.to_string();
+  return true;
+}
+
+void OutputStreamBase::note_recovery_start(PipelineId pipeline) {
+  recovery_started_[pipeline] = deps_.sim.now();
+}
+
+void OutputStreamBase::note_recovery_end(PipelineId pipeline) {
+  auto it = recovery_started_.find(pipeline);
+  if (it == recovery_started_.end()) return;
+  stats_.recovery_time_total += deps_.sim.now() - it->second;
+  recovery_started_.erase(it);
+}
+
 void OutputStreamBase::request_block(
-    std::vector<NodeId> excluded,
+    std::int64_t block_index, std::vector<NodeId> excluded,
     std::function<void(Result<LocatedBlock>)> cb) {
   Namenode& nn = deps_.namenode;
-  deps_.rpc.call<Result<LocatedBlock>>(
-      client_node_, nn.node_id(),
+  std::vector<NodeId> deprioritized;
+  if (deps_.quarantine != nullptr) deprioritized = deps_.quarantine->active();
+  auto shared_cb =
+      std::make_shared<std::function<void(Result<LocatedBlock>)>>(
+          std::move(cb));
+  rpc::call_with_retry<Result<LocatedBlock>>(
+      deps_.rpc, deps_.sim, retry_policy(), client_node_, nn.node_id(),
       [&nn, file = file_, client = client_, node = client_node_,
-       excluded = std::move(excluded)] {
-        return nn.add_block(file, client, node, excluded);
+       excluded = std::move(excluded),
+       deprioritized = std::move(deprioritized), block_index] {
+        return nn.add_block(file, client, node, excluded, deprioritized,
+                            block_index);
       },
-      [alive = alive_, cb = std::move(cb)](Result<LocatedBlock> result) {
+      [alive = alive_, shared_cb](Result<LocatedBlock> result) {
         if (!*alive) return;  // stream was pruned while the RPC was in flight
-        cb(std::move(result));
-      });
+        (*shared_cb)(std::move(result));
+      },
+      [alive = alive_, shared_cb] {
+        if (!*alive) return;
+        (*shared_cb)(Error{"rpc_timeout",
+                           "addBlock gave up after repeated timeouts"});
+      },
+      retry_stats_);
 }
 
 ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
@@ -166,8 +209,8 @@ void OutputStreamBase::send_next_packet(ClientPipeline& pipeline) {
 void OutputStreamBase::complete_file() {
   if (finished_) return;
   Namenode& nn = deps_.namenode;
-  deps_.rpc.call<Result<bool>>(
-      client_node_, nn.node_id(),
+  rpc::call_with_retry<Result<bool>>(
+      deps_.rpc, deps_.sim, retry_policy(), client_node_, nn.node_id(),
       [&nn, file = file_, client = client_] {
         return nn.complete(file, client);
       },
@@ -185,7 +228,12 @@ void OutputStreamBase::complete_file() {
         // retry, as the Hadoop client does.
         complete_retry_ = deps_.sim.schedule_after(
             milliseconds(300), [this] { complete_file(); });
-      });
+      },
+      [this, alive = alive_] {
+        if (!*alive || finished_) return;
+        finish(true, "complete() timed out after repeated attempts");
+      },
+      retry_stats_);
 }
 
 void OutputStreamBase::finish(bool failed, const std::string& reason) {
@@ -194,6 +242,8 @@ void OutputStreamBase::finish(bool failed, const std::string& reason) {
   stats_.finished_at = deps_.sim.now();
   stats_.failed = failed;
   stats_.failure_reason = reason;
+  stats_.rpc_retries = retry_stats_->retries;
+  stats_.rpc_give_ups = retry_stats_->give_ups;
   producer_event_.cancel();
   complete_retry_.cancel();
   for (auto& [id, pipeline] : pipelines_) pipeline.watchdog.cancel();
@@ -256,7 +306,7 @@ void DfsOutputStream::allocate_next_block() {
   }
   SMARTH_CHECK(!awaiting_block_);
   awaiting_block_ = true;
-  request_block({}, [this](Result<LocatedBlock> result) {
+  request_block(current_block_, {}, [this](Result<LocatedBlock> result) {
     if (finished_) return;
     awaiting_block_ = false;
     if (!result.ok()) {
@@ -321,9 +371,22 @@ void DfsOutputStream::deliver_ack(const PipelineAck& ack) {
     on_pipeline_error(*pipeline, ack.error_index);
     return;
   }
-  SMARTH_CHECK_MSG(!pipeline->ack_queue.empty() &&
-                       pipeline->ack_queue.front().seq_in_block == ack.seq,
-                   "out-of-order ack: got seq " << ack.seq);
+  if (pipeline->ack_queue.empty() ||
+      pipeline->ack_queue.front().seq_in_block != ack.seq) {
+    // An ack ahead of the queue head means an earlier ack was lost in
+    // transit (a link flap or crash swallowed it): the ack stream is broken,
+    // which is a pipeline error, not a protocol violation. Acks behind the
+    // head are stale duplicates and are dropped.
+    if (!pipeline->ack_queue.empty() &&
+        ack.seq > pipeline->ack_queue.front().seq_in_block) {
+      SMARTH_WARN("stream") << "ack gap on pipeline "
+                            << ack.pipeline.to_string() << ": got seq "
+                            << ack.seq << ", expected "
+                            << pipeline->ack_queue.front().seq_in_block;
+      on_pipeline_error(*pipeline, -1);
+    }
+    return;
+  }
   pipeline->ack_queue.pop_front();
   ++pipeline->acked_packets;
   arm_watchdog(*pipeline);
@@ -353,8 +416,14 @@ void DfsOutputStream::on_block_fully_acked() {
 void DfsOutputStream::on_pipeline_error(ClientPipeline& pipeline,
                                         int error_index) {
   if (recovering_ || finished_) return;
+  if (recovery_budget_exhausted(pipeline.block)) {
+    finish(true, "recovery budget exhausted for " +
+                     pipeline.block.to_string());
+    return;
+  }
   recovering_ = true;
   ++stats_.recoveries;
+  note_recovery_start(pipeline.id);
   pipeline.failed = true;
   pipeline.watchdog.cancel();
   // Alg. 3 line 3: ACK queue back to the (pipeline-local) resend queue.
@@ -363,15 +432,26 @@ void DfsOutputStream::on_pipeline_error(ClientPipeline& pipeline,
                           pipeline.ack_queue.end());
   pipeline.ack_queue.clear();
 
+  // Everything before the first un-acked packet is gone from the client's
+  // resend buffer; recovery must not sync survivors below that offset.
+  const Bytes durable_floor =
+      pipeline.pending.empty()
+          ? Bytes{0}
+          : pipeline.pending.front().seq_in_block * deps_.config.packet_payload;
   auto recovery = std::make_unique<BlockRecovery>(
       deps_, client_, client_node_, pipeline.id, pipeline.block,
-      pipeline.block_bytes, pipeline.targets, error_index,
+      pipeline.block_bytes, durable_floor, pipeline.targets, error_index,
       [this, id = pipeline.id](Result<RecoveryOutcome> result) {
         ClientPipeline* old_pipeline = find_pipeline(id);
         SMARTH_CHECK(old_pipeline != nullptr);
+        note_recovery_end(id);
         if (!result.ok()) {
           finish(true, result.error().to_string());
           return;
+        }
+        stats_.quarantine_events += result.value().quarantined;
+        if (result.value().under_replicated) {
+          ++stats_.under_replication_events;
         }
         resume_after_recovery(*old_pipeline, result.value().targets,
                               result.value().sync_offset);

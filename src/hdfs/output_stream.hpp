@@ -16,8 +16,10 @@
 #include "common/units.hpp"
 #include "hdfs/datanode.hpp"
 #include "hdfs/namenode.hpp"
+#include "hdfs/quarantine.hpp"
 #include "hdfs/transport.hpp"
 #include "hdfs/types.hpp"
+#include "rpc/retry.hpp"
 #include "rpc/rpc_bus.hpp"
 #include "sim/simulation.hpp"
 
@@ -37,6 +39,10 @@ struct StreamDeps {
   IdGenerator<PipelineId>& pipeline_ids;
   /// Resolves datanode RPC endpoints (installed by the cluster wiring).
   std::function<Datanode*(NodeId)> datanode_resolver;
+  /// Per-client quarantine list (may be null in minimal test harnesses):
+  /// recovery feeds failures into it; placement requests deprioritize its
+  /// members.
+  QuarantineList* quarantine = nullptr;
 };
 
 /// A packet produced by the client but not yet bound to a block id (binding
@@ -62,8 +68,21 @@ struct StreamStats {
   bool failed = false;
   std::string failure_reason;
 
+  // --- fault/robustness accounting -----------------------------------------
+  std::uint64_t rpc_retries = 0;   ///< control-plane attempts beyond the first
+  std::uint64_t rpc_give_ups = 0;  ///< control-plane calls abandoned
+  int quarantine_events = 0;       ///< datanodes this stream quarantined
+  int under_replication_events = 0;  ///< recoveries that reduced replication
+  /// Total time spent between pipeline-error detection and the rebuilt
+  /// pipeline being handed back (MTTR numerator).
+  SimDuration recovery_time_total = 0;
+
   SimDuration elapsed() const { return finished_at - started_at; }
   Bandwidth throughput() const { return throughput_of(file_size, elapsed()); }
+  /// Mean time to recover a failed pipeline, in seconds (0 if none failed).
+  double recovery_mttr_seconds() const {
+    return recoveries > 0 ? to_seconds(recovery_time_total) / recoveries : 0.0;
+  }
 };
 
 /// One replication pipeline as seen from the client.
@@ -147,8 +166,10 @@ class OutputStreamBase : public AckSink {
   void pump_production();
 
   // --- shared helpers ---------------------------------------------------------
-  /// addBlock RPC; invokes cb with the located block (or error).
-  void request_block(std::vector<NodeId> excluded,
+  /// addBlock RPC (with timeout/backoff retry); invokes cb with the located
+  /// block (or error). `block_index` lets the namenode recognize a retry of a
+  /// lost response and return the existing allocation.
+  void request_block(std::int64_t block_index, std::vector<NodeId> excluded,
                      std::function<void(Result<LocatedBlock>)> cb);
   /// Builds a ClientPipeline record and sends the setup chain.
   ClientPipeline& create_pipeline(std::int64_t block_index,
@@ -167,6 +188,18 @@ class OutputStreamBase : public AckSink {
   virtual void on_pipeline_error(ClientPipeline& pipeline, int error_index) = 0;
 
   ClientPipeline* find_pipeline(PipelineId id);
+
+  /// Retry policy for namenode RPCs, derived from the config.
+  rpc::RetryPolicy retry_policy() const;
+  /// Charges one recovery attempt against `block`'s budget; true when the
+  /// budget is exhausted and the stream should fail cleanly instead of
+  /// retrying forever.
+  bool recovery_budget_exhausted(BlockId block);
+  /// MTTR bookkeeping around a recovery: start stamps the error-detection
+  /// time; end accumulates into stats and folds the outcome's degradation
+  /// markers in.
+  void note_recovery_start(PipelineId pipeline);
+  void note_recovery_end(PipelineId pipeline);
 
   StreamDeps deps_;
   ClientId client_;
@@ -187,6 +220,13 @@ class OutputStreamBase : public AckSink {
   /// Liveness token captured by in-flight RPC callbacks so a pruned stream's
   /// late responses are dropped instead of dereferencing freed memory.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// Shared with in-flight retry chains (they may outlive the stream).
+  std::shared_ptr<rpc::RetryStats> retry_stats_ =
+      std::make_shared<rpc::RetryStats>();
+  /// BlockId value -> recovery attempts consumed.
+  std::unordered_map<std::int64_t, int> recovery_attempts_;
+  /// PipelineId -> when its error was detected (MTTR bookkeeping).
+  std::unordered_map<PipelineId, SimTime> recovery_started_;
 
  private:
   void produce_loop();

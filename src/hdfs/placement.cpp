@@ -18,12 +18,20 @@ NodeId pick_random_node(const PlacementContext& ctx,
                         const std::vector<NodeId>& excluded,
                         const std::function<bool(NodeId)>& rack_ok) {
   std::vector<NodeId> candidates;
+  std::vector<NodeId> last_resort;  // deprioritized (quarantined) nodes
   candidates.reserve(ctx.alive.size());
   for (NodeId node : ctx.alive) {
     if (placement_unusable(node, chosen, excluded)) continue;
     if (rack_ok && !rack_ok(node)) continue;
+    if (ctx.deprioritized != nullptr &&
+        std::find(ctx.deprioritized->begin(), ctx.deprioritized->end(),
+                  node) != ctx.deprioritized->end()) {
+      last_resort.push_back(node);
+      continue;
+    }
     candidates.push_back(node);
   }
+  if (candidates.empty()) candidates = std::move(last_resort);
   if (candidates.empty()) return NodeId{};
   return candidates[ctx.rng.index(candidates.size())];
 }
@@ -59,8 +67,12 @@ std::vector<NodeId> DefaultPlacementPolicy::choose_targets(
   const bool client_is_datanode =
       std::find(ctx.alive.begin(), ctx.alive.end(), request.client_node) !=
       ctx.alive.end();
+  const bool client_quarantined =
+      ctx.deprioritized != nullptr &&
+      std::find(ctx.deprioritized->begin(), ctx.deprioritized->end(),
+                request.client_node) != ctx.deprioritized->end();
   NodeId first;
-  if (client_is_datanode &&
+  if (client_is_datanode && !client_quarantined &&
       !placement_unusable(request.client_node, targets, request.excluded)) {
     first = request.client_node;
   } else {

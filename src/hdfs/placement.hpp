@@ -23,6 +23,9 @@ struct PlacementContext {
   Rng& rng;
   /// Per-client speed records (SMARTH); nullptr under the default policy.
   const SpeedBoard* speeds = nullptr;
+  /// Soft exclusion (client quarantine): these nodes are only chosen when no
+  /// other candidate exists, so a degraded cluster keeps making progress.
+  const std::vector<NodeId>* deprioritized = nullptr;
 };
 
 struct PlacementRequest {
@@ -31,6 +34,9 @@ struct PlacementRequest {
   int replication = 3;
   /// Nodes the client cannot use (active-pipeline members, failed nodes).
   std::vector<NodeId> excluded;
+  /// Nodes the client would rather avoid (quarantined after failures); used
+  /// as a last resort only.
+  std::vector<NodeId> deprioritized;
 };
 
 class PlacementPolicy {

@@ -1,0 +1,28 @@
+#include "hdfs/quarantine.hpp"
+
+#include "common/log.hpp"
+
+namespace smarth::hdfs {
+
+void QuarantineList::quarantine(NodeId node, const std::string& reason) {
+  until_[node.value()] = sim_.now() + duration_;
+  events_.push_back({node, sim_.now(), reason});
+  SMARTH_INFO("quarantine") << "datanode " << node.value() << " quarantined ("
+                            << reason << ") until t+"
+                            << to_seconds(duration_) << "s";
+}
+
+bool QuarantineList::quarantined(NodeId node) const {
+  auto it = until_.find(node.value());
+  return it != until_.end() && sim_.now() < it->second;
+}
+
+std::vector<NodeId> QuarantineList::active() const {
+  std::vector<NodeId> nodes;
+  for (const auto& [id, until] : until_) {
+    if (sim_.now() < until) nodes.push_back(NodeId{id});
+  }
+  return nodes;
+}
+
+}  // namespace smarth::hdfs

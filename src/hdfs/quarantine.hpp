@@ -1,0 +1,51 @@
+// Client-side datanode quarantine. When a pipeline fails, the client has
+// direct evidence about which datanode misbehaved — often minutes before the
+// namenode's heartbeat-based dead-interval notices anything (a fail-slow or
+// flapping node may never miss a heartbeat at all). Each client therefore
+// keeps its own time-bounded quarantine list; quarantined nodes are
+// deprioritized (not excluded) in placement and replacement decisions, so a
+// small cluster can still use them as a last resort rather than stalling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::hdfs {
+
+/// One quarantine decision, kept for the metrics report.
+struct QuarantineEvent {
+  NodeId node;
+  SimTime at = 0;
+  std::string reason;
+};
+
+class QuarantineList {
+ public:
+  QuarantineList(sim::Simulation& sim, SimDuration duration)
+      : sim_(sim), duration_(duration) {}
+
+  /// Quarantines (or re-quarantines, extending the window) a datanode.
+  void quarantine(NodeId node, const std::string& reason);
+
+  /// True while the node's quarantine window is open.
+  bool quarantined(NodeId node) const;
+
+  /// All currently-quarantined nodes (order unspecified).
+  std::vector<NodeId> active() const;
+
+  const std::vector<QuarantineEvent>& events() const { return events_; }
+
+ private:
+  sim::Simulation& sim_;
+  SimDuration duration_;
+  std::unordered_map<std::int64_t, SimTime> until_;  ///< NodeId -> expiry
+  std::vector<QuarantineEvent> events_;
+};
+
+}  // namespace smarth::hdfs

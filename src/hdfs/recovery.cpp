@@ -42,12 +42,12 @@ void probe_replica_with_timeout(StreamDeps& deps, NodeId client_node,
 BlockRecovery::BlockRecovery(StreamDeps& deps, ClientId client,
                              NodeId client_node, PipelineId pipeline,
                              BlockId block, Bytes block_bytes,
-                             std::vector<NodeId> targets, int error_index,
-                             DoneCallback done)
+                             Bytes durable_floor, std::vector<NodeId> targets,
+                             int error_index, DoneCallback done)
     : deps_(deps), client_(client), client_node_(client_node),
       pipeline_(pipeline), block_(block), block_bytes_(block_bytes),
-      original_targets_(std::move(targets)), error_index_(error_index),
-      done_(std::move(done)) {}
+      durable_floor_(durable_floor), original_targets_(std::move(targets)),
+      error_index_(error_index), done_(std::move(done)) {}
 
 void BlockRecovery::run() {
   SMARTH_INFO("recovery") << "recovering " << block_.to_string() << " ("
@@ -90,13 +90,21 @@ void BlockRecovery::on_probes_done(std::vector<ReplicaProbeResult> results) {
   dead_.clear();
   for (std::size_t i = 0; i < original_targets_.size(); ++i) {
     const bool checksum_bad = static_cast<int>(i) == error_index_;
-    // A responsive node stays in the pipeline even if it never received a
-    // byte (e.g. its upstream died before forwarding the setup): it simply
-    // resumes from offset zero. Only unreachable or corrupting nodes drop.
-    if (results[i].alive && !checksum_bad) {
+    // A replica shorter than the durable floor has lost acked bytes — the
+    // node crashed and restarted, dropping the in-progress replica. The
+    // client no longer buffers those packets, so such a node cannot resync;
+    // it is replaced like a dead one (the durable prefix is re-copied from a
+    // healthy survivor).
+    const Bytes len = results[i].has_replica ? results[i].bytes : 0;
+    const bool stale = results[i].alive && len < durable_floor_;
+    if (results[i].alive && !checksum_bad && !stale) {
       alive_.push_back(original_targets_[i]);
     } else {
       dead_.push_back(original_targets_[i]);
+      quarantine_node(original_targets_[i],
+                      checksum_bad ? "checksum error"
+                      : stale      ? "stale replica lost acked bytes"
+                                   : "probe unresponsive");
     }
   }
   if (alive_.empty()) {
@@ -138,6 +146,7 @@ void BlockRecovery::truncate_survivors() {
         alive_.erase(std::remove(alive_.begin(), alive_.end(), bad),
                      alive_.end());
         dead_.push_back(bad);
+        quarantine_node(bad, "truncate failed");
       }
       if (alive_.empty()) {
         fail("all survivors lost during truncate");
@@ -184,11 +193,22 @@ void BlockRecovery::request_replacements() {
     return;
   }
   std::vector<NodeId> excluded = dead_;
-  deps_.rpc.call<Result<std::vector<NodeId>>>(
-      client_node_, deps_.namenode.node_id(),
-      [this, excluded, needed] {
+  std::vector<NodeId> deprioritized;
+  if (deps_.quarantine != nullptr) deprioritized = deps_.quarantine->active();
+
+  rpc::RetryPolicy policy;
+  policy.timeout = deps_.config.rpc_timeout;
+  policy.max_attempts = deps_.config.rpc_max_attempts;
+  policy.backoff_base = deps_.config.rpc_backoff_base;
+  policy.backoff_max = deps_.config.rpc_backoff_max;
+  policy.jitter = deps_.config.rpc_backoff_jitter;
+  rpc::call_with_retry<Result<std::vector<NodeId>>>(
+      deps_.rpc, deps_.sim, policy, client_node_, deps_.namenode.node_id(),
+      [this, excluded = std::move(excluded),
+       deprioritized = std::move(deprioritized), needed] {
         return deps_.namenode.get_additional_datanodes(
-            block_, client_, client_node_, alive_, excluded, needed);
+            block_, client_, client_node_, alive_, excluded, needed,
+            deprioritized);
       },
       [this](Result<std::vector<NodeId>> result) {
         if (!result.ok() || result.value().empty()) {
@@ -202,6 +222,14 @@ void BlockRecovery::request_replacements() {
         }
         replacements_ = result.value();
         transfer_prefix(0);
+      },
+      [this] {
+        // Namenode unreachable even after backoff: keep the surviving
+        // pipeline rather than killing the write.
+        SMARTH_WARN("recovery")
+            << "getAdditionalDatanodes timed out for " << block_.to_string()
+            << "; continuing under-replicated";
+        finish_success();
       });
 }
 
@@ -274,6 +302,9 @@ void BlockRecovery::finish_success() {
   outcome.targets.insert(outcome.targets.end(), replacements_.begin(),
                          replacements_.end());
   outcome.sync_offset = sync_offset_;
+  outcome.under_replicated =
+      static_cast<int>(outcome.targets.size()) < deps_.config.replication;
+  outcome.quarantined = quarantined_;
   Namenode& nn = deps_.namenode;
   deps_.rpc.notify(client_node_, nn.node_id(),
                    [&nn, block = block_, targets = outcome.targets] {
@@ -285,6 +316,15 @@ void BlockRecovery::finish_success() {
   // The done callback may destroy this object; detach it first.
   DoneCallback done = std::move(done_);
   done(std::move(outcome));
+}
+
+void BlockRecovery::quarantine_node(NodeId node, const std::string& reason) {
+  ++quarantined_;
+  if (deps_.quarantine != nullptr) {
+    deps_.quarantine->quarantine(node,
+                                 reason + " during recovery of " +
+                                     block_.to_string());
+  }
 }
 
 void BlockRecovery::fail(const std::string& reason) {

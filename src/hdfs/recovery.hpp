@@ -22,6 +22,12 @@ namespace smarth::hdfs {
 struct RecoveryOutcome {
   std::vector<NodeId> targets;  ///< survivors (pipeline order) + replacements
   Bytes sync_offset = 0;        ///< durable, packet-aligned resume offset
+  /// True when the rebuilt pipeline is shorter than the replication factor
+  /// (graceful degradation: the write continues; the namenode's
+  /// re-replication monitor restores the count later).
+  bool under_replicated = false;
+  /// Datanodes this recovery added to the client's quarantine list.
+  int quarantined = 0;
 };
 
 /// Probes a datanode's replica with a client-side timeout; the callback
@@ -37,10 +43,16 @@ class BlockRecovery {
   /// `block_bytes` is the block's total size; the sync offset is clamped so
   /// at least the final packet is always retransmitted (the last_in_block
   /// marker must reach every target for replicas to finalize).
+  /// `durable_floor` is the byte offset of the first un-acked packet: the
+  /// client has dropped everything before it from its resend buffer, so a
+  /// survivor whose replica is shorter has lost acked data (e.g. it crashed
+  /// and restarted, discarding the in-progress replica) and must be replaced
+  /// rather than allowed to pull the sync offset below what the client can
+  /// still retransmit.
   BlockRecovery(StreamDeps& deps, ClientId client, NodeId client_node,
                 PipelineId pipeline, BlockId block, Bytes block_bytes,
-                std::vector<NodeId> targets, int error_index,
-                DoneCallback done);
+                Bytes durable_floor, std::vector<NodeId> targets,
+                int error_index, DoneCallback done);
 
   /// Starts the asynchronous recovery; the object must stay alive until the
   /// done callback fires (streams own recoveries by unique_ptr).
@@ -55,6 +67,9 @@ class BlockRecovery {
   void transfer_prefix(std::size_t replacement_index);
   void finish_success();
   void fail(const std::string& reason);
+  /// Adds `node` to the client's quarantine list (if one is wired in) and
+  /// counts it for the outcome.
+  void quarantine_node(NodeId node, const std::string& reason);
 
   StreamDeps& deps_;
   ClientId client_;
@@ -62,6 +77,7 @@ class BlockRecovery {
   PipelineId pipeline_;
   BlockId block_;
   Bytes block_bytes_;
+  Bytes durable_floor_;
   std::vector<NodeId> original_targets_;
   int error_index_;
   DoneCallback done_;
@@ -71,6 +87,7 @@ class BlockRecovery {
   std::vector<NodeId> replacements_;
   Bytes sync_offset_ = 0;
   int attempts_ = 0;
+  int quarantined_ = 0;
   bool completed_ = false;
 };
 

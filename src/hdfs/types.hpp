@@ -56,6 +56,21 @@ struct HdfsConfig {
   /// copy that exceeds it (unreachable target, severed link) is abandoned.
   SimDuration replacement_transfer_timeout = seconds(30);
 
+  // --- Control-plane retries (see rpc/retry.hpp) ------------------------------
+  /// Per-attempt deadline on namenode RPCs (addBlock, complete, create, …).
+  SimDuration rpc_timeout = seconds(2);
+  /// Total attempts per namenode RPC, first try included.
+  int rpc_max_attempts = 4;
+  SimDuration rpc_backoff_base = milliseconds(200);
+  SimDuration rpc_backoff_max = seconds(5);
+  double rpc_backoff_jitter = 0.2;
+  /// Recovery rounds a single block may consume before the stream gives up
+  /// cleanly (Hadoop's dfs.client.block.write.retries analogue).
+  int recovery_attempts_per_block = 5;
+  /// How long a datanode implicated in a failure stays client-quarantined
+  /// (deprioritized for new pipelines and replacements).
+  SimDuration quarantine_duration = seconds(60);
+
   // --- SMARTH ---------------------------------------------------------------
   /// Local-optimization exploration threshold (paper: 0.8; swap first
   /// datanode with probability 1 - threshold).

@@ -39,4 +39,43 @@ std::string comparison_csv(const std::string& x_label,
   return table.to_csv();
 }
 
+void FaultSummary::fold(const hdfs::StreamStats& stats) {
+  ++uploads;
+  if (stats.failed) ++failed_uploads;
+  recoveries += stats.recoveries;
+  quarantine_events += stats.quarantine_events;
+  under_replication_events += stats.under_replication_events;
+  rpc_retries += stats.rpc_retries;
+  rpc_give_ups += stats.rpc_give_ups;
+  recovery_time_total += stats.recovery_time_total;
+}
+
+std::string render_fault_summary(const FaultSummary& summary) {
+  TextTable table({"metric", "value"});
+  table.add_row({"uploads", std::to_string(summary.uploads)});
+  table.add_row({"failed uploads", std::to_string(summary.failed_uploads)});
+  table.add_row({"recoveries", std::to_string(summary.recoveries)});
+  table.add_row(
+      {"recovery MTTR (s)", TextTable::num(summary.recovery_mttr_seconds())});
+  table.add_row(
+      {"quarantine events", std::to_string(summary.quarantine_events)});
+  table.add_row({"under-replication events",
+                 std::to_string(summary.under_replication_events)});
+  table.add_row({"rpc retries", std::to_string(summary.rpc_retries)});
+  table.add_row({"rpc give-ups", std::to_string(summary.rpc_give_ups)});
+  table.add_row(
+      {"rpc calls dropped", std::to_string(summary.rpc_calls_dropped)});
+  table.add_row(
+      {"rpc messages lost", std::to_string(summary.rpc_messages_lost)});
+  table.add_row(
+      {"rpc messages delayed", std::to_string(summary.rpc_messages_delayed)});
+  table.add_row({"datanode re-registrations",
+                 std::to_string(summary.datanode_reregistrations)});
+  table.add_row({"under-replicated blocks",
+                 std::to_string(summary.under_replicated_blocks)});
+  table.add_row(
+      {"faults injected", std::to_string(summary.faults_injected)});
+  return table.to_string();
+}
+
 }  // namespace smarth::metrics

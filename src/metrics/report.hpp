@@ -3,6 +3,7 @@
 // plot (upload seconds per configuration, plus improvement percentages).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,5 +46,39 @@ std::string render_observations(const std::vector<UploadObservation>& rows);
 /// CSV forms for downstream plotting.
 std::string comparison_csv(const std::string& x_label,
                            const std::vector<ComparisonRow>& rows);
+
+/// Robustness aggregate for a fault/chaos run: per-stream recovery and
+/// retry accounting folded together, plus cluster-level counters the caller
+/// supplies (metrics stays independent of the cluster/faults layers).
+struct FaultSummary {
+  // Folded from StreamStats.
+  int uploads = 0;
+  int failed_uploads = 0;
+  int recoveries = 0;
+  int quarantine_events = 0;
+  int under_replication_events = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_give_ups = 0;
+  SimDuration recovery_time_total = 0;
+
+  // Cluster-level counters (filled by the harness).
+  std::uint64_t rpc_calls_dropped = 0;
+  std::uint64_t rpc_messages_lost = 0;
+  std::uint64_t rpc_messages_delayed = 0;
+  std::uint64_t datanode_reregistrations = 0;
+  std::size_t under_replicated_blocks = 0;
+  std::uint64_t faults_injected = 0;
+
+  /// Accumulates one upload's robustness counters.
+  void fold(const hdfs::StreamStats& stats);
+  /// Mean time to recover across every folded recovery, in seconds.
+  double recovery_mttr_seconds() const {
+    return recoveries > 0 ? to_seconds(recovery_time_total) / recoveries
+                          : 0.0;
+  }
+};
+
+/// Renders the fault summary as a two-column table.
+std::string render_fault_summary(const FaultSummary& summary);
 
 }  // namespace smarth::metrics

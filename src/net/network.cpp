@@ -114,6 +114,18 @@ bool Network::partitioned(NodeId a, NodeId b) const {
   return partitions_.count(std::make_pair(ra, rb)) > 0;
 }
 
+void Network::set_node_isolated(NodeId node, bool isolated) {
+  SMARTH_CHECK(node.valid());
+  const auto idx = static_cast<std::size_t>(node.value());
+  if (isolated_.size() <= idx) isolated_.resize(idx + 1, false);
+  isolated_[idx] = isolated;
+}
+
+bool Network::node_isolated(NodeId node) const {
+  const auto idx = static_cast<std::size_t>(node.value());
+  return idx < isolated_.size() && isolated_[idx];
+}
+
 void Network::pause_ingress(NodeId node) { port(node).ingress->pause(); }
 
 void Network::resume_ingress(NodeId node) { port(node).ingress->resume(); }
@@ -164,9 +176,10 @@ void Network::send(NodeId src, NodeId dst, Bytes wire_size,
     sim_.schedule_after(config_.loopback_latency, std::move(on_delivered));
     return;
   }
-  if (partitioned(src, dst)) {
-    // The inter-switch link is down: the message vanishes (senders discover
-    // it through their own timeouts, exactly as with real partitions).
+  if (partitioned(src, dst) || node_isolated(src) || node_isolated(dst)) {
+    // The inter-switch link or an endpoint NIC is down: the message vanishes
+    // (senders discover it through their own timeouts, exactly as with real
+    // partitions or flapping cables).
     ++messages_dropped_;
     return;
   }

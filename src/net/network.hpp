@@ -84,6 +84,14 @@ class Network {
   bool partitioned(NodeId a, NodeId b) const;
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
+  /// Isolates a single host — a flapping NIC or unplugged cable. While
+  /// isolated, every non-loopback message to or from the node is silently
+  /// dropped (counted in messages_dropped()); healing restores delivery for
+  /// messages sent afterwards. Messages already in flight are unaffected, as
+  /// with a real cable pull mid-transmission at a switch buffer.
+  void set_node_isolated(NodeId node, bool isolated);
+  bool node_isolated(NodeId node) const;
+
   // --- Backpressure ---------------------------------------------------------
 
   /// Stops `node` from accepting new ingress messages (in-flight one
@@ -125,6 +133,7 @@ class Network {
   std::unordered_map<std::string, std::unique_ptr<Link>> rack_uplinks_;
   /// Severed rack pairs, stored with rack_a < rack_b.
   std::set<std::pair<std::string, std::string>> partitions_;
+  std::vector<bool> isolated_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
 };

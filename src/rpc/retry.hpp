@@ -1,0 +1,97 @@
+// Client-side RPC retry: per-attempt timeout, exponential backoff with
+// multiplicative jitter, bounded attempts. The simulated RpcBus silently
+// drops messages to/from down hosts (like real lost TCP SYNs), so every
+// consumer that must make progress through faults wraps its calls here
+// instead of waiting forever on a response that will never come.
+//
+// Duplicate-response hygiene: an attempt that merely timed out may still
+// deliver its response later (slow, not lost). The shared `settled` flag
+// ensures exactly one of {on_response, on_give_up} runs, exactly once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "rpc/rpc_bus.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::rpc {
+
+struct RetryPolicy {
+  /// Per-attempt response deadline.
+  SimDuration timeout = seconds(2);
+  /// Total attempts (first try included). Must be >= 1.
+  int max_attempts = 4;
+  /// Backoff before attempt k (k >= 2) is base * 2^(k-2), capped at max,
+  /// then scaled by a jitter factor in [1-jitter, 1+jitter].
+  SimDuration backoff_base = milliseconds(200);
+  SimDuration backoff_max = seconds(5);
+  double jitter = 0.2;
+};
+
+/// Aggregated per-client retry accounting, surfaced in the metrics report.
+struct RetryStats {
+  std::uint64_t retries = 0;   ///< attempts beyond the first, across calls
+  std::uint64_t give_ups = 0;  ///< calls abandoned after max_attempts
+};
+
+/// Issues `bus.call<Resp>(client, server, handler, ...)` with retries.
+/// `on_response` receives the first response to arrive; `on_give_up` runs if
+/// all attempts time out. `stats` (optional) must outlive the call chain —
+/// pass a shared_ptr owned by the initiating stream/client.
+template <typename Resp>
+void call_with_retry(RpcBus& bus, sim::Simulation& sim,
+                     const RetryPolicy& policy, NodeId client, NodeId server,
+                     std::function<Resp()> handler,
+                     std::function<void(Resp)> on_response,
+                     std::function<void()> on_give_up,
+                     std::shared_ptr<RetryStats> stats = nullptr) {
+  struct State {
+    bool settled = false;
+    int attempt = 0;  // attempts issued so far
+  };
+  auto state = std::make_shared<State>();
+  // Recursive attempt launcher, stored in a shared_ptr so the timeout
+  // callback can re-enter it.
+  auto launch = std::make_shared<std::function<void()>>();
+  *launch = [&bus, &sim, policy, client, server, handler = std::move(handler),
+             on_response = std::move(on_response),
+             on_give_up = std::move(on_give_up), stats, state, launch]() {
+    const int attempt = ++state->attempt;
+    if (attempt > 1 && stats) ++stats->retries;
+    bus.call<Resp>(client, server, handler, [state, on_response](Resp resp) {
+      if (state->settled) return;  // a slow earlier attempt already won
+      state->settled = true;
+      on_response(std::move(resp));
+    });
+    sim.schedule_after(policy.timeout, [&sim, policy, attempt, state, launch,
+                                        on_give_up, stats]() {
+      if (state->settled || state->attempt != attempt) return;
+      if (attempt >= policy.max_attempts) {
+        state->settled = true;
+        if (stats) ++stats->give_ups;
+        on_give_up();
+        return;
+      }
+      SimDuration backoff = policy.backoff_base;
+      for (int i = 2; i < attempt + 1 && backoff < policy.backoff_max; ++i) {
+        backoff *= 2;
+      }
+      if (backoff > policy.backoff_max) backoff = policy.backoff_max;
+      if (policy.jitter > 0.0) {
+        const double scale =
+            1.0 + policy.jitter * (2.0 * sim.rng().uniform() - 1.0);
+        backoff = static_cast<SimDuration>(
+            static_cast<double>(backoff) * scale);
+      }
+      sim.schedule_after(backoff, [launch]() { (*launch)(); });
+    });
+  };
+  (*launch)();
+}
+
+}  // namespace smarth::rpc

@@ -1,6 +1,7 @@
 #include "rpc/rpc_bus.hpp"
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace smarth::rpc {
 
@@ -19,12 +20,55 @@ bool RpcBus::host_down(NodeId node) const {
   return idx < down_.size() && down_[idx];
 }
 
+void RpcBus::record_dropped_call(NodeId client, NodeId server) {
+  ++calls_dropped_;
+  SMARTH_DEBUG("rpc") << "dropped call " << client.value() << " -> "
+                      << server.value() << " (endpoint down); total dropped "
+                      << calls_dropped_;
+}
+
+void RpcBus::send_control(NodeId from, NodeId to, Bytes size,
+                          std::function<void()> on_delivered) {
+  SimDuration extra = 0;
+  if (chaos_.enabled()) {
+    Rng& rng = network_.simulation().rng();
+    if (chaos_.loss_probability > 0.0 &&
+        rng.uniform() < chaos_.loss_probability) {
+      ++messages_lost_;
+      SMARTH_DEBUG("rpc") << "chaos lost control message " << from.value()
+                          << " -> " << to.value();
+      return;
+    }
+    extra = chaos_.delay_mean;
+    if (chaos_.delay_jitter > 0) {
+      extra += rng.uniform_int(0, chaos_.delay_jitter - 1);
+    }
+    if (extra > 0) ++messages_delayed_;
+  }
+  auto transmit = [this, from, to, size,
+                   on_delivered = std::move(on_delivered)]() mutable {
+    network_.send(from, to, size, std::move(on_delivered),
+                  net::LinkPriority::kControl);
+  };
+  if (extra > 0) {
+    network_.simulation().schedule_after(extra, std::move(transmit));
+  } else {
+    transmit();
+  }
+}
+
 void RpcBus::notify(NodeId sender, NodeId receiver,
                     std::function<void()> handler) {
-  if (host_down(sender) || host_down(receiver)) return;
+  if (host_down(sender) || host_down(receiver)) {
+    record_dropped_call(sender, receiver);
+    return;
+  }
   send_control(sender, receiver, config_.request_wire_size,
-               [this, receiver, handler = std::move(handler)]() mutable {
-                 if (host_down(receiver)) return;
+               [this, sender, receiver, handler = std::move(handler)]() mutable {
+                 if (host_down(receiver)) {
+                   record_dropped_call(sender, receiver);
+                   return;
+                 }
                  network_.simulation().schedule_after(config_.service_time,
                                                       std::move(handler));
                });

@@ -3,6 +3,11 @@
 // together these realize the paper's per-block namenode communication cost
 // `Tn`. RPC messages ride the same NICs as data but, like real small TCP
 // flows, are not stuck behind queued bulk packets (control priority).
+//
+// The bus also hosts the control-plane half of fault injection: calls to or
+// from a down host are dropped (and counted, so timeouts are attributable in
+// logs), and an optional chaos configuration loses or delays individual
+// control messages with seeded randomness.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +28,20 @@ struct RpcConfig {
   SimDuration service_time = microseconds(200);
 };
 
+/// Fault-injection knobs for the control plane. Loss and delay apply per
+/// control message (request and response independently), drawn from the
+/// simulation RNG — and only when enabled, so fault-free runs make no extra
+/// RNG draws and stay bit-identical to historical traces.
+struct RpcChaos {
+  double loss_probability = 0.0;   ///< per-message drop probability
+  SimDuration delay_mean = 0;      ///< fixed extra latency per message
+  SimDuration delay_jitter = 0;    ///< uniform extra in [0, delay_jitter)
+
+  bool enabled() const {
+    return loss_probability > 0.0 || delay_mean > 0 || delay_jitter > 0;
+  }
+};
+
 class RpcBus {
  public:
   explicit RpcBus(net::Network& network, RpcConfig config = {});
@@ -31,6 +50,11 @@ class RpcBus {
   /// (callers time out at the protocol layer). Used by fault injection.
   void set_host_down(NodeId node, bool down);
   bool host_down(NodeId node) const;
+
+  /// Installs (or clears, with a default-constructed value) the control-plane
+  /// chaos configuration.
+  void set_chaos(RpcChaos chaos) { chaos_ = chaos; }
+  const RpcChaos& chaos() const { return chaos_; }
 
   /// Typed request/response call. `handler` runs on the server after the
   /// request arrives plus the service time; its return value is shipped back
@@ -54,26 +78,41 @@ class RpcBus {
                   std::function<void(std::function<void(Resp)>)> handler,
                   std::function<void(Resp)> on_response) {
     ++calls_started_;
-    if (host_down(client) || host_down(server)) return;  // lost request
+    if (host_down(client) || host_down(server)) {
+      record_dropped_call(client, server);  // lost request
+      return;
+    }
     send_control(
         client, server, config_.request_wire_size,
         [this, client, server, handler = std::move(handler),
          on_response = std::move(on_response)]() mutable {
-          if (host_down(server)) return;  // died mid-flight
+          if (host_down(server)) {  // died mid-flight
+            record_dropped_call(client, server);
+            return;
+          }
           network_.simulation().schedule_after(
               config_.service_time,
               [this, client, server, handler = std::move(handler),
                on_response = std::move(on_response)]() mutable {
-                if (host_down(server)) return;
+                if (host_down(server)) {
+                  record_dropped_call(client, server);
+                  return;
+                }
                 auto respond = [this, client, server,
                                 on_response =
                                     std::move(on_response)](Resp resp) mutable {
-                  if (host_down(server)) return;  // died before responding
+                  if (host_down(server)) {  // died before responding
+                    record_dropped_call(client, server);
+                    return;
+                  }
                   send_control(server, client, config_.response_wire_size,
-                               [this, client, resp = std::move(resp),
+                               [this, client, server, resp = std::move(resp),
                                 on_response =
                                     std::move(on_response)]() mutable {
-                                 if (host_down(client)) return;
+                                 if (host_down(client)) {
+                                   record_dropped_call(client, server);
+                                   return;
+                                 }
                                  ++calls_completed_;
                                  on_response(std::move(resp));
                                });
@@ -88,20 +127,31 @@ class RpcBus {
 
   std::uint64_t calls_started() const { return calls_started_; }
   std::uint64_t calls_completed() const { return calls_completed_; }
+  /// Calls abandoned because an endpoint was down at some stage (request
+  /// never sent, server died mid-call, response undeliverable).
+  std::uint64_t calls_dropped() const { return calls_dropped_; }
+  /// Control messages lost to chaos injection (distinct from host-down
+  /// drops: the hosts were healthy, the message itself vanished).
+  std::uint64_t messages_lost() const { return messages_lost_; }
+  std::uint64_t messages_delayed() const { return messages_delayed_; }
   const RpcConfig& config() const { return config_; }
 
  private:
+  void record_dropped_call(NodeId client, NodeId server);
+
+  /// Sends one control message, applying chaos loss/delay when configured.
   void send_control(NodeId from, NodeId to, Bytes size,
-                    std::function<void()> on_delivered) {
-    network_.send(from, to, size, std::move(on_delivered),
-                  net::LinkPriority::kControl);
-  }
+                    std::function<void()> on_delivered);
 
   net::Network& network_;
   RpcConfig config_;
+  RpcChaos chaos_;
   std::vector<bool> down_;
   std::uint64_t calls_started_ = 0;
   std::uint64_t calls_completed_ = 0;
+  std::uint64_t calls_dropped_ = 0;
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t messages_delayed_ = 0;
 };
 
 }  // namespace smarth::rpc

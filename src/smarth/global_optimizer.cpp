@@ -58,11 +58,18 @@ std::vector<NodeId> GlobalOptimizerPolicy::choose_targets(
   // Lines 5, 9-10: first datanode — random draw from the client's top n.
   std::vector<NodeId> top = top_n_for_client(request, ctx, n);
   std::vector<NodeId> usable_top;
+  std::vector<NodeId> quarantined_top;
   for (NodeId node : top) {
-    if (!hdfs::placement_unusable(node, targets, request.excluded)) {
-      usable_top.push_back(node);
+    if (hdfs::placement_unusable(node, targets, request.excluded)) continue;
+    if (ctx.deprioritized != nullptr &&
+        std::find(ctx.deprioritized->begin(), ctx.deprioritized->end(),
+                  node) != ctx.deprioritized->end()) {
+      quarantined_top.push_back(node);  // last resort: fast but suspect
+      continue;
     }
+    usable_top.push_back(node);
   }
+  if (usable_top.empty()) usable_top = std::move(quarantined_top);
   NodeId first;
   if (!usable_top.empty()) {
     first = usable_top[ctx.rng.index(usable_top.size())];

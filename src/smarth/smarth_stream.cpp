@@ -62,7 +62,8 @@ void SmarthOutputStream::advance_block() {
   if (deps_.config.enforce_pipeline_cap) excluded = active_pipeline_nodes();
 
   awaiting_block_ = true;
-  request_block(std::move(excluded), [this](Result<LocatedBlock> result) {
+  request_block(next_block_, std::move(excluded),
+                [this](Result<LocatedBlock> result) {
     if (finished_) return;
     awaiting_block_ = false;
     if (!result.ok()) {
@@ -168,9 +169,22 @@ void SmarthOutputStream::deliver_ack(const PipelineAck& ack) {
     on_pipeline_error(*pipeline, ack.error_index);
     return;
   }
-  SMARTH_CHECK_MSG(!pipeline->ack_queue.empty() &&
-                       pipeline->ack_queue.front().seq_in_block == ack.seq,
-                   "out-of-order ack: got seq " << ack.seq);
+  if (pipeline->ack_queue.empty() ||
+      pipeline->ack_queue.front().seq_in_block != ack.seq) {
+    // An ack ahead of the queue head means an earlier ack was lost in
+    // transit (a link flap or crash swallowed it): the ack stream is broken,
+    // which is a pipeline error, not a protocol violation. Acks behind the
+    // head are stale duplicates and are dropped.
+    if (!pipeline->ack_queue.empty() &&
+        ack.seq > pipeline->ack_queue.front().seq_in_block) {
+      SMARTH_WARN("smarth") << "ack gap on pipeline "
+                            << ack.pipeline.to_string() << ": got seq "
+                            << ack.seq << ", expected "
+                            << pipeline->ack_queue.front().seq_in_block;
+      on_pipeline_error(*pipeline, -1);
+    }
+    return;
+  }
   pipeline->ack_queue.pop_front();
   ++pipeline->acked_packets;
   arm_watchdog(*pipeline);
@@ -216,6 +230,11 @@ void SmarthOutputStream::maybe_complete() {
 void SmarthOutputStream::on_pipeline_error(ClientPipeline& pipeline,
                                            int error_index) {
   if (finished_ || pipeline.failed) return;
+  if (recovery_budget_exhausted(pipeline.block)) {
+    finish(true, "recovery budget exhausted for " +
+                     pipeline.block.to_string());
+    return;
+  }
   SMARTH_WARN("smarth") << "pipeline " << pipeline.id.to_string()
                         << " failed (error_index=" << error_index << ")";
   // Algorithm 4 lines 1-3: stop the current block transfer, move the ACK
@@ -223,6 +242,7 @@ void SmarthOutputStream::on_pipeline_error(ClientPipeline& pipeline,
   pipeline.failed = true;
   pipeline.watchdog.cancel();
   ++stats_.recoveries;
+  note_recovery_start(pipeline.id);
   pipeline.pending.insert(pipeline.pending.begin(),
                           pipeline.ack_queue.begin(),
                           pipeline.ack_queue.end());
@@ -245,15 +265,27 @@ void SmarthOutputStream::recover_next_error_pipeline() {
     pipeline_error_index_.erase(it);
   }
 
+  // Everything before the first un-acked packet is gone from the client's
+  // resend buffer; recovery must not sync survivors below that offset.
+  const Bytes durable_floor =
+      pipeline->pending.empty()
+          ? Bytes{0}
+          : pipeline->pending.front().seq_in_block *
+                deps_.config.packet_payload;
   auto recovery = std::make_unique<hdfs::BlockRecovery>(
       deps_, client_, client_node_, id, pipeline->block,
-      pipeline->block_bytes, pipeline->targets, error_index,
+      pipeline->block_bytes, durable_floor, pipeline->targets, error_index,
       [this, id](Result<RecoveryOutcome> result) {
         recovery_running_ = false;
         error_pipelines_.erase(id);
+        note_recovery_end(id);
         if (!result.ok()) {
           finish(true, result.error().to_string());
           return;
+        }
+        stats_.quarantine_events += result.value().quarantined;
+        if (result.value().under_replicated) {
+          ++stats_.under_replication_events;
         }
         resume_recovered_pipeline(id, result.value().targets,
                                   result.value().sync_offset);

@@ -1,6 +1,8 @@
-// Declarative fault schedules for experiments: datanode crashes at given
-// simulated times and checksum corruptions at given packet arrival counts.
-// Applied to a Cluster before the upload starts.
+// Declarative fault schedules for experiments — the small, serializable
+// subset of faults::FaultInjector kept for existing workloads: datanode
+// crashes (optionally with a rejoin), fail-slow windows, link flaps, and
+// checksum corruptions. Applied to a Cluster before the upload starts;
+// apply() delegates to a FaultInjector.
 #pragma once
 
 #include <cstdint>
@@ -8,27 +10,56 @@
 
 #include "cluster/cluster.hpp"
 #include "common/units.hpp"
+#include "faults/fault_injector.hpp"
 
 namespace smarth::workload {
 
 struct FaultPlan {
   struct Crash {
     std::size_t datanode_index;
-    SimDuration at;  ///< simulated time of the crash
+    SimDuration at;         ///< simulated time of the crash
+    SimDuration rejoin_at;  ///< <= at means the node stays dark
   };
   struct Corruption {
     std::size_t datanode_index;
     std::uint64_t nth_packet;  ///< 1-based arrival count at that node
   };
+  struct FailSlow {
+    std::size_t datanode_index;
+    SimDuration from;
+    SimDuration until;
+    double factor;  ///< disk + NIC bandwidth divisor
+  };
+  struct Flap {
+    std::size_t datanode_index;
+    SimDuration down_at;
+    SimDuration up_at;
+  };
 
   std::vector<Crash> crashes;
   std::vector<Corruption> corruptions;
+  std::vector<FailSlow> fail_slows;
+  std::vector<Flap> flaps;
 
   FaultPlan& crash(std::size_t datanode_index, SimDuration at);
+  FaultPlan& crash_and_rejoin(std::size_t datanode_index, SimDuration at,
+                              SimDuration rejoin_at);
   FaultPlan& corrupt(std::size_t datanode_index, std::uint64_t nth_packet);
+  FaultPlan& fail_slow(std::size_t datanode_index, SimDuration from,
+                       SimDuration until, double factor);
+  FaultPlan& flap(std::size_t datanode_index, SimDuration down_at,
+                  SimDuration up_at);
 
+  /// Schedules the plan through `injector` (must outlive the simulation run —
+  /// the scheduled events report back into its counters).
+  void apply(faults::FaultInjector& injector) const;
+  /// Back-compat overload: schedules directly against the cluster, without
+  /// injection counters.
   void apply(cluster::Cluster& cluster) const;
-  bool empty() const { return crashes.empty() && corruptions.empty(); }
+  bool empty() const {
+    return crashes.empty() && corruptions.empty() && fail_slows.empty() &&
+           flaps.empty();
+  }
 };
 
 }  // namespace smarth::workload

@@ -1,0 +1,200 @@
+// Property: under seeded chaos (crash-and-rejoin, fail-slow, NIC flaps and
+// control-plane loss/delay all active at once) every upload either completes
+// or fails cleanly — the simulation never hangs — and identical
+// (cluster seed, chaos seed) pairs reproduce identical timelines. This is
+// the soak harness for the hardened control plane: retries, backoff,
+// recovery budgets and quarantine must bound every failure mode the chaos
+// engine can produce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "faults/fault_injector.hpp"
+#include "metrics/report.hpp"
+
+namespace smarth {
+namespace {
+
+using cluster::Cluster;
+using cluster::Protocol;
+
+faults::ChaosRates soak_rates() {
+  faults::ChaosRates rates;
+  rates.crash_per_minute = 1.0;
+  rates.fail_slow_per_minute = 2.0;
+  rates.flap_per_minute = 1.0;
+  rates.rpc_loss = 0.02;
+  rates.rpc_delay_mean = milliseconds(1);
+  rates.rpc_delay_jitter = milliseconds(2);
+  rates.rejoin_delay = seconds(5);
+  rates.fail_slow_duration = seconds(8);
+  rates.fail_slow_factor = 8.0;
+  rates.flap_duration = seconds(2);
+  return rates;
+}
+
+cluster::ClusterSpec soak_spec(std::uint64_t seed) {
+  cluster::ClusterSpec spec = cluster::small_cluster(seed);
+  spec.hdfs.block_size = 4 * kMiB;
+  spec.hdfs.ack_timeout = seconds(2);
+  spec.hdfs.datanode_dead_interval = seconds(8);
+  return spec;
+}
+
+struct SoakResult {
+  SimDuration elapsed = 0;
+  std::uint64_t events = 0;
+  int recoveries = 0;
+  int quarantine_events = 0;
+  int under_replication_events = 0;
+  std::uint64_t rpc_retries = 0;
+  bool failed = false;
+  std::uint64_t faults = 0;
+  /// block value -> sorted (node, bytes) pairs.
+  std::map<std::int64_t, std::map<std::int64_t, Bytes>> replicas;
+
+  bool operator==(const SoakResult& other) const = default;
+};
+
+/// Drives one chaos-soaked upload with a bounded loop. The hard property is
+/// "complete or fail cleanly before `deadline`": if neither happens the test
+/// fails instead of hanging.
+SoakResult soak_once(std::uint64_t seed) {
+  Cluster cluster(soak_spec(seed));
+  cluster.throttle_cross_rack(Bandwidth::mbps(60));
+  faults::FaultInjector injector(cluster, /*chaos_seed=*/seed * 7919 + 1);
+  injector.start_chaos(soak_rates());
+
+  const Protocol protocol =
+      (seed % 2 == 0) ? Protocol::kHdfs : Protocol::kSmarth;
+  std::optional<hdfs::StreamStats> stats;
+  cluster.upload("/soak", 16 * kMiB, protocol,
+                 [&stats](const hdfs::StreamStats& s) { stats = s; });
+
+  const SimTime deadline = seconds(600);
+  while (!stats.has_value() && cluster.sim().now() < deadline) {
+    EXPECT_TRUE(
+        cluster.sim().run_until(cluster.sim().now() + milliseconds(250)));
+  }
+  EXPECT_TRUE(stats.has_value())
+      << "seed " << seed << ": upload neither completed nor failed by "
+      << to_seconds(deadline) << "s — the control plane hung";
+
+  SoakResult result;
+  if (!stats.has_value()) {
+    result.failed = true;
+    return result;
+  }
+  injector.stop_chaos();
+  // Let in-flight fault windows close so the replica fingerprint is stable.
+  cluster.sim().run_until(cluster.sim().now() + seconds(30));
+
+  result.elapsed = stats->elapsed();
+  result.events = cluster.sim().events_executed();
+  result.recoveries = stats->recoveries;
+  result.quarantine_events = stats->quarantine_events;
+  result.under_replication_events = stats->under_replication_events;
+  result.rpc_retries = stats->rpc_retries;
+  result.failed = stats->failed;
+  result.faults = injector.counts().total();
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    for (const auto& replica :
+         cluster.datanode(i).block_store().all_replicas()) {
+      result.replicas[replica.block.value()][static_cast<std::int64_t>(i)] =
+          replica.bytes;
+    }
+  }
+  return result;
+}
+
+TEST(ChaosSoak, FiftySeedsCompleteOrFailCleanly) {
+  int completed = 0;
+  int clean_failures = 0;
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult result = soak_once(seed);
+    if (HasFatalFailure()) return;
+    total_faults += result.faults;
+    if (result.failed) {
+      ++clean_failures;
+    } else {
+      ++completed;
+    }
+  }
+  // The rates are calibrated so chaos actually bites, yet the hardened
+  // control plane rides most of it out.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(completed, 25) << "completed=" << completed
+                           << " clean_failures=" << clean_failures;
+}
+
+TEST(ChaosSoak, IdenticalSeedsProduceIdenticalTimelines) {
+  for (std::uint64_t seed : {3u, 17u, 42u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult a = soak_once(seed);
+    const SoakResult b = soak_once(seed);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.quarantine_events, b.quarantine_events);
+    EXPECT_EQ(a.rpc_retries, b.rpc_retries);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.replicas, b.replicas);
+  }
+}
+
+// The issue's acceptance scenario: a crash-and-rejoin plus a fail-slow node
+// plus a checksum offender during one upload. The upload must complete and
+// the robustness evidence (recoveries, quarantine, retry accounting) must
+// surface through StreamStats into the metrics fault summary.
+TEST(ChaosScenario, CrashRejoinFailSlowUploadCompletesWithEvidence) {
+  Cluster cluster(soak_spec(23));
+  cluster.throttle_cross_rack(Bandwidth::mbps(60));
+  faults::FaultInjector injector(cluster, /*chaos_seed=*/23);
+  injector.crash_and_rejoin(2, seconds(1), seconds(12));
+  injector.fail_slow(1, seconds(1), seconds(20), /*disk_factor=*/8.0,
+                     /*nic_factor=*/8.0);
+  injector.corrupt_nth_packet(4, 30);
+
+  std::optional<hdfs::StreamStats> stats;
+  cluster.upload("/evidence", 24 * kMiB, Protocol::kHdfs,
+                 [&stats](const hdfs::StreamStats& s) { stats = s; });
+  const SimTime deadline = seconds(600);
+  while (!stats.has_value() && cluster.sim().now() < deadline) {
+    ASSERT_TRUE(
+        cluster.sim().run_until(cluster.sim().now() + milliseconds(250)));
+  }
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->failed);
+  EXPECT_GE(stats->recoveries, 1);
+  EXPECT_GE(stats->quarantine_events, 1);
+  // The upload can finish before the 12 s rejoin lands; run the cluster past
+  // it so the reboot and its re-registration are observable.
+  cluster.sim().run_until(std::max(cluster.sim().now(), seconds(12)) +
+                          seconds(10));
+
+  metrics::FaultSummary summary;
+  summary.fold(*stats);
+  summary.rpc_calls_dropped = cluster.rpc().calls_dropped();
+  summary.datanode_reregistrations = cluster.namenode().reregistrations();
+  summary.faults_injected = injector.counts().total();
+  EXPECT_EQ(summary.uploads, 1);
+  EXPECT_EQ(summary.failed_uploads, 0);
+  EXPECT_GE(summary.quarantine_events, 1);
+  EXPECT_EQ(summary.datanode_reregistrations, 1u);
+  EXPECT_GE(summary.faults_injected, 3u);
+  // The rendered table carries every robustness counter.
+  const std::string table = metrics::render_fault_summary(summary);
+  EXPECT_NE(table.find("recovery MTTR"), std::string::npos);
+  EXPECT_NE(table.find("quarantine events"), std::string::npos);
+  EXPECT_NE(table.find("under-replication events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smarth

@@ -1,0 +1,140 @@
+// Unit tests of the chaos engine: deterministic one-shot injections
+// (crash-and-rejoin with namenode re-registration, fail-slow windows that
+// restore bandwidth, NIC flaps) and seeded chaos mode's reproducibility.
+#include "faults/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+
+namespace smarth::faults {
+namespace {
+
+using cluster::Cluster;
+using cluster::small_cluster;
+
+TEST(FaultInjectorTest, CrashWithoutRejoinStaysDark) {
+  Cluster cluster(small_cluster(1));
+  FaultInjector injector(cluster);
+  injector.crash(0, seconds(1));
+  cluster.sim().run_until(seconds(10));
+  EXPECT_TRUE(cluster.datanode(0).crashed());
+  EXPECT_EQ(injector.counts().crashes, 1u);
+  EXPECT_EQ(injector.counts().restarts, 0u);
+  EXPECT_EQ(cluster.namenode().reregistrations(), 0u);
+}
+
+TEST(FaultInjectorTest, CrashAndRejoinReregisters) {
+  Cluster cluster(small_cluster(1));
+  FaultInjector injector(cluster);
+  injector.crash_and_rejoin(0, seconds(1), seconds(4));
+  cluster.sim().run_until(seconds(2));
+  EXPECT_TRUE(cluster.datanode(0).crashed());
+  cluster.sim().run_until(seconds(10));
+  EXPECT_FALSE(cluster.datanode(0).crashed());
+  EXPECT_EQ(injector.counts().crashes, 1u);
+  EXPECT_EQ(injector.counts().restarts, 1u);
+  // The reboot re-registered with the namenode (heartbeats resumed).
+  EXPECT_EQ(cluster.namenode().reregistrations(), 1u);
+  EXPECT_FALSE(cluster.rpc().host_down(cluster.datanode_id(0)));
+}
+
+TEST(FaultInjectorTest, FailSlowThrottlesThenRestores) {
+  Cluster cluster(small_cluster(1));
+  FaultInjector injector(cluster);
+  const NodeId node = cluster.datanode_id(0);
+  const Bandwidth nic_before = cluster.network().node_nic(node);
+  const Bandwidth disk_before = cluster.datanode(0).disk().write_bandwidth();
+  injector.fail_slow(0, seconds(1), seconds(3), /*disk_factor=*/8.0,
+                     /*nic_factor=*/4.0);
+  cluster.sim().run_until(seconds(2));
+  EXPECT_NEAR(cluster.network().node_nic(node).bits_per_second(),
+              nic_before.bits_per_second() / 4.0, 1.0);
+  EXPECT_NEAR(cluster.datanode(0).disk().write_bandwidth().bits_per_second(),
+              disk_before.bits_per_second() / 8.0, 1.0);
+  cluster.sim().run_until(seconds(5));
+  EXPECT_EQ(cluster.network().node_nic(node), nic_before);
+  EXPECT_EQ(cluster.datanode(0).disk().write_bandwidth(), disk_before);
+  EXPECT_EQ(injector.counts().fail_slows, 1u);
+}
+
+TEST(FaultInjectorTest, FlapIsolatesThenHeals) {
+  Cluster cluster(small_cluster(1));
+  FaultInjector injector(cluster);
+  const NodeId node = cluster.datanode_id(0);
+  injector.flap_node(0, seconds(1), seconds(2));
+  cluster.sim().run_until(milliseconds(1500));
+  EXPECT_TRUE(cluster.network().node_isolated(node));
+  cluster.sim().run_until(seconds(3));
+  EXPECT_FALSE(cluster.network().node_isolated(node));
+  EXPECT_EQ(injector.counts().flaps, 1u);
+}
+
+TEST(FaultInjectorTest, RpcChaosInstalledOnBus) {
+  Cluster cluster(small_cluster(1));
+  FaultInjector injector(cluster);
+  injector.set_rpc_chaos(0.05, milliseconds(2), milliseconds(1));
+  EXPECT_TRUE(cluster.rpc().chaos().enabled());
+  EXPECT_DOUBLE_EQ(cluster.rpc().chaos().loss_probability, 0.05);
+}
+
+ChaosRates moderate_rates() {
+  ChaosRates rates;
+  rates.crash_per_minute = 2.0;
+  rates.fail_slow_per_minute = 3.0;
+  rates.flap_per_minute = 2.0;
+  rates.rejoin_delay = seconds(3);
+  rates.fail_slow_duration = seconds(4);
+  rates.flap_duration = seconds(1);
+  return rates;
+}
+
+TEST(FaultInjectorTest, ChaosModeInjectsFaults) {
+  Cluster cluster(small_cluster(1));
+  FaultInjector injector(cluster, /*chaos_seed=*/7);
+  injector.start_chaos(moderate_rates());
+  EXPECT_TRUE(injector.chaos_running());
+  cluster.sim().run_until(seconds(120));
+  EXPECT_GT(injector.counts().total(), 0u);
+  injector.stop_chaos();
+  EXPECT_FALSE(injector.chaos_running());
+}
+
+TEST(FaultInjectorTest, ChaosTimelineIsSeedDeterministic) {
+  auto run = [](std::uint64_t chaos_seed) {
+    Cluster cluster(small_cluster(1));
+    FaultInjector injector(cluster, chaos_seed);
+    injector.start_chaos(moderate_rates());
+    cluster.sim().run_until(seconds(120));
+    return injector.counts();
+  };
+  const InjectionCounts a = run(99);
+  const InjectionCounts b = run(99);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.fail_slows, b.fail_slows);
+  EXPECT_EQ(a.flaps, b.flaps);
+  EXPECT_EQ(a.total(), b.total());
+}
+
+TEST(FaultInjectorTest, ChaosCrashesAlwaysRejoin) {
+  Cluster cluster(small_cluster(1));
+  FaultInjector injector(cluster, /*chaos_seed=*/11);
+  ChaosRates rates;
+  rates.crash_per_minute = 4.0;
+  rates.rejoin_delay = seconds(2);
+  injector.start_chaos(rates);
+  cluster.sim().run_until(seconds(120));
+  injector.stop_chaos();
+  // Give the last scheduled rejoin time to land.
+  cluster.sim().run_until(cluster.sim().now() + seconds(10));
+  EXPECT_GT(injector.counts().crashes, 0u);
+  EXPECT_EQ(injector.counts().crashes, injector.counts().restarts);
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    EXPECT_FALSE(cluster.datanode(i).crashed()) << "datanode " << i;
+  }
+}
+
+}  // namespace
+}  // namespace smarth::faults

@@ -41,10 +41,25 @@ TEST_F(NamenodeTest, CreateChecksPath) {
 }
 
 TEST_F(NamenodeTest, CreateRejectsDuplicates) {
-  ASSERT_TRUE(nn_->create("/a", client_).ok());
-  const auto dup = nn_->create("/a", client_);
-  ASSERT_FALSE(dup.ok());
-  EXPECT_EQ(dup.error().code, "file_exists");
+  const auto file = nn_->create("/a", client_);
+  ASSERT_TRUE(file.ok());
+  // Same client, file still under construction: treated as a retry of a
+  // create() whose response was lost — returns the existing entry.
+  const auto retried = nn_->create("/a", client_);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value(), file.value());
+  // A different client is a genuine conflict.
+  const auto other = nn_->create("/a", ClientId{1});
+  ASSERT_FALSE(other.ok());
+  EXPECT_EQ(other.error().code, "file_exists");
+  // Once closed, even the original creator cannot re-create the path.
+  const auto located = add_block(file.value());
+  ASSERT_TRUE(located.ok());
+  nn_->block_received(located.value().targets[0], located.value().block, 1);
+  ASSERT_TRUE(nn_->complete(file.value(), client_).value());
+  const auto closed_dup = nn_->create("/a", client_);
+  ASSERT_FALSE(closed_dup.ok());
+  EXPECT_EQ(closed_dup.error().code, "file_exists");
 }
 
 TEST_F(NamenodeTest, SafeModeBlocksWrites) {

@@ -46,6 +46,7 @@ class RecoveryTest : public ::testing::Test {
     deps_ = std::make_unique<StreamDeps>(StreamDeps{
         sim_, *transport_, rpc_, *namenode_, config_, pipeline_ids_,
         [this](NodeId node) -> Datanode* { return datanode_of(node); }});
+    deps_->quarantine = &quarantine_;
   }
 
   Datanode* datanode_of(NodeId node) {
@@ -65,7 +66,8 @@ class RecoveryTest : public ::testing::Test {
   /// Runs a recovery over targets (by index) and returns the outcome.
   Result<RecoveryOutcome> run_recovery(BlockId block,
                                        std::vector<std::size_t> target_idx,
-                                       int error_index = -1) {
+                                       int error_index = -1,
+                                       Bytes durable_floor = 0) {
     std::vector<NodeId> targets;
     for (std::size_t i : target_idx) targets.push_back(dn_nodes_[i]);
     std::optional<Result<RecoveryOutcome>> result;
@@ -74,7 +76,7 @@ class RecoveryTest : public ::testing::Test {
                                   ClientId{0});
     BlockRecovery recovery(
         *deps_, ClientId{0}, client_node_, PipelineId{99}, block,
-        config_.block_size, targets, error_index,
+        config_.block_size, durable_floor, targets, error_index,
         [&result](Result<RecoveryOutcome> r) { result = std::move(r); });
     recovery.run();
     while (!result.has_value()) {
@@ -96,6 +98,7 @@ class RecoveryTest : public ::testing::Test {
   std::vector<std::unique_ptr<Datanode>> dns_;
   IdGenerator<PipelineId> pipeline_ids_;
   std::unique_ptr<StreamDeps> deps_;
+  QuarantineList quarantine_{sim_, seconds(60)};
 };
 
 TEST_F(RecoveryTest, SyncsSurvivorsToMinimumLength) {
@@ -111,6 +114,32 @@ TEST_F(RecoveryTest, SyncsSurvivorsToMinimumLength) {
     EXPECT_EQ(dns_[i]->block_store().replica(block).value().bytes,
               3 * config_.packet_payload);
   }
+}
+
+TEST_F(RecoveryTest, StaleReplicaBelowDurableFloorIsReplaced) {
+  // dn1 crashed and restarted mid-write, losing its in-progress replica. The
+  // client only buffers packets from the durable floor onward, so a survivor
+  // below the floor cannot resync — it must drop out (and be quarantined)
+  // instead of dragging the sync offset to zero and wedging the stream.
+  const auto file = namenode_->create("/stale", ClientId{0});
+  ASSERT_TRUE(file.ok());
+  const auto located =
+      namenode_->add_block(file.value(), ClientId{0}, client_node_, {});
+  ASSERT_TRUE(located.ok());
+  const BlockId block = located.value().block;
+  stage_replica(0, block, 6);
+  stage_replica(1, block, 1);  // below the 4-packet floor: stale
+  stage_replica(2, block, 5);
+  const auto outcome = run_recovery(block, {0, 1, 2}, /*error_index=*/-1,
+                                    /*durable_floor=*/4 *
+                                        config_.packet_payload);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome.value().sync_offset, 4 * config_.packet_payload);
+  for (NodeId target : outcome.value().targets) {
+    EXPECT_NE(target, dn_nodes_[1]);
+  }
+  EXPECT_GE(outcome.value().quarantined, 1);
+  EXPECT_TRUE(quarantine_.quarantined(dn_nodes_[1]));
 }
 
 TEST_F(RecoveryTest, DeadTargetReplacedAndSeeded) {
@@ -201,6 +230,139 @@ TEST_F(RecoveryTest, UnreachableReplacementDroppedNotFatal) {
   // The replacement (a rack1 node) was unreachable, so only survivors
   // remain.
   EXPECT_EQ(outcome.value().targets.size(), 2u);
+}
+
+TEST_F(RecoveryTest, DeadTargetLandsInQuarantine) {
+  const BlockId block{7};
+  stage_replica(0, block, 4);
+  stage_replica(1, block, 4);
+  dns_[1]->crash();
+  const auto outcome = run_recovery(block, {0, 1});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome.value().quarantined, 1);
+  EXPECT_TRUE(quarantine_.quarantined(dn_nodes_[1]));
+  EXPECT_FALSE(quarantine_.quarantined(dn_nodes_[0]));
+  ASSERT_FALSE(quarantine_.events().empty());
+  EXPECT_EQ(quarantine_.events().front().node, dn_nodes_[1]);
+}
+
+TEST_F(RecoveryTest, QuarantineExpires) {
+  const BlockId block{7};
+  stage_replica(0, block, 4);
+  dns_[1]->crash();
+  ASSERT_TRUE(run_recovery(block, {0, 1}).ok());
+  EXPECT_TRUE(quarantine_.quarantined(dn_nodes_[1]));
+  sim_.run_until(sim_.now() + seconds(61));
+  EXPECT_FALSE(quarantine_.quarantined(dn_nodes_[1]));
+  EXPECT_TRUE(quarantine_.active().empty());
+}
+
+TEST_F(RecoveryTest, NoReplacementsAvailableMeansUnderReplicated) {
+  // Every spare node is dead: getAdditionalDatanodes has nothing to offer
+  // and recovery degrades gracefully to a shorter pipeline.
+  config_.replication = 3;
+  const auto file = namenode_->create("/under", ClientId{0});
+  ASSERT_TRUE(file.ok());
+  const auto located =
+      namenode_->add_block(file.value(), ClientId{0}, client_node_, {});
+  ASSERT_TRUE(located.ok());
+  const BlockId block = located.value().block;
+  stage_replica(0, block, 4);
+  stage_replica(1, block, 4);
+  stage_replica(2, block, 4);
+  dns_[2]->crash();
+  dns_[3]->crash();
+  dns_[4]->crash();
+  const auto outcome = run_recovery(block, {0, 1, 2});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().targets.size(), 2u);
+  EXPECT_TRUE(outcome.value().under_replicated);
+}
+
+TEST_F(RecoveryTest, FullPipelineSurvivesIsNotUnderReplicated) {
+  config_.replication = 3;
+  const BlockId block{7};
+  stage_replica(0, block, 4);
+  stage_replica(1, block, 4);
+  stage_replica(2, block, 4);
+  const auto outcome = run_recovery(block, {0, 1, 2});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().targets.size(), 3u);
+  EXPECT_FALSE(outcome.value().under_replicated);
+}
+
+TEST_F(RecoveryTest, RepeatedRecoveryOfSameBlockConverges) {
+  // Two consecutive recoveries of one block (a replacement then fails too)
+  // must both terminate and leave a consistent replica set.
+  const auto file = namenode_->create("/twice", ClientId{0});
+  ASSERT_TRUE(file.ok());
+  const auto located =
+      namenode_->add_block(file.value(), ClientId{0}, client_node_, {});
+  ASSERT_TRUE(located.ok());
+  const BlockId block = located.value().block;
+  stage_replica(0, block, 4);
+  stage_replica(1, block, 4);
+  stage_replica(2, block, 4);
+  dns_[2]->crash();
+  const auto first = run_recovery(block, {0, 1, 2});
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().targets.size(), 3u);
+  // The freshly seeded replacement dies as well; recover again off the new
+  // target list.
+  Datanode* replacement = datanode_of(first.value().targets[2]);
+  replacement->crash();
+  std::vector<std::size_t> idx;
+  for (NodeId t : first.value().targets) {
+    for (std::size_t i = 0; i < dn_nodes_.size(); ++i) {
+      if (dn_nodes_[i] == t) idx.push_back(i);
+    }
+  }
+  const auto second = run_recovery(block, idx);
+  ASSERT_TRUE(second.ok());
+  // Both dead nodes are excluded now; only dn0/dn1 plus at most the one
+  // remaining healthy spare can serve.
+  for (NodeId t : second.value().targets) {
+    EXPECT_FALSE(datanode_of(t)->crashed());
+  }
+  EXPECT_GE(second.value().targets.size(), 2u);
+}
+
+// --- probe_replica_with_timeout edge cases ---------------------------------
+
+TEST_F(RecoveryTest, ProbeCrashedNodeReportsDead) {
+  dns_[0]->crash();
+  std::optional<ReplicaProbeResult> result;
+  probe_replica_with_timeout(*deps_, client_node_, dn_nodes_[0], BlockId{7},
+                             [&result](ReplicaProbeResult r) { result = r; });
+  sim_.run_until(sim_.now() + config_.probe_timeout + seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->alive);
+}
+
+TEST_F(RecoveryTest, ProbeIsolatedNodeTimesOutExactlyOnce) {
+  net_.set_node_isolated(dn_nodes_[0], true);
+  int calls = 0;
+  bool alive = true;
+  probe_replica_with_timeout(*deps_, client_node_, dn_nodes_[0], BlockId{7},
+                             [&](ReplicaProbeResult r) {
+                               ++calls;
+                               alive = r.alive;
+                             });
+  // Run far past the timeout: a late response must not fire the callback a
+  // second time.
+  sim_.run_until(sim_.now() + config_.probe_timeout * 4);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(alive);
+}
+
+TEST_F(RecoveryTest, ProbeUnknownNodeReportsDeadImmediately) {
+  std::optional<ReplicaProbeResult> result;
+  // The client node resolves to no datanode.
+  probe_replica_with_timeout(*deps_, client_node_, client_node_, BlockId{7},
+                             [&result](ReplicaProbeResult r) { result = r; });
+  sim_.run_until(sim_.now() + milliseconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->alive);
 }
 
 TEST_F(RecoveryTest, NamenodeLearnsNewTargets) {

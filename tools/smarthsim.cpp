@@ -6,7 +6,11 @@
 //   smarthsim --cluster=medium --size-gb=8 --throttle-mbps=50
 //   smarthsim --cluster=hetero --protocol=both --timeline
 //   smarthsim --cluster=small --slow-nodes=2 --slow-mbps=50 --crash=3@30
+//   smarthsim --cluster=small --crash=3@10 --rejoin=3@25 --fail-slow=1@5-20@8
+//   smarthsim --chaos-rates=crash=2,failslow=4,rpcloss=0.05 --chaos-seed=7
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +19,8 @@
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "faults/fault_injector.hpp"
+#include "metrics/report.hpp"
 #include "metrics/timeline.hpp"
 #include "sim/periodic_task.hpp"
 #include "workload/fault_plan.hpp"
@@ -48,11 +54,69 @@ cluster::ClusterSpec spec_from_flags(const FlagSet& flags) {
 struct RunOutcome {
   hdfs::StreamStats stats;
   metrics::Timeline concurrency{"pipeline concurrency"};
+  metrics::FaultSummary summary;
   std::uint64_t events = 0;
 };
 
+/// Splits "a=1,b=2" into (key, value) pairs.
+std::vector<std::pair<std::string, std::string>> parse_kv_list(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// A typo'd fault flag silently running a fault-free experiment is worse
+/// than an abort: fail loudly instead.
+[[noreturn]] void fault_flag_error(const std::string& flag,
+                                   const std::string& detail) {
+  std::fprintf(stderr, "malformed --%s: %s\n", flag.c_str(), detail.c_str());
+  std::exit(2);
+}
+
+/// Parses --chaos-rates: crash=<per-min>,failslow=<per-min>,flap=<per-min>,
+/// rpcloss=<prob>,rpcdelay-ms=<ms>,rpcjitter-ms=<ms>,rejoin-s=<s>,
+/// slowdur-s=<s>,slowfactor=<x>,flapdur-s=<s>.
+faults::ChaosRates parse_chaos_rates(const std::string& text) {
+  faults::ChaosRates rates;
+  for (const auto& [key, value] : parse_kv_list(text)) {
+    double v = 0;
+    try {
+      v = std::stod(value);
+    } catch (const std::exception&) {
+      fault_flag_error("chaos-rates",
+                       "value for '" + key + "' is not a number: " + value);
+    }
+    if (key == "crash") rates.crash_per_minute = v;
+    else if (key == "failslow") rates.fail_slow_per_minute = v;
+    else if (key == "flap") rates.flap_per_minute = v;
+    else if (key == "rpcloss") rates.rpc_loss = v;
+    else if (key == "rpcdelay-ms") rates.rpc_delay_mean = milliseconds_f(v);
+    else if (key == "rpcjitter-ms") rates.rpc_delay_jitter = milliseconds_f(v);
+    else if (key == "rejoin-s") rates.rejoin_delay = seconds_f(v);
+    else if (key == "slowdur-s") rates.fail_slow_duration = seconds_f(v);
+    else if (key == "slowfactor") rates.fail_slow_factor = v;
+    else if (key == "flapdur-s") rates.flap_duration = seconds_f(v);
+    else fault_flag_error("chaos-rates", "unknown key: " + key);
+  }
+  return rates;
+}
+
 RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   cluster::Cluster cluster(spec_from_flags(flags));
+  faults::FaultInjector injector(
+      cluster,
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed").value_or(1)));
 
   if (const auto throttle = flags.get_double("throttle-mbps");
       throttle && *throttle > 0) {
@@ -64,16 +128,77 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
     cluster.throttle_datanode(static_cast<std::size_t>(i),
                               Bandwidth::mbps(slow_mbps));
   }
-  if (flags.has("crash")) {
-    // --crash=<datanode>@<seconds>
-    const std::string crash = flags.get("crash");
-    const auto at = crash.find('@');
-    if (at != std::string::npos) {
-      workload::FaultPlan plan;
-      plan.crash(static_cast<std::size_t>(std::stol(crash.substr(0, at))),
-                 seconds_f(std::stod(crash.substr(at + 1))));
-      plan.apply(cluster);
+  workload::FaultPlan plan;
+  try {
+    if (flags.has("crash")) {
+      // --crash=<datanode>@<seconds>, optionally paired with --rejoin.
+      const std::string crash = flags.get("crash");
+      const auto at = crash.find('@');
+      if (at == std::string::npos) {
+        fault_flag_error("crash", "expected <datanode>@<seconds>, got " +
+                                      crash);
+      }
+      const auto index =
+          static_cast<std::size_t>(std::stol(crash.substr(0, at)));
+      const SimDuration when = seconds_f(std::stod(crash.substr(at + 1)));
+      SimDuration rejoin_at = 0;
+      if (flags.has("rejoin")) {
+        // --rejoin=<datanode>@<seconds>; must name the crashed node.
+        const std::string rejoin = flags.get("rejoin");
+        const auto rat = rejoin.find('@');
+        if (rat == std::string::npos) {
+          fault_flag_error("rejoin", "expected <datanode>@<seconds>, got " +
+                                         rejoin);
+        }
+        if (static_cast<std::size_t>(std::stol(rejoin.substr(0, rat))) ==
+            index) {
+          rejoin_at = seconds_f(std::stod(rejoin.substr(rat + 1)));
+        }
+      }
+      if (rejoin_at > when) {
+        plan.crash_and_rejoin(index, when, rejoin_at);
+      } else {
+        plan.crash(index, when);
+      }
     }
+    if (flags.has("fail-slow")) {
+      // --fail-slow=<datanode>@<from>-<until>@<factor>
+      const std::string fs = flags.get("fail-slow");
+      const auto at = fs.find('@');
+      const auto dash = fs.find('-', at);
+      const auto at2 = fs.find('@', dash);
+      if (at == std::string::npos || dash == std::string::npos ||
+          at2 == std::string::npos) {
+        fault_flag_error("fail-slow",
+                         "expected <datanode>@<from>-<until>@<factor>, got " +
+                             fs);
+      }
+      plan.fail_slow(
+          static_cast<std::size_t>(std::stol(fs.substr(0, at))),
+          seconds_f(std::stod(fs.substr(at + 1, dash - at - 1))),
+          seconds_f(std::stod(fs.substr(dash + 1, at2 - dash - 1))),
+          std::stod(fs.substr(at2 + 1)));
+    }
+    if (flags.has("flap")) {
+      // --flap=<datanode>@<down>-<up>
+      const std::string flap = flags.get("flap");
+      const auto at = flap.find('@');
+      const auto dash = flap.find('-', at);
+      if (at == std::string::npos || dash == std::string::npos) {
+        fault_flag_error("flap",
+                         "expected <datanode>@<down>-<up>, got " + flap);
+      }
+      plan.flap(static_cast<std::size_t>(std::stol(flap.substr(0, at))),
+                seconds_f(std::stod(flap.substr(at + 1, dash - at - 1))),
+                seconds_f(std::stod(flap.substr(dash + 1))));
+    }
+  } catch (const std::logic_error&) {
+    fault_flag_error("crash/rejoin/fail-slow/flap",
+                     "fault spec fields must be numeric");
+  }
+  if (!plan.empty()) plan.apply(injector);
+  if (flags.has("chaos-rates")) {
+    injector.start_chaos(parse_chaos_rates(flags.get("chaos-rates")));
   }
   if (flags.get_bool("verbose")) {
     Logger::instance().set_level(LogLevel::kInfo);
@@ -102,6 +227,15 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
 
   outcome.stats = cluster.run_upload("/data/cli.bin", size, protocol);
   outcome.events = cluster.sim().events_executed();
+  outcome.summary.fold(outcome.stats);
+  outcome.summary.rpc_calls_dropped = cluster.rpc().calls_dropped();
+  outcome.summary.rpc_messages_lost = cluster.rpc().messages_lost();
+  outcome.summary.rpc_messages_delayed = cluster.rpc().messages_delayed();
+  outcome.summary.datanode_reregistrations =
+      cluster.namenode().reregistrations();
+  outcome.summary.under_replicated_blocks =
+      cluster.namenode().under_replicated_blocks().size();
+  outcome.summary.faults_injected = injector.counts().total();
   if (sampler) sampler->stop();
   Logger::instance().set_level(LogLevel::kWarn);
   Logger::instance().set_time_source(nullptr);
@@ -121,10 +255,18 @@ int main(int argc, char** argv) {
                 "0");
   flags.declare("slow-mbps", "bandwidth of the slow datanodes", "50");
   flags.declare("crash", "crash fault: <datanode>@<seconds>", "");
+  flags.declare("rejoin", "reboot a crashed node: <datanode>@<seconds>", "");
+  flags.declare("fail-slow",
+                "fail-slow window: <datanode>@<from>-<until>@<factor>", "");
+  flags.declare("flap", "NIC flap window: <datanode>@<down>-<up>", "");
+  flags.declare("chaos-rates",
+                "seeded chaos, e.g. crash=2,failslow=4,rpcloss=0.05", "");
+  flags.declare("chaos-seed", "seed for the chaos engine's RNG", "1");
   flags.declare("block-mb", "HDFS block size in MiB", "64");
   flags.declare("replication", "replication factor", "3");
   flags.declare("seed", "simulation seed", "42");
   flags.declare_bool("timeline", "print a pipeline-concurrency timeline");
+  flags.declare_bool("fault-summary", "print robustness counters per run");
   flags.declare_bool("verbose", "protocol-level logging");
   flags.declare_bool("help", "show usage");
 
@@ -151,6 +293,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Under injected faults a failed upload is a legitimate outcome worth
+  // reporting (clean failure, not a hang); without faults it is an error.
+  const bool faults_active = flags.has("chaos-rates") || flags.has("crash") ||
+                             flags.has("fail-slow") || flags.has("flap");
+  const bool want_summary = flags.get_bool("fault-summary") || faults_active;
+
   TextTable table({"protocol", "seconds", "throughput (Mbps)", "blocks",
                    "pipelines", "max concurrent", "recoveries", "events"});
   std::vector<double> seconds_by_protocol;
@@ -160,7 +308,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s upload failed: %s\n",
                    cluster::protocol_name(protocol),
                    outcome.stats.failure_reason.c_str());
-      return 1;
+      if (!faults_active) return 1;
     }
     seconds_by_protocol.push_back(to_seconds(outcome.stats.elapsed()));
     table.add_row({cluster::protocol_name(protocol),
@@ -173,6 +321,10 @@ int main(int argc, char** argv) {
                    std::to_string(outcome.events)});
     if (flags.get_bool("timeline") && !outcome.concurrency.empty()) {
       std::printf("%s\n", outcome.concurrency.render_ascii().c_str());
+    }
+    if (want_summary) {
+      std::printf("%s robustness:\n%s", cluster::protocol_name(protocol),
+                  metrics::render_fault_summary(outcome.summary).c_str());
     }
   }
   std::printf("%s", table.to_string().c_str());
