@@ -55,6 +55,19 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
   }
 
   add_client(spec_.client.rack, spec_.client.profile);
+
+  // Lease recovery is part of the namenode's normal duty cycle, not an
+  // opt-in: a writer crash must never leave a file under-construction
+  // forever. The executor routes the recovery command to the elected
+  // primary datanode as an RPC, mirroring the re-replication wiring.
+  namenode_->enable_lease_recovery(
+      [this](NodeId primary, const hdfs::UcRecoveryCommand& cmd) {
+        hdfs::Datanode* dn = resolve_datanode(primary);
+        if (dn == nullptr || dn->crashed()) return false;
+        rpc_->notify(namenode_->node_id(), primary,
+                     [dn, cmd] { dn->recover_uc_block(cmd); });
+        return true;
+      });
 }
 
 Cluster::~Cluster() = default;
@@ -145,6 +158,57 @@ void Cluster::crash_datanode_at(std::size_t index, SimTime at) {
 void Cluster::restart_datanode_at(std::size_t index, SimTime at) {
   hdfs::Datanode* dn = &datanode(index);
   sim_->schedule_at(at, [dn] { dn->restart(); });
+}
+
+void Cluster::crash_client(std::size_t index) {
+  SMARTH_CHECK(index < clients_.size());
+  ClientRuntime& runtime = clients_[index];
+  if (runtime.crashed) return;
+  runtime.crashed = true;
+  // Order matters: stop the heartbeat first so no renewal is in flight,
+  // then sever the host. The lease keeps its last renewal timestamp and
+  // ages toward the soft/hard limits from there.
+  runtime.dfs->stop_heartbeat();
+  rpc_->set_host_down(runtime.node, true);
+  network_->set_node_isolated(runtime.node, true);
+  for (auto& stream : streams_) {
+    if (stream->client_node() == runtime.node && !stream->finished()) {
+      stream->abort("client crashed");
+    }
+  }
+  SMARTH_WARN("cluster") << "client " << index << " crashed";
+}
+
+void Cluster::restart_client(std::size_t index) {
+  SMARTH_CHECK(index < clients_.size());
+  ClientRuntime& runtime = clients_[index];
+  if (!runtime.crashed) return;
+  runtime.crashed = false;
+  rpc_->set_host_down(runtime.node, false);
+  network_->set_node_isolated(runtime.node, false);
+  // A rebooted host is a fresh writer process: old streams are gone (they
+  // were aborted at crash time), and the process carries a new client
+  // identity so its heartbeat does not renew the dead process's leases —
+  // those must expire so the lease monitor recovers the files it left
+  // under construction.
+  runtime.dfs->reincarnate(client_ids_.next());
+  runtime.dfs->resume_heartbeat();
+  SMARTH_INFO("cluster") << "client " << index << " restarted";
+}
+
+void Cluster::crash_client_at(std::size_t index, SimTime at) {
+  SMARTH_CHECK(index < clients_.size());
+  sim_->schedule_at(at, [this, index] { crash_client(index); });
+}
+
+void Cluster::restart_client_at(std::size_t index, SimTime at) {
+  SMARTH_CHECK(index < clients_.size());
+  sim_->schedule_at(at, [this, index] { restart_client(index); });
+}
+
+bool Cluster::client_crashed(std::size_t index) const {
+  SMARTH_CHECK(index < clients_.size());
+  return clients_[index].crashed;
 }
 
 hdfs::QuarantineList& Cluster::quarantine(std::size_t client_index) {

@@ -48,6 +48,7 @@ class Cluster {
   std::size_t datanode_count() const { return datanodes_.size(); }
   hdfs::Datanode& datanode(std::size_t index);
   NodeId datanode_id(std::size_t index) const;
+  std::size_t client_count() const { return clients_.size(); }
   NodeId client_node(std::size_t client_index = 0) const;
   hdfs::DfsClient& client(std::size_t client_index = 0);
   core::SpeedTracker& speed_tracker(std::size_t client_index = 0);
@@ -65,6 +66,19 @@ class Cluster {
   /// Crash-and-rejoin: the node reboots at `at` with its staging cleared and
   /// non-finalized replicas discarded, then re-registers with the namenode.
   void restart_datanode_at(std::size_t index, SimTime at);
+
+  /// Writer crash: the client host vanishes — its heartbeat stops (so its
+  /// lease expires), its RPC endpoint goes down, in-flight transfers from the
+  /// host are severed, and every unfinished stream it owned is aborted
+  /// without a complete() call. Files it was writing stay under-construction
+  /// until the namenode's lease monitor recovers them.
+  void crash_client(std::size_t index);
+  /// The crashed host comes back (fresh process: no stream state survives).
+  /// Its heartbeat resumes so a new writer on this host can hold leases.
+  void restart_client(std::size_t index);
+  void crash_client_at(std::size_t index, SimTime at);
+  void restart_client_at(std::size_t index, SimTime at);
+  bool client_crashed(std::size_t index) const;
 
   /// The quarantine list recovery feeds and placement consults, per client.
   hdfs::QuarantineList& quarantine(std::size_t client_index = 0);
@@ -117,6 +131,7 @@ class Cluster {
     std::unique_ptr<hdfs::DfsClient> dfs;
     std::unique_ptr<core::SpeedTracker> tracker;
     std::unique_ptr<hdfs::QuarantineList> quarantine;
+    bool crashed = false;
   };
 
   hdfs::StreamDeps make_stream_deps(std::size_t client_index = 0);

@@ -115,6 +115,28 @@ void FaultInjector::corrupt_nth_packet(std::size_t datanode_index,
   ++counts_.corruptions;
 }
 
+void FaultInjector::crash_client(std::size_t client_index, SimTime at) {
+  cluster_.sim().schedule_at(at, [this, client_index] {
+    if (cluster_.client_crashed(client_index)) return;
+    SMARTH_INFO("faults") << "client crash: client " << client_index;
+    cluster_.crash_client(client_index);
+    ++counts_.client_crashes;
+  });
+}
+
+void FaultInjector::crash_and_rejoin_client(std::size_t client_index,
+                                            SimTime at, SimTime rejoin_at) {
+  SMARTH_CHECK_MSG(rejoin_at > at, "rejoin must come after the crash");
+  crash_client(client_index, at);
+  cluster_.sim().schedule_at(rejoin_at, [this, client_index] {
+    if (!cluster_.client_crashed(client_index)) return;
+    SMARTH_INFO("faults") << "client rejoin: client " << client_index;
+    cluster_.restart_client(client_index);
+    ++counts_.client_restarts;
+  });
+  mark_client_busy(client_index, rejoin_at);
+}
+
 void FaultInjector::set_rpc_chaos(double loss_probability,
                                   SimDuration delay_mean,
                                   SimDuration delay_jitter) {
@@ -132,7 +154,7 @@ void FaultInjector::start_chaos(const ChaosRates& rates, SimDuration tick) {
   set_rpc_chaos(rates_.rpc_loss, rates_.rpc_delay_mean,
                 rates_.rpc_delay_jitter);
   if (rates_.crash_per_minute <= 0.0 && rates_.fail_slow_per_minute <= 0.0 &&
-      rates_.flap_per_minute <= 0.0) {
+      rates_.flap_per_minute <= 0.0 && rates_.client_crash_per_minute <= 0.0) {
     return;  // only RPC chaos requested; no sampling loop needed
   }
   chaos_task_ = std::make_unique<sim::PeriodicTask>(cluster_.sim(), tick_,
@@ -156,6 +178,20 @@ bool FaultInjector::node_busy(std::size_t index) const {
 void FaultInjector::mark_busy(std::size_t index, SimTime until) {
   if (index < busy_until_.size()) {
     busy_until_[index] = std::max(busy_until_[index], until);
+  }
+}
+
+bool FaultInjector::client_busy(std::size_t index) const {
+  return index < client_busy_until_.size() &&
+         client_busy_until_[index] > cluster_.sim().now();
+}
+
+void FaultInjector::mark_client_busy(std::size_t index, SimTime until) {
+  if (client_busy_until_.size() < cluster_.client_count()) {
+    client_busy_until_.resize(cluster_.client_count(), 0);
+  }
+  if (index < client_busy_until_.size()) {
+    client_busy_until_[index] = std::max(client_busy_until_[index], until);
   }
 }
 
@@ -184,6 +220,18 @@ void FaultInjector::chaos_tick() {
                 rates_.fail_slow_factor, rates_.fail_slow_factor);
     } else if (flap_hit) {
       flap_node(i, now, now + rates_.flap_duration);
+    }
+  }
+  // Client draws come after all datanode draws, and only when the class is
+  // enabled, so seeds that never ask for writer crashes keep the exact
+  // fault timeline they had before this class existed.
+  if (rates_.client_crash_per_minute > 0.0) {
+    for (std::size_t i = 0; i < cluster_.client_count(); ++i) {
+      const bool hit =
+          rng_.uniform() <
+          rates_.client_crash_per_minute * per_minute_to_per_tick;
+      if (!hit || client_busy(i)) continue;
+      crash_and_rejoin_client(i, now, now + rates_.client_rejoin_delay);
     }
   }
 }

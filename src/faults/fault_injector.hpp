@@ -35,6 +35,11 @@ struct ChaosRates {
   double fail_slow_per_minute = 0.0;  ///< transient disk+NIC degradation
   double flap_per_minute = 0.0;       ///< NIC isolation windows
 
+  /// Writer-crash chaos: each client host suffers ~r crash-and-rejoin
+  /// events per simulated minute. The crashed writer's leases expire and
+  /// the namenode recovers its under-construction blocks.
+  double client_crash_per_minute = 0.0;
+
   /// Control-plane chaos, applied to the RPC bus when any() holds.
   double rpc_loss = 0.0;              ///< per-message drop probability
   SimDuration rpc_delay_mean = 0;     ///< extra control-message latency
@@ -45,10 +50,12 @@ struct ChaosRates {
   SimDuration fail_slow_duration = seconds(10); ///< throttle window
   double fail_slow_factor = 8.0;                ///< bandwidth divisor
   SimDuration flap_duration = seconds(2);       ///< isolation window
+  SimDuration client_rejoin_delay = seconds(10);///< writer crash -> reboot
 
   bool any() const {
     return crash_per_minute > 0.0 || fail_slow_per_minute > 0.0 ||
-           flap_per_minute > 0.0 || rpc_loss > 0.0 || rpc_delay_mean > 0;
+           flap_per_minute > 0.0 || client_crash_per_minute > 0.0 ||
+           rpc_loss > 0.0 || rpc_delay_mean > 0;
   }
 };
 
@@ -60,9 +67,12 @@ struct InjectionCounts {
   std::uint64_t flaps = 0;
   std::uint64_t partitions = 0;
   std::uint64_t corruptions = 0;
+  std::uint64_t client_crashes = 0;
+  std::uint64_t client_restarts = 0;
 
   std::uint64_t total() const {
-    return crashes + restarts + fail_slows + flaps + partitions + corruptions;
+    return crashes + restarts + fail_slows + flaps + partitions + corruptions +
+           client_crashes + client_restarts;
   }
 };
 
@@ -92,6 +102,14 @@ class FaultInjector {
                        SimTime sever_at, SimTime heal_at);
   /// Checksum corruption on the nth packet arriving at the node (1-based).
   void corrupt_nth_packet(std::size_t datanode_index, std::uint64_t nth);
+  /// Writer crash with no reboot: the client host goes dark, its heartbeat
+  /// stops, and every stream it owned aborts mid-write. Lease recovery is
+  /// the only path by which its files leave under-construction.
+  void crash_client(std::size_t client_index, SimTime at);
+  /// Writer crash at `at`, host reboot (heartbeat resumes, no stream state
+  /// survives) at `rejoin_at`.
+  void crash_and_rejoin_client(std::size_t client_index, SimTime at,
+                               SimTime rejoin_at);
   /// Installs RPC chaos on the bus (loss probability + delay distribution).
   void set_rpc_chaos(double loss_probability, SimDuration delay_mean,
                      SimDuration delay_jitter);
@@ -113,6 +131,8 @@ class FaultInjector {
   void chaos_tick();
   bool node_busy(std::size_t index) const;
   void mark_busy(std::size_t index, SimTime until);
+  bool client_busy(std::size_t index) const;
+  void mark_client_busy(std::size_t index, SimTime until);
 
   cluster::Cluster& cluster_;
   Rng rng_;
@@ -123,6 +143,9 @@ class FaultInjector {
   /// Per-datanode end of the current fault window (chaos mode skips busy
   /// nodes so windows never overlap on one node).
   std::vector<SimTime> busy_until_;
+  /// Same ledger for client hosts; sized lazily because clients can be
+  /// added after the injector is constructed.
+  std::vector<SimTime> client_busy_until_;
 };
 
 }  // namespace smarth::faults

@@ -417,6 +417,209 @@ void Datanode::abort_pipeline(PipelineId pipeline) {
   pipelines_.erase(it);
 }
 
+void Datanode::abort_block(BlockId block) {
+  if (crashed_) return;
+  for (auto it = pipelines_.begin(); it != pipelines_.end();) {
+    if (it->second.setup.block == block) {
+      storage::StagingBuffer& buf = staging_for(it->second.setup.client);
+      buf.release(std::min(it->second.staging_held, buf.used()));
+      it = pipelines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<Bytes> Datanode::commit_replica(BlockId block, Bytes length) {
+  if (crashed_) return Error{"crashed", "datanode down"};
+  const auto info = store_.replica(block);
+  if (!info.ok()) {
+    return Error{"replica_missing", "no replica of " + block.to_string()};
+  }
+  if (info.value().bytes < length) {
+    return Error{"short_replica",
+                 block.to_string() + " holds " +
+                     std::to_string(info.value().bytes) + " < " +
+                     std::to_string(length)};
+  }
+  if (info.value().state == storage::ReplicaState::kFinalized) {
+    if (info.value().bytes != length) {
+      return Error{"length_mismatch",
+                   block.to_string() + " finalized at " +
+                       std::to_string(info.value().bytes) + ", want " +
+                       std::to_string(length)};
+    }
+    return length;  // idempotent: an earlier round already committed it
+  }
+  if (info.value().bytes > length) {
+    const Status st = store_.truncate(block, length);
+    if (!st.ok()) return st.error();
+  }
+  const auto fin = store_.finalize(block);
+  if (!fin.ok()) return fin.error();
+  // No blockReceived notify here: the namenode learns the holder set from
+  // commitBlockSynchronization itself, and the heartbeat's incremental
+  // report re-asserts the finalized replica should that commit get lost.
+  return length;
+}
+
+void Datanode::discard_replica(BlockId block) {
+  if (crashed_) return;
+  if (store_.has_replica(block)) SMARTH_CHECK(store_.remove(block).ok());
+}
+
+void Datanode::recover_uc_block(const UcRecoveryCommand& cmd) {
+  if (crashed_) return;
+  SMARTH_CHECK_MSG(static_cast<bool>(peer_resolver_),
+                   "peer resolver not installed on " << self_.to_string());
+  SMARTH_INFO("datanode") << self_.to_string()
+                          << " primary for commitBlockSynchronization of "
+                          << cmd.block.to_string() << " ("
+                          << cmd.targets.size() << " targets"
+                          << (cmd.tail ? ", tail)" : ")");
+  auto sync = std::make_shared<UcSync>();
+  sync->cmd = cmd;
+  sync->awaiting = cmd.targets.size();
+  for (NodeId target : cmd.targets) {
+    if (target == self_) {
+      abort_block(cmd.block);
+      sync->probes.emplace_back(target, probe_replica(cmd.block));
+      if (--sync->awaiting == 0) apply_uc_sync(sync);
+      continue;
+    }
+    // Tear down the dead writer's pipeline state on the peer first. Aborts
+    // never touch replica bytes, so ordering against the probe is
+    // irrelevant.
+    rpc_.notify(self_, target, [this, target, block = cmd.block] {
+      Datanode* peer = peer_resolver_(target);
+      if (peer != nullptr) peer->abort_block(block);
+    });
+    auto settled = std::make_shared<bool>(false);
+    auto settle = [this, sync, target, settled](ReplicaProbeResult result) {
+      if (*settled) return;
+      *settled = true;
+      if (crashed_) return;  // primary died mid-round; the monitor re-elects
+      sync->probes.emplace_back(target, result);
+      if (--sync->awaiting == 0) apply_uc_sync(sync);
+    };
+    Datanode* peer = peer_resolver_(target);
+    if (peer != nullptr) {
+      rpc_.call<ReplicaProbeResult>(
+          self_, target, [peer, block = cmd.block] {
+            return peer->probe_replica(block);
+          },
+          [settle](ReplicaProbeResult result) { settle(result); });
+    }
+    sim_.schedule_after(config_.probe_timeout,
+                        [settle] { settle(ReplicaProbeResult{}); });
+  }
+}
+
+void Datanode::apply_uc_sync(const std::shared_ptr<UcSync>& sync) {
+  if (crashed_) return;
+  // Deterministic order regardless of probe completion interleaving.
+  std::sort(sync->probes.begin(), sync->probes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Durable candidates: live responders holding a nonempty replica. A
+  // zero-byte replica (setup arrived, no packet written) contributes no
+  // salvageable data and must not drag the sync point to zero.
+  Bytes target_len = 0;
+  bool have_candidate = false;
+  for (const auto& [node, probe] : sync->probes) {
+    if (!probe.alive || !probe.has_replica || probe.bytes == 0) continue;
+    if (sync->cmd.tail) {
+      target_len = have_candidate ? std::min(target_len, probe.bytes)
+                                  : probe.bytes;
+    } else {
+      target_len = std::max(target_len, probe.bytes);
+    }
+    have_candidate = true;
+  }
+  if (!have_candidate) {
+    SMARTH_WARN("datanode") << "no durable replica of "
+                            << sync->cmd.block.to_string()
+                            << "; reporting abandonment";
+    report_uc_sync(sync->cmd.block, 0, {});
+    return;
+  }
+
+  struct Commit {
+    std::vector<NodeId> holders;
+    std::size_t awaiting = 0;
+    Bytes length = 0;
+  };
+  auto commit = std::make_shared<Commit>();
+  commit->length = target_len;
+  const BlockId block = sync->cmd.block;
+  std::vector<NodeId> participants;
+  for (const auto& [node, probe] : sync->probes) {
+    if (!probe.alive || !probe.has_replica) continue;
+    if (probe.bytes < target_len) {
+      // Straggler (possible only in finalize-at-max mode, or a zero-byte
+      // shell in tail mode): its prefix is a strict subset of what the
+      // holders keep, so it is dropped rather than synchronized.
+      if (node == self_) {
+        discard_replica(block);
+      } else {
+        rpc_.notify(self_, node, [this, node, block] {
+          Datanode* peer = peer_resolver_(node);
+          if (peer != nullptr) peer->discard_replica(block);
+        });
+      }
+      continue;
+    }
+    participants.push_back(node);
+  }
+  commit->awaiting = participants.size();
+  for (NodeId node : participants) {
+    auto settle = [this, commit, node, block](bool ok) {
+      if (crashed_) return;
+      if (ok) commit->holders.push_back(node);
+      if (--commit->awaiting == 0) {
+        std::sort(commit->holders.begin(), commit->holders.end());
+        report_uc_sync(block, commit->length, std::move(commit->holders));
+      }
+    };
+    if (node == self_) {
+      settle(commit_replica(block, target_len).ok());
+      continue;
+    }
+    auto settled = std::make_shared<bool>(false);
+    auto once = [settle, settled](bool ok) {
+      if (*settled) return;
+      *settled = true;
+      settle(ok);
+    };
+    Datanode* peer = peer_resolver_(node);
+    if (peer != nullptr) {
+      rpc_.call<bool>(
+          self_, node, [peer, block, target_len] {
+            return peer->commit_replica(block, target_len).ok();
+          },
+          [once](bool ok) { once(ok); });
+    }
+    sim_.schedule_after(config_.probe_timeout, [once] { once(false); });
+  }
+}
+
+void Datanode::report_uc_sync(BlockId block, Bytes length,
+                              std::vector<NodeId> holders) {
+  if (length > 0 && holders.empty()) {
+    // Every commit failed (e.g. the targets crashed between probe and
+    // commit). Report nothing: the monitor's round deadline will re-elect a
+    // primary with fresh liveness data rather than abandoning data that may
+    // still exist.
+    SMARTH_WARN("datanode") << "commitBlockSynchronization of "
+                            << block.to_string()
+                            << " committed no replica; leaving to retry";
+    return;
+  }
+  rpc_.notify(self_, namenode_.node_id(),
+              [this, block, length, holders = std::move(holders)] {
+                namenode_.commit_block_synchronization(block, length, holders);
+              });
+}
+
 void Datanode::transfer_replica(BlockId block, NodeId dest, Bytes length,
                                 std::function<void(bool)> done,
                                 bool finalize_at_dest) {

@@ -90,6 +90,22 @@ class Datanode : public PacketSink {
   Status truncate_replica(BlockId block, Bytes length);
   /// Drops pipeline state (replica data is kept for recovery).
   void abort_pipeline(PipelineId pipeline);
+  /// Drops every pipeline writing `block` (the writer is gone for good —
+  /// lease recovery). Replica data is kept for commitBlockSynchronization.
+  void abort_block(BlockId block);
+  /// Reconciles `block`'s replica to exactly `length` bytes and finalizes
+  /// it: longer open replicas are truncated, an already-finalized replica
+  /// just has its length checked. Fails (without touching the replica) when
+  /// this node holds fewer than `length` bytes. Idempotent.
+  Result<Bytes> commit_replica(BlockId block, Bytes length);
+  /// Removes a straggler replica that lost a commitBlockSynchronization
+  /// round (shorter than the agreed length). No-op when absent.
+  void discard_replica(BlockId block);
+  /// Primary-datanode side of commitBlockSynchronization: aborts the dead
+  /// writer's pipelines on every target, probes each target's stored
+  /// length, commits the agreed length everywhere and reports the outcome
+  /// to the namenode (empty holder set = no durable replica, abandon).
+  void recover_uc_block(const UcRecoveryCommand& cmd);
   /// Streams the first `length` bytes of `block` to `dest` (a replacement
   /// node); `done(true)` once the destination has stored them. With
   /// `finalize_at_dest` the destination finalizes the replica and reports it
@@ -141,6 +157,17 @@ class Datanode : public PacketSink {
     bool fnfa_emitted = false;
     bool finalized = false;
   };
+
+  /// In-flight commitBlockSynchronization round on this (primary) node.
+  struct UcSync {
+    UcRecoveryCommand cmd;
+    std::vector<std::pair<NodeId, ReplicaProbeResult>> probes;
+    std::size_t awaiting = 0;
+  };
+
+  void apply_uc_sync(const std::shared_ptr<UcSync>& sync);
+  void report_uc_sync(BlockId block, Bytes length,
+                      std::vector<NodeId> holders);
 
   void process_packet(const WirePacket& packet);
   void on_packet_written(PipelineId pipeline, const WirePacket& packet);

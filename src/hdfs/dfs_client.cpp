@@ -11,7 +11,14 @@ DfsClient::DfsClient(sim::Simulation& sim, rpc::RpcBus& rpc,
 DfsClient::~DfsClient() = default;
 
 void DfsClient::create_file(const std::string& path,
-                            std::function<void(Result<FileId>)> cb) {
+                            std::function<void(Result<FileId>)> cb,
+                            bool overwrite) {
+  create_file_attempt(path, std::move(cb), overwrite, sim_.now());
+}
+
+void DfsClient::create_file_attempt(const std::string& path,
+                                    std::function<void(Result<FileId>)> cb,
+                                    bool overwrite, SimTime started_at) {
   Namenode& nn = namenode_;
   rpc::RetryPolicy policy;
   policy.timeout = config_.rpc_timeout;
@@ -23,8 +30,36 @@ void DfsClient::create_file(const std::string& path,
       std::make_shared<std::function<void(Result<FileId>)>>(std::move(cb));
   rpc::call_with_retry<Result<FileId>>(
       rpc_, sim_, policy, node_, nn.node_id(),
-      [&nn, path, client = id_] { return nn.create(path, client); },
-      [shared_cb](Result<FileId> result) { (*shared_cb)(std::move(result)); },
+      [&nn, path, client = id_, overwrite] {
+        return nn.create(path, client, overwrite);
+      },
+      [this, shared_cb, path, overwrite, started_at](Result<FileId> result) {
+        if (!result.ok() && result.error().code == "recovery_in_progress") {
+          // The previous writer's lease is being recovered; the file will be
+          // closed at its consistent prefix within a bounded number of
+          // monitor rounds. Wait one round and retry, up to a budget far
+          // past the worst-case recovery time.
+          const SimDuration waited = sim_.now() - started_at;
+          const SimDuration budget =
+              config_.lease_hard_limit +
+              config_.lease_recovery_retry_interval *
+                  (config_.lease_recovery_max_attempts + 1);
+          if (waited < budget) {
+            sim_.schedule_after(
+                config_.lease_monitor_interval,
+                [this, path, shared_cb, overwrite, started_at] {
+                  create_file_attempt(
+                      path,
+                      [shared_cb](Result<FileId> r) {
+                        (*shared_cb)(std::move(r));
+                      },
+                      overwrite, started_at);
+                });
+            return;
+          }
+        }
+        (*shared_cb)(std::move(result));
+      },
       [shared_cb, path] {
         (*shared_cb)(Error{"rpc_timeout",
                            "create(" + path +
@@ -43,13 +78,20 @@ void DfsClient::start_heartbeat(
         std::vector<SpeedRecord> records;
         if (speed_source_) records = speed_source_();
         Namenode& nn = namenode_;
+        // Every heartbeat renews this client's lease on its open files;
+        // speed records ride along in SMARTH mode.
         rpc_.notify(node_, nn.node_id(),
                     [&nn, client = id_, records = std::move(records)] {
-                      if (!records.empty()) {
-                        nn.report_client_speeds(client, records);
-                      }
+                      nn.client_heartbeat(client, records);
                     });
       });
+  const auto jitter = static_cast<SimDuration>(
+      sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));
+  heartbeat_->start_with_delay(jitter);
+}
+
+void DfsClient::resume_heartbeat() {
+  if (!heartbeat_ || heartbeat_->running()) return;
   const auto jitter = static_cast<SimDuration>(
       sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));
   heartbeat_->start_with_delay(jitter);

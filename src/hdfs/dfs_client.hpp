@@ -28,10 +28,21 @@ class DfsClient {
   ClientId id() const { return id_; }
   NodeId node() const { return node_; }
 
+  /// A rebooted host runs a *fresh* DFS client process. HDFS ties leases to
+  /// the client name, so the new process must not renew the dead process's
+  /// leases — give it a new identity and let the old leases expire on
+  /// schedule (the lease monitor then recovers any files left behind).
+  void reincarnate(ClientId id) { id_ = id; }
+
   /// create() RPC (paper §II step 1): namespace checks then file creation.
   /// Retries with exponential backoff when the namenode is unreachable.
+  /// A `recovery_in_progress` answer (previous writer's lease expired, file
+  /// being recovered) is retried once per lease-monitor round until the
+  /// recovery completes; with `overwrite` the recovered file is then
+  /// replaced (writer takeover).
   void create_file(const std::string& path,
-                   std::function<void(Result<FileId>)> cb);
+                   std::function<void(Result<FileId>)> cb,
+                   bool overwrite = false);
 
   /// Control-plane attempts beyond the first / calls abandoned entirely.
   const rpc::RetryStats& retry_stats() const { return *retry_stats_; }
@@ -42,9 +53,15 @@ class DfsClient {
   void start_heartbeat(
       std::function<std::vector<SpeedRecord>()> speed_source);
   void stop_heartbeat();
+  /// Restarts a previously stopped heartbeat (client restart after a crash).
+  void resume_heartbeat();
   std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
 
  private:
+  void create_file_attempt(const std::string& path,
+                           std::function<void(Result<FileId>)> cb,
+                           bool overwrite, SimTime started_at);
+
   sim::Simulation& sim_;
   rpc::RpcBus& rpc_;
   Namenode& namenode_;

@@ -41,7 +41,8 @@ std::vector<SpeedRecord> SpeedBoard::records_for(ClientId client) const {
 Namenode::Namenode(sim::Simulation& sim, const net::Topology& topology,
                    const HdfsConfig& config, NodeId self)
     : sim_(sim), topology_(topology), config_(config), self_(self),
-      policy_(std::make_unique<DefaultPlacementPolicy>()) {}
+      policy_(std::make_unique<DefaultPlacementPolicy>()),
+      leases_(config.lease_soft_limit, config.lease_hard_limit) {}
 
 void Namenode::set_placement_policy(std::unique_ptr<PlacementPolicy> policy) {
   SMARTH_CHECK(policy != nullptr);
@@ -95,7 +96,8 @@ PlacementContext Namenode::make_context(
   return ctx;
 }
 
-Result<FileId> Namenode::create(const std::string& path, ClientId client) {
+Result<FileId> Namenode::create(const std::string& path, ClientId client,
+                                bool overwrite) {
   // The namenode's pre-creation checks (paper §II step 1).
   if (safe_mode_) {
     return Error{"safe_mode", "namenode is in safe mode"};
@@ -103,15 +105,37 @@ Result<FileId> Namenode::create(const std::string& path, ClientId client) {
   if (path.empty() || path.front() != '/') {
     return Error{"invalid_path", "path must be absolute: " + path};
   }
+  leases_.renew(client, sim_.now());
   if (auto it = files_by_path_.find(path); it != files_by_path_.end()) {
     FileEntry& existing = files_.at(it->second);
-    if (existing.lease_holder == client &&
-        existing.state == FileState::kUnderConstruction) {
-      // Retry of a create() whose response was lost: same client, file still
-      // open — hand back the existing entry instead of failing.
-      return existing.id;
+    if (existing.state == FileState::kUnderConstruction) {
+      if (existing.recovering) {
+        return Error{"recovery_in_progress",
+                     "lease recovery of " + path + " is in progress"};
+      }
+      if (existing.lease_holder == client) {
+        // Retry of a create() whose response was lost: same client, file
+        // still open — hand back the existing entry instead of failing.
+        return existing.id;
+      }
+      if (leases_.soft_expired(existing.lease_holder, sim_.now())) {
+        // The previous writer stopped renewing: recover the file now so the
+        // new writer's retry finds it closed (HDFS recoverLeaseInternal).
+        SMARTH_WARN("namenode")
+            << "create(" << path << "): holder "
+            << existing.lease_holder.to_string()
+            << " soft-expired; starting lease recovery";
+        start_lease_recovery(existing.id);
+        return Error{"recovery_in_progress",
+                     "lease recovery of " + path + " started"};
+      }
+      return Error{"file_exists",
+                   "file is being written by another client: " + path};
     }
-    return Error{"file_exists", "file already exists: " + path};
+    if (!overwrite) {
+      return Error{"file_exists", "file already exists: " + path};
+    }
+    erase_file(existing.id);
   }
   const FileId id = file_ids_.next();
   FileEntry entry;
@@ -120,6 +144,7 @@ Result<FileId> Namenode::create(const std::string& path, ClientId client) {
   entry.lease_holder = client;
   files_by_path_.emplace(path, id);
   files_.emplace(id, std::move(entry));
+  leases_.add(client, id, sim_.now());
   SMARTH_DEBUG("namenode") << "created " << path << " as " << id.to_string();
   return id;
 }
@@ -139,10 +164,15 @@ Result<LocatedBlock> Namenode::add_block(
   if (entry.state != FileState::kUnderConstruction) {
     return Error{"file_closed", "addBlock on closed file " + entry.path};
   }
+  if (entry.recovering) {
+    return Error{"recovery_in_progress",
+                 "lease recovery of " + entry.path + " is in progress"};
+  }
   if (entry.lease_holder != client) {
     return Error{"lease_mismatch", "client does not hold the lease on " +
                                        entry.path};
   }
+  leases_.renew(client, sim_.now());
   if (block_index >= 0 &&
       block_index < static_cast<std::int64_t>(entry.blocks.size())) {
     // Retry of an addBlock whose response was lost: return the allocation
@@ -230,7 +260,22 @@ Result<bool> Namenode::complete(FileId file, ClientId client) {
     return Error{"lease_mismatch",
                  "client does not hold the lease on " + entry.path};
   }
-  if (entry.state == FileState::kClosed) return true;  // idempotent
+  if (entry.recovering) {
+    return Error{"recovery_in_progress",
+                 "lease recovery of " + entry.path + " is in progress"};
+  }
+  if (entry.state == FileState::kClosed) {
+    if (entry.closed_by_recovery) {
+      // The file was closed at a salvaged prefix after this writer's lease
+      // expired; reporting idempotent success would claim the whole upload
+      // landed when it did not.
+      return Error{"lease_expired",
+                   "lease on " + entry.path +
+                       " expired; file was closed by recovery"};
+    }
+    return true;  // idempotent
+  }
+  leases_.renew(client, sim_.now());
   for (BlockId block : entry.blocks) {
     const auto bt = blocks_.find(block);
     SMARTH_CHECK(bt != blocks_.end());
@@ -239,6 +284,7 @@ Result<bool> Namenode::complete(FileId file, ClientId client) {
     }
   }
   entry.state = FileState::kClosed;
+  leases_.release(client, file);
   SMARTH_DEBUG("namenode") << "completed " << entry.path;
   return true;
 }
@@ -287,6 +333,256 @@ void Namenode::block_received(NodeId dn, BlockId block, Bytes length) {
 void Namenode::report_client_speeds(ClientId client,
                                     const std::vector<SpeedRecord>& records) {
   for (const SpeedRecord& r : records) speeds_.update(client, r);
+}
+
+void Namenode::client_heartbeat(ClientId client,
+                                const std::vector<SpeedRecord>& records) {
+  leases_.renew(client, sim_.now());
+  ++client_heartbeats_;
+  if (!records.empty()) report_client_speeds(client, records);
+}
+
+void Namenode::enable_lease_recovery(UcRecoveryExecutor executor,
+                                     SimDuration scan_interval) {
+  SMARTH_CHECK(static_cast<bool>(executor));
+  uc_recovery_executor_ = std::move(executor);
+  if (scan_interval <= 0) scan_interval = config_.lease_monitor_interval;
+  lease_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, scan_interval, [this] { lease_scan(); });
+  lease_task_->start();
+}
+
+void Namenode::disable_lease_recovery() {
+  if (lease_task_) lease_task_->stop();
+}
+
+void Namenode::lease_scan() {
+  const SimTime now = sim_.now();
+  for (const auto& [holder, file] : leases_.hard_expired_files(now)) {
+    if (holder == kRecoveryHolder) continue;
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+      leases_.release(holder, file);  // stale lease on a deleted file
+      continue;
+    }
+    if (it->second.state != FileState::kUnderConstruction ||
+        it->second.recovering) {
+      continue;
+    }
+    SMARTH_WARN("namenode")
+        << "lease of " << holder.to_string() << " on " << it->second.path
+        << " passed the hard limit; recovering";
+    start_lease_recovery(file);
+  }
+  // Drive in-flight recoveries: re-elect primaries whose round deadline
+  // lapsed, abandon blocks that exhausted their attempts. Snapshot the keys
+  // first — issuing may close (and erase) a recovery.
+  std::vector<FileId> active;
+  active.reserve(lease_recoveries_.size());
+  for (const auto& [file, state] : lease_recoveries_) active.push_back(file);
+  for (FileId file : active) {
+    auto rt = lease_recoveries_.find(file);
+    if (rt == lease_recoveries_.end()) continue;
+    issue_uc_recoveries(file, rt->second);
+  }
+}
+
+Status Namenode::start_lease_recovery(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return make_error("file_not_found", "unknown file " + file.to_string());
+  }
+  FileEntry& entry = it->second;
+  if (entry.state != FileState::kUnderConstruction) {
+    return make_error("file_closed", entry.path + " is not open");
+  }
+  if (entry.recovering) return Status::ok_status();  // already in progress
+  entry.recovering = true;
+  ++lease_expiries_;
+  leases_.reassign(file, entry.lease_holder, kRecoveryHolder, sim_.now());
+
+  LeaseRecoveryState state;
+  state.started_at = sim_.now();
+  for (BlockId block : entry.blocks) {
+    const BlockRecord& record = blocks_.at(block);
+    // A block every expected target already reported finalized is durable
+    // as-is; anything less gets a commitBlockSynchronization round.
+    bool fully_reported = !record.expected_targets.empty();
+    for (NodeId target : record.expected_targets) {
+      if (record.reported.count(target) == 0) {
+        fully_reported = false;
+        break;
+      }
+    }
+    if (fully_reported) continue;
+    state.pending.emplace(block, UcBlockPending{});
+  }
+  SMARTH_INFO("namenode") << "lease recovery of " << entry.path << ": "
+                          << state.pending.size() << " of "
+                          << entry.blocks.size()
+                          << " blocks need synchronization";
+  auto [rt, inserted] = lease_recoveries_.emplace(file, std::move(state));
+  SMARTH_CHECK(inserted);
+  if (rt->second.pending.empty()) {
+    maybe_close_recovered(file);
+  } else {
+    issue_uc_recoveries(file, rt->second);
+  }
+  return Status::ok_status();
+}
+
+void Namenode::issue_uc_recoveries(FileId file, LeaseRecoveryState& state) {
+  FileEntry& entry = files_.at(file);
+  BlockId abandon_at;  // lowest block that exhausted its recovery budget
+  for (auto& [block, pending] : state.pending) {
+    if (sim_.now() < pending.retry_at) continue;
+    if (pending.attempts >= config_.lease_recovery_max_attempts) {
+      if (!abandon_at.valid()) abandon_at = block;
+      continue;
+    }
+    const BlockRecord& record = blocks_.at(block);
+    // Candidate replicas: the expected pipeline first (its head usually has
+    // the longest prefix), then any other reported holders.
+    std::vector<NodeId> targets = record.expected_targets;
+    std::vector<NodeId> extra;
+    for (const auto& [dn, len] : record.reported) {
+      if (std::find(targets.begin(), targets.end(), dn) == targets.end()) {
+        extra.push_back(dn);
+      }
+    }
+    std::sort(extra.begin(), extra.end());
+    targets.insert(targets.end(), extra.begin(), extra.end());
+
+    NodeId primary;
+    for (NodeId t : targets) {
+      if (is_alive(t)) {
+        primary = t;
+        break;
+      }
+    }
+    ++pending.attempts;
+    pending.retry_at = sim_.now() + config_.lease_recovery_retry_interval;
+    if (!primary.valid() || !uc_recovery_executor_) {
+      // No live replica candidate right now; the attempt still counts so a
+      // permanently dead pipeline cannot wedge the file forever.
+      continue;
+    }
+    UcRecoveryCommand cmd;
+    cmd.block = block;
+    cmd.targets = targets;
+    cmd.tail = block == entry.blocks.back();
+    SMARTH_INFO("namenode")
+        << "commitBlockSynchronization round " << pending.attempts << " for "
+        << block.to_string() << " via primary " << primary.value()
+        << (cmd.tail ? " (tail)" : "");
+    uc_recovery_executor_(primary, cmd);
+  }
+  if (abandon_at.valid()) {
+    SMARTH_WARN("namenode") << abandon_at.to_string()
+                            << " exhausted its recovery budget; abandoning";
+    const auto pos = std::find(entry.blocks.begin(), entry.blocks.end(),
+                               abandon_at);
+    SMARTH_CHECK(pos != entry.blocks.end());
+    truncate_file_blocks(
+        file, static_cast<std::size_t>(pos - entry.blocks.begin()));
+    maybe_close_recovered(file);
+  }
+}
+
+void Namenode::commit_block_synchronization(BlockId block, Bytes length,
+                                            const std::vector<NodeId>&
+                                                holders) {
+  auto bt = blocks_.find(block);
+  if (bt == blocks_.end()) return;  // block already abandoned; stale commit
+  BlockRecord& record = bt->second;
+  const FileId file = record.file;
+  auto ft = files_.find(file);
+  SMARTH_CHECK(ft != files_.end());
+  FileEntry& entry = ft->second;
+  auto rt = lease_recoveries_.find(file);
+  if (!entry.recovering || rt == lease_recoveries_.end()) return;  // stale
+  auto pt = rt->second.pending.find(block);
+  if (pt == rt->second.pending.end()) return;  // duplicate commit
+
+  const auto pos = std::find(entry.blocks.begin(), entry.blocks.end(), block);
+  SMARTH_CHECK(pos != entry.blocks.end());
+  const std::size_t index =
+      static_cast<std::size_t>(pos - entry.blocks.begin());
+
+  if (holders.empty() || length == 0) {
+    SMARTH_WARN("namenode") << "no durable replica of " << block.to_string()
+                            << "; truncating " << entry.path << " to "
+                            << index << " blocks";
+    truncate_file_blocks(file, index);
+    maybe_close_recovered(file);
+    return;
+  }
+  record.reported.clear();
+  for (NodeId dn : holders) record.reported[dn] = length;
+  record.expected_targets = holders;
+  rt->second.pending.erase(pt);
+  ++uc_blocks_recovered_;
+  bytes_salvaged_ += length;
+  SMARTH_INFO("namenode") << block.to_string() << " synchronized at "
+                          << length << " bytes on " << holders.size()
+                          << " replicas";
+  if (index + 1 < entry.blocks.size() && length < config_.block_size) {
+    // A short *middle* block would shift every later block's file offset;
+    // the consistent prefix ends here (can only happen when a pipeline
+    // head died mid-propagation under multi-pipeline writes).
+    SMARTH_WARN("namenode") << block.to_string() << " is short mid-file; "
+                            << "truncating " << entry.path << " after it";
+    truncate_file_blocks(file, index + 1);
+  }
+  maybe_close_recovered(file);
+}
+
+void Namenode::truncate_file_blocks(FileId file, std::size_t first_removed) {
+  FileEntry& entry = files_.at(file);
+  auto rt = lease_recoveries_.find(file);
+  for (std::size_t i = first_removed; i < entry.blocks.size(); ++i) {
+    const BlockId block = entry.blocks[i];
+    blocks_.erase(block);
+    rereplication_pending_.erase(block);
+    if (rt != lease_recoveries_.end()) rt->second.pending.erase(block);
+    ++orphans_abandoned_;
+  }
+  entry.blocks.resize(first_removed);
+}
+
+void Namenode::maybe_close_recovered(FileId file) {
+  auto rt = lease_recoveries_.find(file);
+  if (rt == lease_recoveries_.end() || !rt->second.pending.empty()) return;
+  FileEntry& entry = files_.at(file);
+  entry.state = FileState::kClosed;
+  entry.recovering = false;
+  entry.closed_by_recovery = true;
+  leases_.release(kRecoveryHolder, file);
+  lease_recoveries_.erase(rt);
+  Bytes prefix = 0;
+  for (BlockId block : entry.blocks) {
+    const BlockRecord& record = blocks_.at(block);
+    Bytes len = 0;
+    for (const auto& [dn, l] : record.reported) len = std::max(len, l);
+    prefix += len;
+  }
+  SMARTH_INFO("namenode") << "lease recovery closed " << entry.path << " at "
+                          << prefix << " bytes (" << entry.blocks.size()
+                          << " blocks)";
+}
+
+void Namenode::erase_file(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return;
+  FileEntry& entry = it->second;
+  for (BlockId block : entry.blocks) {
+    blocks_.erase(block);
+    rereplication_pending_.erase(block);
+  }
+  leases_.release(entry.lease_holder, entry.id);
+  lease_recoveries_.erase(entry.id);
+  files_by_path_.erase(entry.path);
+  files_.erase(it);
 }
 
 int Namenode::live_replica_count(const BlockRecord& record) const {

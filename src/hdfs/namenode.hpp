@@ -10,9 +10,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <map>
+
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/units.hpp"
+#include "hdfs/lease_manager.hpp"
 #include "hdfs/placement.hpp"
 #include "hdfs/types.hpp"
 #include "net/topology.hpp"
@@ -45,6 +48,13 @@ struct FileEntry {
   ClientId lease_holder;
   FileState state = FileState::kUnderConstruction;
   std::vector<BlockId> blocks;
+  /// Lease recovery in progress: the writer's lease expired and the file's
+  /// UC blocks are being synchronized. The namespace entry is frozen —
+  /// addBlock/complete from the (possibly returned) writer are refused.
+  bool recovering = false;
+  /// Closed by lease recovery at a consistent prefix rather than by its
+  /// writer; the writer's own complete() must not report success.
+  bool closed_by_recovery = false;
 };
 
 struct BlockRecord {
@@ -81,7 +91,13 @@ class Namenode {
 
   // --- ClientProtocol --------------------------------------------------------
   /// Step 1 of the write workflow: namespace checks, then create the entry.
-  Result<FileId> create(const std::string& path, ClientId client);
+  /// With `overwrite`, an existing *closed* file is replaced (HDFS's
+  /// create-with-overwrite). An existing open file whose holder's lease has
+  /// soft-expired triggers lease recovery and returns the retryable code
+  /// `recovery_in_progress`; the caller re-issues create() once the old
+  /// file has been closed at its consistent prefix.
+  Result<FileId> create(const std::string& path, ClientId client,
+                        bool overwrite = false);
 
   /// Allocates the next block of `file` and chooses its pipeline.
   /// `deprioritized` nodes (client quarantine) are placed only as a last
@@ -140,6 +156,46 @@ class Namenode {
   /// (counting live holders only).
   std::vector<BlockId> under_replicated_blocks() const;
 
+  // --- Lease management / writer-crash recovery -------------------------------
+  /// Client heartbeat: renews the client's lease and (SMARTH) records any
+  /// piggybacked speed observations.
+  void client_heartbeat(ClientId client,
+                        const std::vector<SpeedRecord>& records);
+
+  /// Sends `cmd` to `primary`, the datanode elected to run
+  /// commitBlockSynchronization for one UC block. Installed by the cluster
+  /// wiring; returns false when the primary cannot be reached at all (the
+  /// monitor then retries with fresh liveness data).
+  using UcRecoveryExecutor =
+      std::function<bool(NodeId primary, const UcRecoveryCommand& cmd)>;
+
+  /// Starts the lease monitor: every `scan_interval` (default: the config's
+  /// lease_monitor_interval) it recovers files whose holder's lease passed
+  /// the hard limit and drives in-flight UC block synchronizations
+  /// (re-electing primaries past their round deadline, abandoning blocks
+  /// that exhaust their attempts).
+  void enable_lease_recovery(UcRecoveryExecutor executor,
+                             SimDuration scan_interval = 0);
+  void disable_lease_recovery();
+
+  /// Forces lease recovery of an open file (also invoked internally on
+  /// hard expiry and by create-takeover past the soft limit).
+  Status start_lease_recovery(FileId file);
+
+  /// Primary datanode -> namenode: the replicas of `block` were reconciled
+  /// and finalized at `length` on `holders`. Empty `holders` (or zero
+  /// length) means no durable replica survived: the block is abandoned and
+  /// the file truncated before it. Stale and duplicate commits are ignored.
+  void commit_block_synchronization(BlockId block, Bytes length,
+                                    const std::vector<NodeId>& holders);
+
+  const LeaseManager& lease_manager() const { return leases_; }
+  std::uint64_t lease_expiries() const { return lease_expiries_; }
+  std::uint64_t uc_blocks_recovered() const { return uc_blocks_recovered_; }
+  Bytes bytes_salvaged() const { return bytes_salvaged_; }
+  std::uint64_t orphans_abandoned() const { return orphans_abandoned_; }
+  std::uint64_t client_heartbeats() const { return client_heartbeats_; }
+
   // --- DatanodeProtocol ------------------------------------------------------
   /// A datanode finished (finalized) a replica of `block`.
   void block_received(NodeId dn, BlockId block, Bytes length);
@@ -160,11 +216,27 @@ class Namenode {
   std::uint64_t heartbeats_received() const { return heartbeats_; }
 
  private:
+  struct UcBlockPending {
+    SimTime retry_at = 0;  ///< next primary (re-)election no earlier than this
+    int attempts = 0;
+  };
+  struct LeaseRecoveryState {
+    SimTime started_at = 0;
+    std::map<BlockId, UcBlockPending> pending;  ///< blocks awaiting commit
+  };
+
   PlacementContext make_context(Rng& rng,
                                 const std::vector<NodeId>* deprioritized =
                                     nullptr) const;
   void scan_for_under_replication();
   int live_replica_count(const BlockRecord& record) const;
+  void lease_scan();
+  void issue_uc_recoveries(FileId file, LeaseRecoveryState& state);
+  /// Drops entry.blocks[first_removed..] from the namespace (orphan blocks
+  /// with no durable data — the consistent prefix ends before them).
+  void truncate_file_blocks(FileId file, std::size_t first_removed);
+  void maybe_close_recovered(FileId file);
+  void erase_file(FileId file);
 
   sim::Simulation& sim_;
   const net::Topology& topology_;
@@ -185,6 +257,19 @@ class Namenode {
   SpeedBoard speeds_;
   std::uint64_t heartbeats_ = 0;
   std::uint64_t reregistrations_ = 0;
+
+  LeaseManager leases_;
+  /// Reserved holder expired writers' files are reassigned to while the
+  /// namenode recovers them (HDFS's NN_RECOVERY lease holder).
+  static constexpr ClientId kRecoveryHolder{-2};
+  UcRecoveryExecutor uc_recovery_executor_;
+  std::unique_ptr<sim::PeriodicTask> lease_task_;
+  std::map<FileId, LeaseRecoveryState> lease_recoveries_;  ///< deterministic
+  std::uint64_t lease_expiries_ = 0;
+  std::uint64_t uc_blocks_recovered_ = 0;
+  Bytes bytes_salvaged_ = 0;
+  std::uint64_t orphans_abandoned_ = 0;
+  std::uint64_t client_heartbeats_ = 0;
 
   ReplicationExecutor replication_executor_;
   std::unique_ptr<sim::PeriodicTask> rereplication_task_;

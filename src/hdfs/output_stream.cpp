@@ -253,6 +253,10 @@ void OutputStreamBase::finish(bool failed, const std::string& reason) {
   if (on_done_) on_done_(stats_);
 }
 
+void OutputStreamBase::abort(const std::string& reason) {
+  finish(true, reason);
+}
+
 void OutputStreamBase::arm_watchdog(ClientPipeline& pipeline) {
   pipeline.watchdog.cancel();
   if (finished_ || pipeline.failed) return;
@@ -442,6 +446,7 @@ void DfsOutputStream::on_pipeline_error(ClientPipeline& pipeline,
       deps_, client_, client_node_, pipeline.id, pipeline.block,
       pipeline.block_bytes, durable_floor, pipeline.targets, error_index,
       [this, id = pipeline.id](Result<RecoveryOutcome> result) {
+        if (finished_) return;  // aborted (writer crash) mid-recovery
         ClientPipeline* old_pipeline = find_pipeline(id);
         SMARTH_CHECK(old_pipeline != nullptr);
         note_recovery_end(id);

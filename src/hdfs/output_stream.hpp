@@ -134,6 +134,13 @@ class OutputStreamBase : public AckSink {
   /// Kicks off production and the first block allocation.
   void start();
 
+  /// Kills the stream from outside (writer crash injection): no complete()
+  /// RPC, no further packets; the stream finishes failed with `reason`.
+  /// In-flight recovery callbacks are dropped by the finished_ guard. The
+  /// file stays under construction until the namenode's lease monitor
+  /// recovers it.
+  void abort(const std::string& reason);
+
   const StreamStats& stats() const { return stats_; }
   bool finished() const { return finished_; }
   /// Used by the cluster wiring to route ACK/FNFA messages to the stream

@@ -47,6 +47,20 @@ struct HdfsConfig {
   /// A datanode missing heartbeats for this long is considered dead.
   SimDuration datanode_dead_interval = seconds(15);
 
+  // --- Leases (writer-crash tolerance) ---------------------------------------
+  /// Past the soft limit another client may force lease recovery (takeover);
+  /// past the hard limit the namenode recovers the file on its own.
+  SimDuration lease_soft_limit = seconds(10);
+  SimDuration lease_hard_limit = seconds(30);
+  /// Cadence of the namenode's lease expiry / UC-recovery monitor.
+  SimDuration lease_monitor_interval = seconds(2);
+  /// Deadline for one primary-datanode recovery round before the namenode
+  /// re-elects a primary and reissues the command.
+  SimDuration lease_recovery_retry_interval = seconds(5);
+  /// Recovery rounds per UC block before the block is abandoned (and the
+  /// file truncated before it) so a dead rack cannot wedge the file forever.
+  int lease_recovery_max_attempts = 6;
+
   // --- Failure handling -----------------------------------------------------
   /// No ACK progress on a pipeline for this long => pipeline error.
   SimDuration ack_timeout = seconds(5);
@@ -189,6 +203,20 @@ struct SpeedRecord {
   NodeId datanode;
   Bandwidth speed;
   SimTime measured_at = 0;
+};
+
+/// Namenode -> primary datanode: synchronize one under-construction block
+/// after its writer's lease expired (commitBlockSynchronization protocol).
+/// The primary probes every target's stored length, reconciles the replicas
+/// and reports the agreed length (or abandonment) back to the namenode.
+struct UcRecoveryCommand {
+  BlockId block;
+  std::vector<NodeId> targets;  ///< replica candidates, primary included
+  /// True for the highest-indexed (possibly partial) block: replicas are
+  /// truncated to the minimum durable length. False for earlier blocks of a
+  /// multi-pipeline write, which finalize at the maximum stored length and
+  /// discard shorter stragglers.
+  bool tail = true;
 };
 
 /// Interface for components that accept pipeline traffic (datanodes).

@@ -75,6 +75,12 @@ std::string render_fault_summary(const FaultSummary& summary) {
                  std::to_string(summary.under_replicated_blocks)});
   table.add_row(
       {"faults injected", std::to_string(summary.faults_injected)});
+  table.add_row({"lease expiries", std::to_string(summary.lease_expiries)});
+  table.add_row({"UC blocks recovered",
+                 std::to_string(summary.uc_blocks_recovered)});
+  table.add_row({"bytes salvaged", std::to_string(summary.bytes_salvaged)});
+  table.add_row(
+      {"orphans abandoned", std::to_string(summary.orphans_abandoned)});
   return table.to_string();
 }
 

@@ -69,6 +69,12 @@ struct FaultSummary {
   std::size_t under_replicated_blocks = 0;
   std::uint64_t faults_injected = 0;
 
+  // Writer-crash / lease recovery counters (from the namenode).
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t uc_blocks_recovered = 0;
+  Bytes bytes_salvaged = 0;
+  std::uint64_t orphans_abandoned = 0;
+
   /// Accumulates one upload's robustness counters.
   void fold(const hdfs::StreamStats& stats);
   /// Mean time to recover across every folded recovery, in seconds.

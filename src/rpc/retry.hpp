@@ -56,11 +56,16 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
   };
   auto state = std::make_shared<State>();
   // Recursive attempt launcher, stored in a shared_ptr so the timeout
-  // callback can re-enter it.
+  // callback can re-enter it. The stored lambda holds only a *weak* ref to
+  // itself — the pending timeout/backoff events carry the strong refs — so
+  // the launcher dies with its last scheduled event instead of keeping
+  // itself alive through a shared_ptr cycle.
   auto launch = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_launch = launch;
   *launch = [&bus, &sim, policy, client, server, handler = std::move(handler),
              on_response = std::move(on_response),
-             on_give_up = std::move(on_give_up), stats, state, launch]() {
+             on_give_up = std::move(on_give_up), stats, state, weak_launch]() {
+    auto self = weak_launch.lock();  // alive: our caller holds a strong ref
     const int attempt = ++state->attempt;
     if (attempt > 1 && stats) ++stats->retries;
     bus.call<Resp>(client, server, handler, [state, on_response](Resp resp) {
@@ -68,7 +73,7 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
       state->settled = true;
       on_response(std::move(resp));
     });
-    sim.schedule_after(policy.timeout, [&sim, policy, attempt, state, launch,
+    sim.schedule_after(policy.timeout, [&sim, policy, attempt, state, self,
                                         on_give_up, stats]() {
       if (state->settled || state->attempt != attempt) return;
       if (attempt >= policy.max_attempts) {
@@ -88,7 +93,7 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
         backoff = static_cast<SimDuration>(
             static_cast<double>(backoff) * scale);
       }
-      sim.schedule_after(backoff, [launch]() { (*launch)(); });
+      sim.schedule_after(backoff, [self]() { (*self)(); });
     });
   };
   (*launch)();

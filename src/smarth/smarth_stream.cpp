@@ -276,6 +276,7 @@ void SmarthOutputStream::recover_next_error_pipeline() {
       deps_, client_, client_node_, id, pipeline->block,
       pipeline->block_bytes, durable_floor, pipeline->targets, error_index,
       [this, id](Result<RecoveryOutcome> result) {
+        if (finished_) return;  // aborted (writer crash) mid-recovery
         recovery_running_ = false;
         error_pipelines_.erase(id);
         note_recovery_end(id);

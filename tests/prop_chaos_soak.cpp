@@ -1,9 +1,11 @@
-// Property: under seeded chaos (crash-and-rejoin, fail-slow, NIC flaps and
-// control-plane loss/delay all active at once) every upload either completes
-// or fails cleanly — the simulation never hangs — and identical
-// (cluster seed, chaos seed) pairs reproduce identical timelines. This is
-// the soak harness for the hardened control plane: retries, backoff,
-// recovery budgets and quarantine must bound every failure mode the chaos
+// Property: under seeded chaos (crash-and-rejoin, fail-slow, NIC flaps,
+// writer crashes and control-plane loss/delay all active at once) every
+// upload either completes or fails cleanly — the simulation never hangs —
+// no file stays under construction past the lease recovery budget unless a
+// live client still renews its lease, and identical (cluster seed, chaos
+// seed) pairs reproduce identical timelines. This is the soak harness for
+// the hardened control plane: retries, backoff, recovery budgets,
+// quarantine and lease recovery must bound every failure mode the chaos
 // engine can produce.
 #include <gtest/gtest.h>
 
@@ -27,6 +29,12 @@ faults::ChaosRates soak_rates() {
   rates.crash_per_minute = 1.0;
   rates.fail_slow_per_minute = 2.0;
   rates.flap_per_minute = 1.0;
+  // Writer crashes join the soak. Uploads only last a few simulated
+  // seconds (a handful of 500 ms chaos ticks), so the per-minute rate is
+  // deliberately high: at 8/min roughly one upload in four loses its
+  // writer, enough for lease recovery to fire across 50 seeds while most
+  // uploads still complete.
+  rates.client_crash_per_minute = 8.0;
   rates.rpc_loss = 0.02;
   rates.rpc_delay_mean = milliseconds(1);
   rates.rpc_delay_jitter = milliseconds(2);
@@ -34,6 +42,7 @@ faults::ChaosRates soak_rates() {
   rates.fail_slow_duration = seconds(8);
   rates.fail_slow_factor = 8.0;
   rates.flap_duration = seconds(2);
+  rates.client_rejoin_delay = seconds(8);
   return rates;
 }
 
@@ -42,6 +51,10 @@ cluster::ClusterSpec soak_spec(std::uint64_t seed) {
   spec.hdfs.block_size = 4 * kMiB;
   spec.hdfs.ack_timeout = seconds(2);
   spec.hdfs.datanode_dead_interval = seconds(8);
+  // Short lease limits so writer-crash recovery resolves within the soak.
+  spec.hdfs.lease_soft_limit = seconds(6);
+  spec.hdfs.lease_hard_limit = seconds(12);
+  spec.hdfs.lease_monitor_interval = seconds(2);
   return spec;
 }
 
@@ -54,6 +67,11 @@ struct SoakResult {
   std::uint64_t rpc_retries = 0;
   bool failed = false;
   std::uint64_t faults = 0;
+  std::uint64_t lease_expiries = 0;
+  std::uint64_t uc_blocks_recovered = 0;
+  Bytes bytes_salvaged = 0;
+  std::uint64_t orphans_abandoned = 0;
+  bool file_closed = false;
   /// block value -> sorted (node, bytes) pairs.
   std::map<std::int64_t, std::map<std::int64_t, Bytes>> replicas;
 
@@ -93,6 +111,37 @@ SoakResult soak_once(std::uint64_t seed) {
   // Let in-flight fault windows close so the replica fingerprint is stable.
   cluster.sim().run_until(cluster.sim().now() + seconds(30));
 
+  // Liveness invariant: no file stays under construction forever. Either
+  // the upload closed it, or — when the writer crashed — the lease monitor
+  // must close it at a consistent prefix within the hard limit plus the
+  // recovery retry budget. A file still UC under a *live, renewing* holder
+  // is legitimate (HDFS keeps a lease as long as its process renews).
+  const SimDuration recovery_budget =
+      soak_spec(seed).hdfs.lease_hard_limit +
+      soak_spec(seed).hdfs.lease_monitor_interval +
+      soak_spec(seed).hdfs.lease_recovery_retry_interval *
+          (soak_spec(seed).hdfs.lease_recovery_max_attempts + 1);
+  const SimTime uc_deadline = cluster.sim().now() + recovery_budget;
+  while (cluster.sim().now() < uc_deadline) {
+    const hdfs::FileEntry* entry = cluster.namenode().file_by_path("/soak");
+    if (entry == nullptr || entry->state == hdfs::FileState::kClosed ||
+        !cluster.namenode().lease_manager().hard_expired(
+            entry->lease_holder, cluster.sim().now())) {
+      break;
+    }
+    cluster.sim().run_until(cluster.sim().now() + milliseconds(250));
+  }
+  if (const hdfs::FileEntry* entry =
+          cluster.namenode().file_by_path("/soak")) {
+    const bool closed = entry->state == hdfs::FileState::kClosed;
+    EXPECT_TRUE(closed ||
+                !cluster.namenode().lease_manager().hard_expired(
+                    entry->lease_holder, cluster.sim().now()))
+        << "seed " << seed
+        << ": file abandoned under construction with an expired lease";
+    result.file_closed = closed;
+  }
+
   result.elapsed = stats->elapsed();
   result.events = cluster.sim().events_executed();
   result.recoveries = stats->recoveries;
@@ -101,6 +150,10 @@ SoakResult soak_once(std::uint64_t seed) {
   result.rpc_retries = stats->rpc_retries;
   result.failed = stats->failed;
   result.faults = injector.counts().total();
+  result.lease_expiries = cluster.namenode().lease_expiries();
+  result.uc_blocks_recovered = cluster.namenode().uc_blocks_recovered();
+  result.bytes_salvaged = cluster.namenode().bytes_salvaged();
+  result.orphans_abandoned = cluster.namenode().orphans_abandoned();
   for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
     for (const auto& replica :
          cluster.datanode(i).block_store().all_replicas()) {
@@ -115,11 +168,13 @@ TEST(ChaosSoak, FiftySeedsCompleteOrFailCleanly) {
   int completed = 0;
   int clean_failures = 0;
   std::uint64_t total_faults = 0;
+  std::uint64_t total_lease_expiries = 0;
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const SoakResult result = soak_once(seed);
     if (HasFatalFailure()) return;
     total_faults += result.faults;
+    total_lease_expiries += result.lease_expiries;
     if (result.failed) {
       ++clean_failures;
     } else {
@@ -129,6 +184,9 @@ TEST(ChaosSoak, FiftySeedsCompleteOrFailCleanly) {
   // The rates are calibrated so chaos actually bites, yet the hardened
   // control plane rides most of it out.
   EXPECT_GT(total_faults, 0u);
+  // Writer crashes must actually occur across the soak — otherwise the
+  // lease-recovery invariant above was never exercised.
+  EXPECT_GT(total_lease_expiries, 0u);
   EXPECT_GT(completed, 25) << "completed=" << completed
                            << " clean_failures=" << clean_failures;
 }
@@ -145,6 +203,11 @@ TEST(ChaosSoak, IdenticalSeedsProduceIdenticalTimelines) {
     EXPECT_EQ(a.rpc_retries, b.rpc_retries);
     EXPECT_EQ(a.failed, b.failed);
     EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.lease_expiries, b.lease_expiries);
+    EXPECT_EQ(a.uc_blocks_recovered, b.uc_blocks_recovered);
+    EXPECT_EQ(a.bytes_salvaged, b.bytes_salvaged);
+    EXPECT_EQ(a.orphans_abandoned, b.orphans_abandoned);
+    EXPECT_EQ(a.file_closed, b.file_closed);
     EXPECT_EQ(a.replicas, b.replicas);
   }
 }

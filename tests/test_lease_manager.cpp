@@ -1,0 +1,112 @@
+// Unit tests for the namenode's write-lease bookkeeping: renewal, soft and
+// hard expiry, release, reassignment (recovery takeover), and the
+// deterministic hard-expired scan the lease monitor consumes.
+#include "hdfs/lease_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smarth::hdfs {
+namespace {
+
+constexpr ClientId kAlice{1};
+constexpr ClientId kBob{2};
+constexpr ClientId kRecovery{-2};
+constexpr FileId kFileA{10};
+constexpr FileId kFileB{11};
+
+class LeaseManagerTest : public ::testing::Test {
+ protected:
+  LeaseManager leases_{/*soft=*/seconds(10), /*hard=*/seconds(30)};
+};
+
+TEST_F(LeaseManagerTest, AddGrantsAndHoldsTracksOwnership) {
+  leases_.add(kAlice, kFileA, seconds(0));
+  EXPECT_TRUE(leases_.holds(kAlice, kFileA));
+  EXPECT_FALSE(leases_.holds(kAlice, kFileB));
+  EXPECT_FALSE(leases_.holds(kBob, kFileA));
+  EXPECT_EQ(leases_.active_lease_count(), 1u);
+}
+
+TEST_F(LeaseManagerTest, RenewalKeepsLeaseFresh) {
+  leases_.add(kAlice, kFileA, seconds(0));
+  // Renew every 5 s: the lease never ages past the 10 s soft limit even
+  // though far more than 30 s of wall time passes.
+  for (int t = 5; t <= 60; t += 5) leases_.renew(kAlice, seconds(t));
+  EXPECT_FALSE(leases_.soft_expired(kAlice, seconds(62)));
+  EXPECT_FALSE(leases_.hard_expired(kAlice, seconds(62)));
+  EXPECT_TRUE(leases_.hard_expired_files(seconds(62)).empty());
+  EXPECT_GE(leases_.renewals(), 12u);
+}
+
+TEST_F(LeaseManagerTest, SoftThenHardExpiryWithoutRenewal) {
+  leases_.add(kAlice, kFileA, seconds(0));
+  EXPECT_FALSE(leases_.soft_expired(kAlice, seconds(10)));  // at the limit
+  EXPECT_TRUE(leases_.soft_expired(kAlice, seconds(11)));
+  EXPECT_FALSE(leases_.hard_expired(kAlice, seconds(30)));
+  EXPECT_TRUE(leases_.hard_expired(kAlice, seconds(31)));
+}
+
+TEST_F(LeaseManagerTest, UnknownHolderCountsAsExpired) {
+  // A holder the manager has never seen guards nothing: takeover must not
+  // be blocked by a phantom lease.
+  EXPECT_TRUE(leases_.soft_expired(kBob, seconds(0)));
+  EXPECT_TRUE(leases_.hard_expired(kBob, seconds(0)));
+}
+
+TEST_F(LeaseManagerTest, ReleaseDropsFileButKeepsRenewalRecord) {
+  leases_.add(kAlice, kFileA, seconds(0));
+  leases_.add(kAlice, kFileB, seconds(0));
+  leases_.release(kAlice, kFileA);
+  EXPECT_FALSE(leases_.holds(kAlice, kFileA));
+  EXPECT_TRUE(leases_.holds(kAlice, kFileB));
+  leases_.release(kAlice, kFileB);
+  EXPECT_EQ(leases_.active_lease_count(), 0u);
+  // A file-less lease never surfaces in the expiry scan.
+  EXPECT_TRUE(leases_.hard_expired_files(seconds(1000)).empty());
+}
+
+TEST_F(LeaseManagerTest, HardExpiredScanIsDeterministicAndComplete) {
+  leases_.add(kBob, kFileB, seconds(0));
+  leases_.add(kAlice, kFileA, seconds(0));
+  leases_.add(kAlice, kFileB, seconds(0));
+  const auto expired = leases_.hard_expired_files(seconds(31));
+  ASSERT_EQ(expired.size(), 3u);
+  // (holder, file) pairs in holder-then-file order, run after run.
+  EXPECT_EQ(expired[0], std::make_pair(kAlice, kFileA));
+  EXPECT_EQ(expired[1], std::make_pair(kAlice, kFileB));
+  EXPECT_EQ(expired[2], std::make_pair(kBob, kFileB));
+}
+
+TEST_F(LeaseManagerTest, RenewalExcludesHolderFromScan) {
+  leases_.add(kAlice, kFileA, seconds(0));
+  leases_.add(kBob, kFileB, seconds(0));
+  leases_.renew(kBob, seconds(25));
+  const auto expired = leases_.hard_expired_files(seconds(31));
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], std::make_pair(kAlice, kFileA));
+}
+
+TEST_F(LeaseManagerTest, ReassignMovesFileAndRenewsNewHolder) {
+  leases_.add(kAlice, kFileA, seconds(0));
+  // The lease monitor hands the expired writer's file to the recovery
+  // holder at t=31.
+  leases_.reassign(kFileA, kAlice, kRecovery, seconds(31));
+  EXPECT_FALSE(leases_.holds(kAlice, kFileA));
+  EXPECT_TRUE(leases_.holds(kRecovery, kFileA));
+  // The new holder's clock starts at the reassignment.
+  EXPECT_FALSE(leases_.hard_expired(kRecovery, seconds(60)));
+  EXPECT_TRUE(leases_.hard_expired(kRecovery, seconds(62)));
+}
+
+TEST_F(LeaseManagerTest, ReassignToNewWriterSupportsTakeover) {
+  leases_.add(kAlice, kFileA, seconds(0));
+  leases_.reassign(kFileA, kAlice, kBob, seconds(12));
+  EXPECT_TRUE(leases_.holds(kBob, kFileA));
+  EXPECT_EQ(leases_.active_lease_count(), 1u);
+  const auto expired = leases_.hard_expired_files(seconds(50));
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].first, kBob);
+}
+
+}  // namespace
+}  // namespace smarth::hdfs

@@ -10,6 +10,7 @@
 //   smarthsim --chaos-rates=crash=2,failslow=4,rpcloss=0.05 --chaos-seed=7
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -85,8 +86,9 @@ std::vector<std::pair<std::string, std::string>> parse_kv_list(
 }
 
 /// Parses --chaos-rates: crash=<per-min>,failslow=<per-min>,flap=<per-min>,
-/// rpcloss=<prob>,rpcdelay-ms=<ms>,rpcjitter-ms=<ms>,rejoin-s=<s>,
-/// slowdur-s=<s>,slowfactor=<x>,flapdur-s=<s>.
+/// clientcrash=<per-min>,rpcloss=<prob>,rpcdelay-ms=<ms>,rpcjitter-ms=<ms>,
+/// rejoin-s=<s>,slowdur-s=<s>,slowfactor=<x>,flapdur-s=<s>,
+/// clientrejoin-s=<s>.
 faults::ChaosRates parse_chaos_rates(const std::string& text) {
   faults::ChaosRates rates;
   for (const auto& [key, value] : parse_kv_list(text)) {
@@ -100,6 +102,8 @@ faults::ChaosRates parse_chaos_rates(const std::string& text) {
     if (key == "crash") rates.crash_per_minute = v;
     else if (key == "failslow") rates.fail_slow_per_minute = v;
     else if (key == "flap") rates.flap_per_minute = v;
+    else if (key == "clientcrash") rates.client_crash_per_minute = v;
+    else if (key == "clientrejoin-s") rates.client_rejoin_delay = seconds_f(v);
     else if (key == "rpcloss") rates.rpc_loss = v;
     else if (key == "rpcdelay-ms") rates.rpc_delay_mean = milliseconds_f(v);
     else if (key == "rpcjitter-ms") rates.rpc_delay_jitter = milliseconds_f(v);
@@ -196,6 +200,18 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
     fault_flag_error("crash/rejoin/fail-slow/flap",
                      "fault spec fields must be numeric");
   }
+  std::optional<SimTime> client_crash_at;
+  if (flags.has("client-crash")) {
+    // --client-crash=<seconds>: the writer host dies mid-upload; lease
+    // recovery must close the file at its salvaged prefix.
+    try {
+      client_crash_at = seconds_f(std::stod(flags.get("client-crash")));
+    } catch (const std::logic_error&) {
+      fault_flag_error("client-crash", "expected <seconds>, got " +
+                                           flags.get("client-crash"));
+    }
+    injector.crash_client(0, *client_crash_at);
+  }
   if (!plan.empty()) plan.apply(injector);
   if (flags.has("chaos-rates")) {
     injector.start_chaos(parse_chaos_rates(flags.get("chaos-rates")));
@@ -226,6 +242,35 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   }
 
   outcome.stats = cluster.run_upload("/data/cli.bin", size, protocol);
+  if (client_crash_at) {
+    // The upload callback fired (success, or abort at crash time); now
+    // drive the simulation until lease recovery has closed the file — it
+    // must never stay under-construction past the hard limit plus the
+    // recovery retry budget.
+    const hdfs::HdfsConfig& cfg = cluster.config();
+    sim::Simulation& sim = cluster.sim();
+    if (sim.now() <= *client_crash_at) {
+      sim.run_until(*client_crash_at + milliseconds(1));
+    }
+    const SimTime deadline =
+        sim.now() + cfg.lease_hard_limit + cfg.lease_monitor_interval +
+        cfg.lease_recovery_retry_interval *
+            (cfg.lease_recovery_max_attempts + 2);
+    while (sim.now() < deadline) {
+      const hdfs::FileEntry* entry =
+          cluster.namenode().file_by_path("/data/cli.bin");
+      if (entry == nullptr || entry->state == hdfs::FileState::kClosed) break;
+      sim.run_until(sim.now() + milliseconds(250));
+    }
+    const hdfs::FileEntry* entry =
+        cluster.namenode().file_by_path("/data/cli.bin");
+    if (entry != nullptr && entry->state != hdfs::FileState::kClosed) {
+      std::fprintf(stderr,
+                   "lease recovery failed to close the file within the "
+                   "recovery budget\n");
+      std::exit(1);
+    }
+  }
   outcome.events = cluster.sim().events_executed();
   outcome.summary.fold(outcome.stats);
   outcome.summary.rpc_calls_dropped = cluster.rpc().calls_dropped();
@@ -236,6 +281,11 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   outcome.summary.under_replicated_blocks =
       cluster.namenode().under_replicated_blocks().size();
   outcome.summary.faults_injected = injector.counts().total();
+  outcome.summary.lease_expiries = cluster.namenode().lease_expiries();
+  outcome.summary.uc_blocks_recovered =
+      cluster.namenode().uc_blocks_recovered();
+  outcome.summary.bytes_salvaged = cluster.namenode().bytes_salvaged();
+  outcome.summary.orphans_abandoned = cluster.namenode().orphans_abandoned();
   if (sampler) sampler->stop();
   Logger::instance().set_level(LogLevel::kWarn);
   Logger::instance().set_time_source(nullptr);
@@ -259,8 +309,11 @@ int main(int argc, char** argv) {
   flags.declare("fail-slow",
                 "fail-slow window: <datanode>@<from>-<until>@<factor>", "");
   flags.declare("flap", "NIC flap window: <datanode>@<down>-<up>", "");
+  flags.declare("client-crash",
+                "writer crash at <seconds>; lease recovery closes the file",
+                "");
   flags.declare("chaos-rates",
-                "seeded chaos, e.g. crash=2,failslow=4,rpcloss=0.05", "");
+                "seeded chaos, e.g. crash=2,clientcrash=1,rpcloss=0.05", "");
   flags.declare("chaos-seed", "seed for the chaos engine's RNG", "1");
   flags.declare("block-mb", "HDFS block size in MiB", "64");
   flags.declare("replication", "replication factor", "3");
@@ -296,7 +349,8 @@ int main(int argc, char** argv) {
   // Under injected faults a failed upload is a legitimate outcome worth
   // reporting (clean failure, not a hang); without faults it is an error.
   const bool faults_active = flags.has("chaos-rates") || flags.has("crash") ||
-                             flags.has("fail-slow") || flags.has("flap");
+                             flags.has("fail-slow") || flags.has("flap") ||
+                             flags.has("client-crash");
   const bool want_summary = flags.get_bool("fault-summary") || faults_active;
 
   TextTable table({"protocol", "seconds", "throughput (Mbps)", "blocks",
