@@ -6,11 +6,20 @@
 // Ablation A8 — writer-crash salvage. Kills the *client* mid-upload and lets
 // the lease monitor recover the under-construction file: how many bytes does
 // each protocol salvage, and how long until the file is readable again?
+//
+// Ablation A9 — bit-rot scrub and repair. Rots one finalized replica on each
+// of three datanodes after a 256 MiB upload and sweeps the block scanner's
+// byte budget: how long until the scrubbers detect and report the rot, how
+// long until re-replication restores full replication, and does a read-back
+// stay byte-exact throughout?
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
 #include "faults/fault_injector.hpp"
+#include "hdfs/datanode.hpp"
 #include "workload/fault_plan.hpp"
 
 using namespace smarth;
@@ -102,6 +111,79 @@ SalvageResult run_writer_crash(cluster::Protocol protocol,
   return result;
 }
 
+struct ScrubResult {
+  int rotted = 0;
+  double detect_s = -1.0;  // rot landing -> last replica reported
+  double repair_s = -1.0;  // rot landing -> full replication restored
+  double scrub_mib = 0.0;  // total scrub I/O until repair completed
+  int read_mismatches = 0;
+  int read_failovers = 0;
+  bool read_exact = false;
+};
+
+/// A9: upload, rot one finalized replica on each of three datanodes, and
+/// time the scrub -> report -> invalidate -> re-replicate loop at the given
+/// scanner budget. A final read-back checks no corrupt byte survives.
+ScrubResult run_bitrot_scrub(cluster::Protocol protocol, Bytes scan_rate,
+                             Bytes file_size) {
+  cluster::ClusterSpec spec = cluster::small_cluster(42);
+  spec.hdfs.ack_timeout = seconds(2);
+  spec.hdfs.scanner_bytes_per_second = scan_rate;
+  cluster::Cluster cluster(spec);
+  cluster.enable_rereplication(seconds(2));
+  const auto stats = cluster.run_upload("/f", file_size, protocol);
+  ScrubResult result;
+  if (stats.failed) return result;
+  cluster.sim().run_until(cluster.sim().now() + seconds(2));
+
+  // Rot chunk 0 of one finalized replica on each of three datanodes, each a
+  // different block so three independent repairs race the scrubbers.
+  std::vector<std::pair<std::size_t, BlockId>> victims;
+  for (std::size_t i = 0;
+       i < cluster.datanode_count() && victims.size() < 3; ++i) {
+    for (const auto& replica :
+         cluster.datanode(i).block_store().all_replicas()) {
+      if (replica.state != storage::ReplicaState::kFinalized) continue;
+      bool taken = false;
+      for (const auto& [dn, block] : victims) taken |= block == replica.block;
+      if (taken) continue;
+      if (cluster.datanode(i).rot_replica_chunk(replica.block, 0).ok()) {
+        victims.emplace_back(i, replica.block);
+      }
+      break;
+    }
+  }
+  result.rotted = static_cast<int>(victims.size());
+  const SimTime rot_at = cluster.sim().now();
+
+  const SimTime deadline = rot_at + seconds(3600);
+  while (cluster.sim().now() < deadline) {
+    if (result.detect_s < 0 &&
+        cluster.namenode().bad_replica_reports() >=
+            static_cast<std::uint64_t>(result.rotted)) {
+      result.detect_s = to_seconds(cluster.sim().now() - rot_at);
+    }
+    if (result.detect_s >= 0 &&
+        cluster.namenode().under_replicated_blocks().empty() &&
+        cluster.file_fully_replicated("/f")) {
+      result.repair_s = to_seconds(cluster.sim().now() - rot_at);
+      break;
+    }
+    cluster.sim().run_until(cluster.sim().now() + milliseconds(250));
+  }
+  Bytes scrubbed = 0;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    scrubbed += cluster.datanode(i).scanner().bytes_scanned();
+  }
+  result.scrub_mib = static_cast<double>(scrubbed) / kMiB;
+
+  const auto read = cluster.run_download("/f");
+  result.read_mismatches = read.checksum_mismatches;
+  result.read_failovers = read.failovers;
+  result.read_exact = !read.failed && read.bytes_read == file_size;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -153,5 +235,31 @@ int main() {
                               : std::string("never closed")});
   }
   std::printf("%s\n", salvage.to_string().c_str());
+
+  bench::print_header(
+      "Bit-rot scrub and repair — 3 replicas rot at rest after a 256 MiB "
+      "upload (A9)",
+      "Sweep of the block scanner's byte budget: time from rot to the last "
+      "bad-replica report, time until re-replication restores full "
+      "replication, total scrub I/O spent, and a byte-exact read-back.");
+  TextTable scrub({"protocol", "scan budget (MiB/s)", "rotted",
+                   "detect (s)", "repair (s)", "scrub I/O (MiB)",
+                   "read exact"});
+  const Bytes rot_file = 256 * kMiB;
+  for (cluster::Protocol protocol :
+       {cluster::Protocol::kHdfs, cluster::Protocol::kSmarth}) {
+    for (const Bytes budget : {8 * kMiB, 64 * kMiB}) {
+      const ScrubResult r = run_bitrot_scrub(protocol, budget, rot_file);
+      scrub.add_row(
+          {cluster::protocol_name(protocol),
+           TextTable::num(static_cast<double>(budget) / kMiB, 0),
+           std::to_string(r.rotted),
+           r.detect_s < 0 ? std::string("never") : TextTable::num(r.detect_s),
+           r.repair_s < 0 ? std::string("never") : TextTable::num(r.repair_s),
+           TextTable::num(r.scrub_mib, 0),
+           r.read_exact ? std::string("yes") : std::string("NO")});
+    }
+  }
+  std::printf("%s\n", scrub.to_string().c_str());
   return 0;
 }

@@ -68,6 +68,17 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
                      [dn, cmd] { dn->recover_uc_block(cmd); });
         return true;
       });
+
+  // Corrupt-replica invalidation is likewise always on: when a bad replica
+  // is reported the namenode commands the owner to drop it. The notify to a
+  // crashed host is dropped by the bus; the heartbeat's incremental block
+  // report then re-surfaces the replica and the namenode re-invalidates.
+  namenode_->set_invalidation_executor([this](NodeId node, BlockId block) {
+    hdfs::Datanode* dn = resolve_datanode(node);
+    if (dn == nullptr) return;
+    rpc_->notify(namenode_->node_id(), node,
+                 [dn, block] { dn->invalidate_replica(block); });
+  });
 }
 
 Cluster::~Cluster() = default;

@@ -9,7 +9,8 @@ namespace smarth::faults {
 
 FaultInjector::FaultInjector(cluster::Cluster& cluster,
                              std::uint64_t chaos_seed)
-    : cluster_(cluster), rng_(chaos_seed) {
+    : cluster_(cluster), rng_(chaos_seed),
+      bitrot_rng_(chaos_seed ^ 0xb17707b17707ULL) {
   busy_until_.assign(cluster_.datanode_count(), 0);
 }
 
@@ -115,6 +116,26 @@ void FaultInjector::corrupt_nth_packet(std::size_t datanode_index,
   ++counts_.corruptions;
 }
 
+std::uint64_t FaultInjector::one_shot_salt(std::size_t datanode_index,
+                                           SimTime at) {
+  // Hash, not an Rng draw: the header promises deterministic one-shots never
+  // consume chaos randomness.
+  SplitMix64 sm(static_cast<std::uint64_t>(at) * 1000003ULL +
+                static_cast<std::uint64_t>(datanode_index));
+  return sm.next();
+}
+
+void FaultInjector::bitrot(std::size_t datanode_index, SimTime at) {
+  hdfs::Datanode* dn = &cluster_.datanode(datanode_index);
+  const std::uint64_t salt = one_shot_salt(datanode_index, at);
+  cluster_.sim().schedule_at(at, [this, dn, datanode_index, salt] {
+    if (dn->rot_random_finalized_chunk(salt)) {
+      SMARTH_INFO("faults") << "bitrot: datanode " << datanode_index;
+      ++counts_.bitrot_flips;
+    }
+  });
+}
+
 void FaultInjector::crash_client(std::size_t client_index, SimTime at) {
   cluster_.sim().schedule_at(at, [this, client_index] {
     if (cluster_.client_crashed(client_index)) return;
@@ -154,7 +175,8 @@ void FaultInjector::start_chaos(const ChaosRates& rates, SimDuration tick) {
   set_rpc_chaos(rates_.rpc_loss, rates_.rpc_delay_mean,
                 rates_.rpc_delay_jitter);
   if (rates_.crash_per_minute <= 0.0 && rates_.fail_slow_per_minute <= 0.0 &&
-      rates_.flap_per_minute <= 0.0 && rates_.client_crash_per_minute <= 0.0) {
+      rates_.flap_per_minute <= 0.0 && rates_.client_crash_per_minute <= 0.0 &&
+      rates_.bitrot_per_replica_hour <= 0.0) {
     return;  // only RPC chaos requested; no sampling loop needed
   }
   chaos_task_ = std::make_unique<sim::PeriodicTask>(cluster_.sim(), tick_,
@@ -232,6 +254,26 @@ void FaultInjector::chaos_tick() {
           rates_.client_crash_per_minute * per_minute_to_per_tick;
       if (!hit || client_busy(i)) continue;
       crash_and_rejoin_client(i, now, now + rates_.client_rejoin_delay);
+    }
+  }
+  // Bit-rot draws come from a dedicated stream (see bitrot_rng_), so this
+  // block is invisible to the other classes' timelines. The per-tick
+  // probability scales with the node's finalized replica count: rot is a
+  // per-byte-at-rest phenomenon, and empty disks cannot decay. No busy
+  // gating — media decays during crash and throttle windows too.
+  if (rates_.bitrot_per_replica_hour > 0.0) {
+    const double per_hour_to_per_tick = to_seconds(tick_) / 3600.0;
+    for (std::size_t i = 0; i < cluster_.datanode_count(); ++i) {
+      const auto replicas = static_cast<double>(
+          cluster_.datanode(i).block_store().finalized_count());
+      const double p =
+          rates_.bitrot_per_replica_hour * replicas * per_hour_to_per_tick;
+      if (bitrot_rng_.uniform() >= p) continue;
+      if (cluster_.datanode(i).rot_random_finalized_chunk(
+              bitrot_rng_.next())) {
+        SMARTH_INFO("faults") << "chaos bitrot: datanode " << i;
+        ++counts_.bitrot_flips;
+      }
     }
   }
 }

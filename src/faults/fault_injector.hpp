@@ -40,6 +40,14 @@ struct ChaosRates {
   /// the namenode recovers its under-construction blocks.
   double client_crash_per_minute = 0.0;
 
+  /// Bit-rot chaos: each *finalized replica* decays ~r times per simulated
+  /// hour (scaled by how many finalized replicas the node actually holds, so
+  /// fuller disks rot more — like real media). Each event flips one stored
+  /// chunk at rest; detection is left to verified reads and the block
+  /// scanner. Sampled from a dedicated Rng stream so enabling it never
+  /// shifts the other classes' timelines.
+  double bitrot_per_replica_hour = 0.0;
+
   /// Control-plane chaos, applied to the RPC bus when any() holds.
   double rpc_loss = 0.0;              ///< per-message drop probability
   SimDuration rpc_delay_mean = 0;     ///< extra control-message latency
@@ -55,7 +63,8 @@ struct ChaosRates {
   bool any() const {
     return crash_per_minute > 0.0 || fail_slow_per_minute > 0.0 ||
            flap_per_minute > 0.0 || client_crash_per_minute > 0.0 ||
-           rpc_loss > 0.0 || rpc_delay_mean > 0;
+           bitrot_per_replica_hour > 0.0 || rpc_loss > 0.0 ||
+           rpc_delay_mean > 0;
   }
 };
 
@@ -69,10 +78,11 @@ struct InjectionCounts {
   std::uint64_t corruptions = 0;
   std::uint64_t client_crashes = 0;
   std::uint64_t client_restarts = 0;
+  std::uint64_t bitrot_flips = 0;  ///< at-rest chunk corruptions applied
 
   std::uint64_t total() const {
     return crashes + restarts + fail_slows + flaps + partitions + corruptions +
-           client_crashes + client_restarts;
+           client_crashes + client_restarts + bitrot_flips;
   }
 };
 
@@ -102,6 +112,15 @@ class FaultInjector {
                        SimTime sever_at, SimTime heal_at);
   /// Checksum corruption on the nth packet arriving at the node (1-based).
   void corrupt_nth_packet(std::size_t datanode_index, std::uint64_t nth);
+  /// Bit-rot at rest: at time `at`, one pseudo-randomly chosen chunk of one
+  /// finalized replica on the node decays (its stored CRC goes stale).
+  /// Deterministic — the (datanode_index, at) pair fully determines which
+  /// chunk rots; nothing is drawn from the chaos Rng. No-op when the node
+  /// holds no finalized data yet.
+  void bitrot(std::size_t datanode_index, SimTime at);
+  /// The salt bitrot() derives its target choice from; exposed so other
+  /// schedulers (workload::FaultPlan's cluster path) reproduce the same rot.
+  static std::uint64_t one_shot_salt(std::size_t datanode_index, SimTime at);
   /// Writer crash with no reboot: the client host goes dark, its heartbeat
   /// stops, and every stream it owned aborts mid-write. Lease recovery is
   /// the only path by which its files leave under-construction.
@@ -136,6 +155,9 @@ class FaultInjector {
 
   cluster::Cluster& cluster_;
   Rng rng_;
+  /// Dedicated stream for bit-rot chaos draws: enabling the class must not
+  /// shift the crash/slow/flap/client timelines existing seeds rely on.
+  Rng bitrot_rng_;
   ChaosRates rates_;
   std::unique_ptr<sim::PeriodicTask> chaos_task_;
   SimDuration tick_ = milliseconds(500);

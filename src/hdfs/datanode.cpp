@@ -7,14 +7,34 @@
 
 namespace smarth::hdfs {
 
+namespace {
+
+// SplitMix64 finalizer: deterministic salts for bit-rot target selection
+// without touching any shared RNG stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Datanode::Datanode(sim::Simulation& sim, Transport& transport,
                    rpc::RpcBus& rpc, Namenode& namenode,
                    const HdfsConfig& config, NodeId self, Options options)
     : sim_(sim), transport_(transport), rpc_(rpc), namenode_(namenode),
-      config_(config), self_(self), options_(options) {
+      config_(config), self_(self), options_(options),
+      store_(config.checksum_chunk_size) {
   disk_ = std::make_unique<storage::DiskDevice>(
       sim_, "disk@" + self.to_string(), options_.disk_write_bandwidth,
       options_.disk_op_overhead);
+  scanner_ = std::make_unique<BlockScanner>(
+      sim_, *disk_, store_, config_, [this](BlockId block) {
+        rpc_.notify(self_, namenode_.node_id(), [this, block] {
+          namenode_.report_bad_replica(block, self_);
+        });
+      });
 }
 
 Datanode::~Datanode() = default;
@@ -46,11 +66,13 @@ void Datanode::start() {
   const auto jitter = static_cast<SimDuration>(
       sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));
   heartbeat_->start_with_delay(jitter);
+  scanner_->start();  // no-op unless a scrub budget is configured
 }
 
 void Datanode::crash() {
   crashed_ = true;
   if (heartbeat_) heartbeat_->stop();
+  scanner_->stop();
   rpc_.set_host_down(self_, true);
   // Staging accounting for in-flight pipelines is torn down with the node.
   for (auto& [pipeline, ctx] : pipelines_) {
@@ -86,6 +108,7 @@ void Datanode::restart() {
         sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));
     heartbeat_->start_with_delay(jitter);
   }
+  scanner_->start();
   SMARTH_INFO("datanode") << "node " << self_.value() << " restarted with "
                           << store_.finalized_count()
                           << " finalized replicas";
@@ -98,6 +121,41 @@ void Datanode::inject_checksum_error(BlockId block, std::int64_t seq) {
 void Datanode::inject_checksum_error_on_nth_packet(std::uint64_t n) {
   SMARTH_CHECK_MSG(n > 0, "packet counts are 1-based");
   corrupt_at_count_.insert(n);
+}
+
+Status Datanode::rot_replica_chunk(BlockId block, std::size_t chunk) {
+  // Deliberately not gated on crashed_: media decays whether or not the
+  // daemon is running.
+  return store_.rot_chunk(block, chunk);
+}
+
+bool Datanode::rot_random_finalized_chunk(std::uint64_t salt) {
+  // Deterministic choice over a sorted candidate list: the same salt always
+  // rots the same chunk regardless of map iteration order.
+  std::vector<std::pair<std::int64_t, std::size_t>> candidates;
+  for (const auto& replica : store_.all_replicas()) {
+    if (replica.state != storage::ReplicaState::kFinalized) continue;
+    const std::size_t chunks = store_.chunk_count(replica.block);
+    if (chunks > 0) candidates.emplace_back(replica.block.value(), chunks);
+  }
+  if (candidates.empty()) return false;
+  std::sort(candidates.begin(), candidates.end());
+  const std::uint64_t h = mix64(salt);
+  const auto& [value, chunks] = candidates[h % candidates.size()];
+  const auto chunk = static_cast<std::size_t>(mix64(h) % chunks);
+  SMARTH_WARN("datanode") << self_.to_string() << " bit-rot in block "
+                          << value << " chunk " << chunk;
+  return store_.rot_chunk(BlockId{value}, chunk).ok();
+}
+
+void Datanode::invalidate_replica(BlockId block) {
+  if (crashed_) return;
+  if (!store_.has_replica(block)) return;
+  SMARTH_CHECK(store_.remove(block).ok());
+  ++replicas_invalidated_;
+  SMARTH_INFO("datanode") << self_.to_string()
+                          << " invalidated corrupt replica "
+                          << block.to_string();
 }
 
 storage::StagingBuffer& Datanode::staging_for(ClientId client) {
@@ -369,6 +427,25 @@ void Datanode::serve_read_packet(ReadRequest request, std::int64_t seq,
   const Bytes payload = std::min(remaining, config_.packet_payload);
   disk_->read(payload, [this, request, seq, remaining, payload] {
     if (crashed_) return;
+    // Verify the chunk CRCs covering this packet's byte range, as a real
+    // datanode does after pulling the bytes off disk. On mismatch no payload
+    // leaves this node — the reader is told to fail over and report us.
+    const Bytes packet_offset = request.offset + (request.length - remaining);
+    if (!store_.verify_range(request.block, packet_offset, payload)) {
+      ++read_verify_failures_;
+      SMARTH_WARN("datanode") << self_.to_string()
+                              << " read verification failed on "
+                              << request.block.to_string() << " at offset "
+                              << packet_offset;
+      ReadPacket bad;
+      bad.read = request.read;
+      bad.block = request.block;
+      bad.seq = seq;
+      bad.corrupt = true;
+      bad.last = true;
+      transport_.send_read_packet(self_, request.reader_node, bad);
+      return;  // stop streaming this replica
+    }
     ReadPacket packet;
     packet.read = request.read;
     packet.block = request.block;
@@ -629,6 +706,19 @@ void Datanode::transfer_replica(BlockId block, NodeId dest, Bytes length,
   }
   const auto info = store_.replica(block);
   if (!info.ok() || info.value().bytes < length) {
+    done(false);
+    return;
+  }
+  if (!store_.verify_range(block, 0, length)) {
+    // The chosen re-replication source has itself rotted. Never propagate
+    // bad bytes: self-report so the namenode quarantines this copy too, and
+    // fail the transfer so the monitor retries from another holder.
+    SMARTH_WARN("datanode") << self_.to_string()
+                            << " refusing to copy corrupt replica "
+                            << block.to_string();
+    rpc_.notify(self_, namenode_.node_id(), [this, block] {
+      namenode_.report_bad_replica(block, self_);
+    });
     done(false);
     return;
   }

@@ -17,6 +17,7 @@
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
+#include "hdfs/block_scanner.hpp"
 #include "hdfs/namenode.hpp"
 #include "hdfs/transport.hpp"
 #include "hdfs/types.hpp"
@@ -78,6 +79,18 @@ class Datanode : public PacketSink {
   /// workloads that do not know block ids in advance.
   void inject_checksum_error_on_nth_packet(std::uint64_t n);
 
+  // --- Bit-rot (at-rest corruption) -----------------------------------------
+  /// Flips one stored chunk of `block` at rest (its recorded CRC goes stale,
+  /// so every later verification fails). Works even while the node is down:
+  /// sectors decay regardless of the daemon process.
+  Status rot_replica_chunk(BlockId block, std::size_t chunk);
+  /// Rots one pseudo-randomly chosen chunk of one finalized replica; `salt`
+  /// fully determines the choice. Returns false when this node holds no
+  /// finalized data to rot.
+  bool rot_random_finalized_chunk(std::uint64_t salt);
+  /// Namenode command: drop a replica reported corrupt. No-op when absent.
+  void invalidate_replica(BlockId block);
+
   // --- PacketSink ------------------------------------------------------------
   void deliver_setup(const PipelineSetup& setup) override;
   void deliver_packet(const WirePacket& packet) override;
@@ -131,6 +144,9 @@ class Datanode : public PacketSink {
   std::uint64_t fnfa_sent() const { return fnfa_sent_; }
   std::uint64_t reads_served() const { return reads_served_; }
   Bytes read_bytes_served() const { return read_bytes_served_; }
+  const BlockScanner& scanner() const { return *scanner_; }
+  std::uint64_t replicas_invalidated() const { return replicas_invalidated_; }
+  std::uint64_t read_verify_failures() const { return read_verify_failures_; }
 
  private:
   struct PacketState {
@@ -200,11 +216,14 @@ class Datanode : public PacketSink {
   std::set<std::uint64_t> corrupt_at_count_;
 
   std::unique_ptr<sim::PeriodicTask> heartbeat_;
+  std::unique_ptr<BlockScanner> scanner_;
   bool crashed_ = false;
   std::uint64_t packets_received_ = 0;
   std::uint64_t fnfa_sent_ = 0;
   std::uint64_t reads_served_ = 0;
   Bytes read_bytes_served_ = 0;
+  std::uint64_t replicas_invalidated_ = 0;
+  std::uint64_t read_verify_failures_ = 0;
 };
 
 }  // namespace smarth::hdfs

@@ -60,11 +60,19 @@ void DfsInputStream::start_block(std::size_t block_index) {
   block_bytes_received_ = 0;
   expected_seq_ = 0;
   failed_replicas_.clear();
+  checksum_failed_replicas_.clear();
   request_from_replica();
 }
 
 void DfsInputStream::request_from_replica() {
   const LocatedBlock& block = blocks_[current_block_];
+  if (block.targets.empty() && block.all_replicas_corrupt) {
+    // The namenode already quarantined every known replica: fail fast with
+    // the distinct integrity error rather than a liveness timeout.
+    finish(true, "all_replicas_corrupt: no uncorrupted replica of " +
+                     block.block.to_string());
+    return;
+  }
   // Replicas arrive distance-sorted from the namenode; take the first one
   // not yet marked bad for this block.
   current_replica_ = NodeId{};
@@ -75,6 +83,16 @@ void DfsInputStream::request_from_replica() {
     }
   }
   if (!current_replica_.valid()) {
+    if (!failed_replicas_.empty() &&
+        checksum_failed_replicas_.size() == failed_replicas_.size()) {
+      // Every replica we tried was rotted — a pure integrity failure, not a
+      // liveness one. Surface it distinctly and never retry in a loop: the
+      // namenode has been told about each bad copy already.
+      finish(true, "all_replicas_corrupt: every replica of " +
+                       block.block.to_string() +
+                       " failed checksum verification");
+      return;
+    }
     finish(true, "no live replica left for " + block.block.to_string());
     return;
   }
@@ -92,6 +110,10 @@ void DfsInputStream::request_from_replica() {
 
 void DfsInputStream::deliver_read_packet(const ReadPacket& packet) {
   if (finished_ || packet.read != current_read_) return;
+  if (packet.corrupt) {
+    on_replica_corrupt();
+    return;
+  }
   if (packet.error) {
     on_replica_failed("replica refused read");
     return;
@@ -115,6 +137,22 @@ void DfsInputStream::deliver_read_packet(const ReadPacket& packet) {
 void DfsInputStream::on_block_done() {
   watchdog_.cancel();
   start_block(current_block_ + 1);
+}
+
+void DfsInputStream::on_replica_corrupt() {
+  if (finished_) return;
+  ++stats_.checksum_mismatches;
+  checksum_failed_replicas_.insert(current_replica_.value());
+  // Tell the namenode so it quarantines + invalidates the replica and queues
+  // the block for re-replication from a good copy (HDFS reportBadBlocks).
+  ++stats_.bad_replica_reports;
+  Namenode& nn = deps_.namenode;
+  deps_.rpc.notify(client_node_, nn.node_id(),
+                   [&nn, block = blocks_[current_block_].block,
+                    node = current_replica_] {
+                     nn.report_bad_replica(block, node);
+                   });
+  on_replica_failed("checksum mismatch from " + current_replica_.to_string());
 }
 
 void DfsInputStream::on_replica_failed(const std::string& reason) {

@@ -31,6 +31,11 @@ struct ReadStats {
   SimTime finished_at = 0;
   std::int64_t blocks = 0;
   int failovers = 0;  ///< replica switches due to errors/timeouts
+  /// Failovers caused specifically by checksum mismatches (subset of
+  /// `failovers`): the serving replica had rotted at rest.
+  int checksum_mismatches = 0;
+  /// report_bad_replica RPCs this read sent to the namenode.
+  int bad_replica_reports = 0;
   bool failed = false;
   std::string failure_reason;
 
@@ -73,6 +78,9 @@ class DfsInputStream : public ReadSink {
   void request_from_replica();
   void on_block_done();
   void on_replica_failed(const std::string& reason);
+  /// The serving replica returned a checksum-mismatch marker: report it to
+  /// the namenode, remember it as corrupt, and fail over.
+  void on_replica_corrupt();
   void arm_watchdog();
   void finish(bool failed, const std::string& reason);
 
@@ -93,6 +101,10 @@ class DfsInputStream : public ReadSink {
   Bytes block_bytes_received_ = 0;
   std::int64_t expected_seq_ = 0;
   std::unordered_set<std::int64_t> failed_replicas_;
+  /// Subset of failed_replicas_ that failed with a checksum mismatch; when
+  /// *every* exhausted replica is in here, the block is wholly rotted and the
+  /// read fails with all_replicas_corrupt instead of a liveness error.
+  std::unordered_set<std::int64_t> checksum_failed_replicas_;
   sim::EventHandle watchdog_;
 
   ReadStats stats_;

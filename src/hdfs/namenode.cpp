@@ -302,10 +302,19 @@ Result<std::vector<LocatedBlock>> Namenode::get_block_locations(
     SMARTH_CHECK(it != blocks_.end());
     LocatedBlock lb;
     lb.block = block;
+    bool has_clean_holder = false;
     for (const auto& [dn, len] : it->second.reported) {
+      // Quarantined replicas are erased from `reported` on report; this
+      // check also covers a racing re-report that slipped back in.
+      if (it->second.corrupt_replicas.count(dn) > 0) continue;
+      has_clean_holder = true;
       if (is_alive(dn)) lb.targets.push_back(dn);
       lb.length = std::max(lb.length, len);
     }
+    // Distinguish "every known replica rotted" from "holders temporarily
+    // dead": only the former is a hard integrity failure for the reader.
+    lb.all_replicas_corrupt = lb.targets.empty() && !has_clean_holder &&
+                              !it->second.corrupt_replicas.empty();
     // Closest replica first (HDFS sorts by NetworkTopology distance);
     // stable order within a distance class keeps runs deterministic.
     std::sort(lb.targets.begin(), lb.targets.end(),
@@ -327,7 +336,49 @@ void Namenode::block_received(NodeId dn, BlockId block, Bytes length) {
                             << block.to_string();
     return;
   }
+  if (it->second.corrupt_replicas.count(dn) > 0) {
+    // The quarantine outlives the report that caused it: an in-flight or
+    // heartbeat-carried re-report from a condemned replica is ignored, and
+    // the invalidation is re-issued in case the first one was lost.
+    SMARTH_DEBUG("namenode") << "ignoring blockReceived for quarantined "
+                             << block.to_string() << " from node "
+                             << dn.value();
+    if (invalidation_executor_) {
+      ++invalidations_issued_;
+      invalidation_executor_(dn, block);
+    }
+    return;
+  }
   it->second.reported[dn] = length;
+}
+
+void Namenode::report_bad_replica(BlockId block, NodeId node) {
+  ++bad_replica_reports_;
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return;  // stale report on a deleted block
+  BlockRecord& record = it->second;
+  const bool fresh = record.corrupt_replicas.insert(node).second;
+  record.reported.erase(node);
+  if (fresh) {
+    SMARTH_WARN("namenode") << block.to_string() << " on node "
+                            << node.value()
+                            << " reported corrupt; quarantined ("
+                            << record.corrupt_replicas.size()
+                            << " bad replica(s), "
+                            << live_replica_count(record) << " live good)";
+  }
+  // Invalidate even on duplicate reports: the previous command may have been
+  // lost to RPC chaos or a crashed node that has since restarted.
+  if (invalidation_executor_) {
+    ++invalidations_issued_;
+    invalidation_executor_(node, block);
+  }
+}
+
+std::size_t Namenode::corrupt_replica_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, record] : blocks_) n += record.corrupt_replicas.size();
+  return n;
 }
 
 void Namenode::report_client_speeds(ClientId client,
@@ -518,7 +569,10 @@ void Namenode::commit_block_synchronization(BlockId block, Bytes length,
     return;
   }
   record.reported.clear();
-  for (NodeId dn : holders) record.reported[dn] = length;
+  for (NodeId dn : holders) {
+    if (record.corrupt_replicas.count(dn) > 0) continue;
+    record.reported[dn] = length;
+  }
   record.expected_targets = holders;
   rt->second.pending.erase(pt);
   ++uc_blocks_recovered_;
@@ -588,6 +642,7 @@ void Namenode::erase_file(FileId file) {
 int Namenode::live_replica_count(const BlockRecord& record) const {
   int live = 0;
   for (const auto& [dn, len] : record.reported) {
+    if (record.corrupt_replicas.count(dn) > 0) continue;
     if (is_alive(dn)) ++live;
   }
   return live;
@@ -637,12 +692,16 @@ void Namenode::scan_for_under_replication() {
     Bytes length = 0;
     std::vector<NodeId> holders;
     for (const auto& [dn, len] : record.reported) {
+      if (record.corrupt_replicas.count(dn) > 0) continue;
       holders.push_back(dn);
       if (!source.valid() && is_alive(dn)) {
         source = dn;
         length = len;
       }
     }
+    // Nodes with a condemned copy of this block never receive it again
+    // (their rot may be media-related) and are useless as sources.
+    for (NodeId dn : record.corrupt_replicas) holders.push_back(dn);
     if (!source.valid()) continue;  // nothing to copy from; data loss
 
     const PlacementContext ctx = make_context(sim_.rng());

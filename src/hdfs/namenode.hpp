@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -63,6 +64,11 @@ struct BlockRecord {
   std::vector<NodeId> expected_targets;
   /// Datanode -> reported finalized replica length.
   std::unordered_map<NodeId, Bytes> reported;
+  /// Nodes whose replica of this block was reported corrupt. Entries persist
+  /// until the block itself is deleted: a stale heartbeat report (or a copy
+  /// that dodged invalidation) must never resurrect a condemned replica, and
+  /// these nodes are excluded from re-replication targets for this block.
+  std::set<NodeId> corrupt_replicas;
 };
 
 class Namenode {
@@ -155,6 +161,28 @@ class Namenode {
   /// Blocks of closed files currently below the replication factor
   /// (counting live holders only).
   std::vector<BlockId> under_replicated_blocks() const;
+
+  // --- Corrupt-replica handling ----------------------------------------------
+  /// Tells datanode `node` to drop its replica of `block`; installed by the
+  /// cluster wiring (like the replication executor, the namenode only
+  /// orchestrates — it never touches replica data).
+  using InvalidationExecutor = std::function<void(NodeId node, BlockId block)>;
+  void set_invalidation_executor(InvalidationExecutor executor) {
+    invalidation_executor_ = std::move(executor);
+  }
+
+  /// Reader / scanner / copy-source report: `node`'s replica of `block`
+  /// failed checksum verification (HDFS reportBadBlocks). The replica is
+  /// quarantined — dropped from the location map, excluded from future
+  /// placement for this block — and an invalidation is sent to the node; the
+  /// re-replication monitor then restores the replication factor from a
+  /// verified-good copy.
+  void report_bad_replica(BlockId block, NodeId node);
+
+  std::uint64_t bad_replica_reports() const { return bad_replica_reports_; }
+  std::uint64_t invalidations_issued() const { return invalidations_issued_; }
+  /// Total (block, node) pairs currently quarantined.
+  std::size_t corrupt_replica_count() const;
 
   // --- Lease management / writer-crash recovery -------------------------------
   /// Client heartbeat: renews the client's lease and (SMARTH) records any
@@ -270,6 +298,10 @@ class Namenode {
   Bytes bytes_salvaged_ = 0;
   std::uint64_t orphans_abandoned_ = 0;
   std::uint64_t client_heartbeats_ = 0;
+
+  InvalidationExecutor invalidation_executor_;
+  std::uint64_t bad_replica_reports_ = 0;
+  std::uint64_t invalidations_issued_ = 0;
 
   ReplicationExecutor replication_executor_;
   std::unique_ptr<sim::PeriodicTask> rereplication_task_;

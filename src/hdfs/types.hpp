@@ -42,6 +42,20 @@ struct HdfsConfig {
   /// Staging buffer per datanode per client (paper §IV-C: one block).
   Bytes staging_buffer_bytes = 64 * kMiB;
 
+  // --- Data integrity -------------------------------------------------------
+  /// Granularity of at-rest CRC32C checksums in the block store. One CRC per
+  /// chunk, verified on every read/scrub touching the chunk (HDFS: 512 B per
+  /// chunk in .meta files; we checksum at packet granularity).
+  Bytes checksum_chunk_size = 64 * kKiB;
+  /// Background block-scanner byte budget per datanode. 0 disables the
+  /// scanner (the default, so latency-calibrated experiments are unaffected);
+  /// when enabled, scrub reads go through the shared disk and contend with
+  /// foreground traffic (Hadoop's dfs.datanode.scan.period analogue, but
+  /// budgeted by rate rather than period).
+  Bytes scanner_bytes_per_second = 0;
+  /// Cadence at which the scanner wakes and spends its accumulated budget.
+  SimDuration scanner_interval = seconds(1);
+
   // --- Control plane --------------------------------------------------------
   SimDuration heartbeat_interval = seconds(3);
   /// A datanode missing heartbeats for this long is considered dead.
@@ -117,6 +131,9 @@ struct LocatedBlock {
   BlockId block;
   std::vector<NodeId> targets;  // pipeline order: first datanode first
   Bytes length = 0;             // read path only
+  /// Read path only: no serveable targets because every known replica has
+  /// been reported corrupt (distinct from "holders temporarily dead").
+  bool all_replicas_corrupt = false;
 };
 
 /// One data packet on the wire.
@@ -174,7 +191,11 @@ struct ReadPacket {
   std::int64_t seq = 0;
   Bytes payload = 0;
   bool last = false;
-  bool error = false;  ///< replica missing/short or node refusing
+  bool error = false;    ///< replica missing/short or node refusing
+  /// The serving datanode hit a checksum mismatch verifying this packet's
+  /// chunk range: no payload was sent and the stream must fail over AND
+  /// report the replica to the namenode (set together with last).
+  bool corrupt = false;
 };
 
 /// Pipeline establishment request, forwarded datanode-to-datanode like

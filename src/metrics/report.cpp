@@ -50,6 +50,14 @@ void FaultSummary::fold(const hdfs::StreamStats& stats) {
   recovery_time_total += stats.recovery_time_total;
 }
 
+void FaultSummary::fold_read(const hdfs::ReadStats& stats) {
+  ++reads;
+  if (stats.failed) ++failed_reads;
+  read_failovers += stats.failovers;
+  checksum_mismatches += stats.checksum_mismatches;
+  bad_replica_reports += stats.bad_replica_reports;
+}
+
 std::string render_fault_summary(const FaultSummary& summary) {
   TextTable table({"metric", "value"});
   table.add_row({"uploads", std::to_string(summary.uploads)});
@@ -81,6 +89,20 @@ std::string render_fault_summary(const FaultSummary& summary) {
   table.add_row({"bytes salvaged", std::to_string(summary.bytes_salvaged)});
   table.add_row(
       {"orphans abandoned", std::to_string(summary.orphans_abandoned)});
+  table.add_row({"reads", std::to_string(summary.reads)});
+  table.add_row({"failed reads", std::to_string(summary.failed_reads)});
+  table.add_row({"read failovers", std::to_string(summary.read_failovers)});
+  table.add_row(
+      {"checksum mismatches", std::to_string(summary.checksum_mismatches)});
+  table.add_row(
+      {"bad replica reports", std::to_string(summary.bad_replica_reports)});
+  table.add_row({"bitrot flips", std::to_string(summary.bitrot_flips)});
+  table.add_row(
+      {"replicas invalidated", std::to_string(summary.replicas_invalidated)});
+  table.add_row(
+      {"scrub rot detected", std::to_string(summary.scrub_rot_detected)});
+  table.add_row(
+      {"scrub bytes scanned", std::to_string(summary.scrub_bytes_scanned)});
   return table.to_string();
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "hdfs/input_stream.hpp"
 #include "hdfs/output_stream.hpp"
 
 namespace smarth::metrics {
@@ -75,8 +76,23 @@ struct FaultSummary {
   Bytes bytes_salvaged = 0;
   std::uint64_t orphans_abandoned = 0;
 
+  // Read-path resilience (folded from ReadStats).
+  int reads = 0;
+  int failed_reads = 0;
+  int read_failovers = 0;
+  int checksum_mismatches = 0;
+  int bad_replica_reports = 0;
+
+  // Data-integrity counters (from the namenode / datanodes).
+  std::uint64_t bitrot_flips = 0;
+  std::uint64_t replicas_invalidated = 0;
+  std::uint64_t scrub_rot_detected = 0;
+  Bytes scrub_bytes_scanned = 0;
+
   /// Accumulates one upload's robustness counters.
   void fold(const hdfs::StreamStats& stats);
+  /// Accumulates one read's resilience counters.
+  void fold_read(const hdfs::ReadStats& stats);
   /// Mean time to recover across every folded recovery, in seconds.
   double recovery_mttr_seconds() const {
     return recoveries > 0 ? to_seconds(recovery_time_total) / recoveries

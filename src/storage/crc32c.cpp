@@ -1,0 +1,48 @@
+#include "storage/crc32c.hpp"
+
+#include <array>
+
+namespace smarth::storage {
+namespace {
+
+// Reflected CRC32C table, generated once at static-init time from the
+// reversed Castagnoli polynomial.
+std::array<std::uint32_t, 256> make_table() {
+  constexpr std::uint32_t kPoly = 0x82F63B78u;
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = t[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c_of_u64(std::uint64_t value) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFFu);
+  }
+  return crc32c(buf, sizeof buf);
+}
+
+}  // namespace smarth::storage

@@ -31,6 +31,11 @@ FaultPlan& FaultPlan::flap(std::size_t datanode_index, SimDuration down_at,
   return *this;
 }
 
+FaultPlan& FaultPlan::bitrot(std::size_t datanode_index, SimDuration at) {
+  bitrots.push_back(Bitrot{datanode_index, at});
+  return *this;
+}
+
 void FaultPlan::apply(faults::FaultInjector& injector) const {
   for (const Crash& c : crashes) {
     if (c.rejoin_at > c.at) {
@@ -47,6 +52,9 @@ void FaultPlan::apply(faults::FaultInjector& injector) const {
   }
   for (const Flap& f : flaps) {
     injector.flap_node(f.datanode_index, f.down_at, f.up_at);
+  }
+  for (const Bitrot& b : bitrots) {
+    injector.bitrot(b.datanode_index, b.at);
   }
 }
 
@@ -92,6 +100,15 @@ void FaultPlan::apply(cluster::Cluster& cluster) const {
                               [net, node] { net->set_node_isolated(node, true); });
     cluster.sim().schedule_at(f.up_at,
                               [net, node] { net->set_node_isolated(node, false); });
+  }
+  for (const Bitrot& b : bitrots) {
+    // Same salt derivation as FaultInjector::bitrot so both apply() paths
+    // rot the identical chunk.
+    hdfs::Datanode* dn = &cluster.datanode(b.datanode_index);
+    const std::uint64_t salt =
+        faults::FaultInjector::one_shot_salt(b.datanode_index, b.at);
+    cluster.sim().schedule_at(
+        b.at, [dn, salt] { dn->rot_random_finalized_chunk(salt); });
   }
 }
 

@@ -35,11 +35,16 @@ struct FaultPlan {
     SimDuration down_at;
     SimDuration up_at;
   };
+  struct Bitrot {
+    std::size_t datanode_index;
+    SimDuration at;  ///< one finalized chunk on the node decays at this time
+  };
 
   std::vector<Crash> crashes;
   std::vector<Corruption> corruptions;
   std::vector<FailSlow> fail_slows;
   std::vector<Flap> flaps;
+  std::vector<Bitrot> bitrots;
 
   FaultPlan& crash(std::size_t datanode_index, SimDuration at);
   FaultPlan& crash_and_rejoin(std::size_t datanode_index, SimDuration at,
@@ -49,6 +54,7 @@ struct FaultPlan {
                        SimDuration until, double factor);
   FaultPlan& flap(std::size_t datanode_index, SimDuration down_at,
                   SimDuration up_at);
+  FaultPlan& bitrot(std::size_t datanode_index, SimDuration at);
 
   /// Schedules the plan through `injector` (must outlive the simulation run —
   /// the scheduled events report back into its counters).
@@ -58,7 +64,7 @@ struct FaultPlan {
   void apply(cluster::Cluster& cluster) const;
   bool empty() const {
     return crashes.empty() && corruptions.empty() && fail_slows.empty() &&
-           flaps.empty();
+           flaps.empty() && bitrots.empty();
   }
 };
 

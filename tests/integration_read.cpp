@@ -194,6 +194,29 @@ TEST(Rereplication, RestoresReplicationAfterCrash) {
   }
 }
 
+TEST(Rereplication, MonitorDrainsAfterCrashDegradation) {
+  // Drain invariant: once the monitor has repaired crash-induced
+  // degradation, the under-replicated queue is empty and every scheduled
+  // re-replication actually completed — nothing is silently dropped or
+  // perpetually retried.
+  Cluster cluster(small_spec());
+  cluster.enable_rereplication(seconds(2));
+  upload_and_settle(cluster, "/data/a.bin", 16 * kMiB);
+  ASSERT_TRUE(cluster.file_fully_replicated("/data/a.bin"));
+
+  cluster.datanode(0).crash();
+  cluster.datanode(1).crash();
+  cluster.sim().run_until(cluster.sim().now() +
+                          cluster.config().datanode_dead_interval +
+                          seconds(60));
+
+  EXPECT_GE(cluster.namenode().rereplications_scheduled(), 1u);
+  EXPECT_EQ(cluster.namenode().rereplications_completed(),
+            cluster.namenode().rereplications_scheduled());
+  EXPECT_TRUE(cluster.namenode().under_replicated_blocks().empty());
+  EXPECT_TRUE(cluster.file_fully_replicated("/data/a.bin"));
+}
+
 TEST(Rereplication, IdleWhenFullyReplicated) {
   Cluster cluster(small_spec());
   cluster.enable_rereplication(seconds(2));

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <optional>
 
@@ -43,6 +44,12 @@ faults::ChaosRates soak_rates() {
   rates.fail_slow_factor = 8.0;
   rates.flap_duration = seconds(2);
   rates.client_rejoin_delay = seconds(8);
+  // At-rest decay joins the soak: with a handful of finalized replicas per
+  // node and 500 ms ticks this lands roughly one flip per run, enough for
+  // the scanner/report/invalidate path to fire across the seed sweep while
+  // drawing from its own RNG stream (the other classes' timelines don't
+  // move).
+  rates.bitrot_per_replica_hour = 30.0;
   return rates;
 }
 
@@ -55,6 +62,9 @@ cluster::ClusterSpec soak_spec(std::uint64_t seed) {
   spec.hdfs.lease_soft_limit = seconds(6);
   spec.hdfs.lease_hard_limit = seconds(12);
   spec.hdfs.lease_monitor_interval = seconds(2);
+  // Scrub at a modest budget so soak-injected rot is detected and reported
+  // while the chaos is still running.
+  spec.hdfs.scanner_bytes_per_second = 8 * kMiB;
   return spec;
 }
 
@@ -71,6 +81,10 @@ struct SoakResult {
   std::uint64_t uc_blocks_recovered = 0;
   Bytes bytes_salvaged = 0;
   std::uint64_t orphans_abandoned = 0;
+  std::uint64_t bitrot_flips = 0;
+  std::uint64_t scrub_rot_detected = 0;
+  std::uint64_t bad_replica_reports = 0;
+  std::uint64_t replicas_invalidated = 0;
   bool file_closed = false;
   /// block value -> sorted (node, bytes) pairs.
   std::map<std::int64_t, std::map<std::int64_t, Bytes>> replicas;
@@ -154,7 +168,11 @@ SoakResult soak_once(std::uint64_t seed) {
   result.uc_blocks_recovered = cluster.namenode().uc_blocks_recovered();
   result.bytes_salvaged = cluster.namenode().bytes_salvaged();
   result.orphans_abandoned = cluster.namenode().orphans_abandoned();
+  result.bitrot_flips = injector.counts().bitrot_flips;
+  result.bad_replica_reports = cluster.namenode().bad_replica_reports();
   for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    result.scrub_rot_detected += cluster.datanode(i).scanner().rot_detected();
+    result.replicas_invalidated += cluster.datanode(i).replicas_invalidated();
     for (const auto& replica :
          cluster.datanode(i).block_store().all_replicas()) {
       result.replicas[replica.block.value()][static_cast<std::int64_t>(i)] =
@@ -164,17 +182,32 @@ SoakResult soak_once(std::uint64_t seed) {
   return result;
 }
 
-TEST(ChaosSoak, FiftySeedsCompleteOrFailCleanly) {
-  int completed = 0;
-  int clean_failures = 0;
+/// Seed count for the sweep: 50 per-PR, raised to 500 by the nightly CI job
+/// through SMARTH_SOAK_SEEDS.
+std::uint64_t soak_seed_count() {
+  if (const char* env = std::getenv("SMARTH_SOAK_SEEDS")) {
+    const std::uint64_t n = std::strtoull(env, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return 50;
+}
+
+TEST(ChaosSoak, SeedSweepCompletesOrFailsCleanly) {
+  const std::uint64_t seeds = soak_seed_count();
+  std::uint64_t completed = 0;
+  std::uint64_t clean_failures = 0;
   std::uint64_t total_faults = 0;
   std::uint64_t total_lease_expiries = 0;
-  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+  std::uint64_t total_bitrot_flips = 0;
+  std::uint64_t total_scrub_detected = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const SoakResult result = soak_once(seed);
     if (HasFatalFailure()) return;
     total_faults += result.faults;
     total_lease_expiries += result.lease_expiries;
+    total_bitrot_flips += result.bitrot_flips;
+    total_scrub_detected += result.scrub_rot_detected;
     if (result.failed) {
       ++clean_failures;
     } else {
@@ -187,8 +220,12 @@ TEST(ChaosSoak, FiftySeedsCompleteOrFailCleanly) {
   // Writer crashes must actually occur across the soak — otherwise the
   // lease-recovery invariant above was never exercised.
   EXPECT_GT(total_lease_expiries, 0u);
-  EXPECT_GT(completed, 25) << "completed=" << completed
-                           << " clean_failures=" << clean_failures;
+  // At-rest decay must both happen and get caught by the scrubbers, or the
+  // integrity path sat idle for the whole soak.
+  EXPECT_GT(total_bitrot_flips, 0u);
+  EXPECT_GT(total_scrub_detected, 0u);
+  EXPECT_GT(completed, seeds / 2) << "completed=" << completed
+                                  << " clean_failures=" << clean_failures;
 }
 
 TEST(ChaosSoak, IdenticalSeedsProduceIdenticalTimelines) {
@@ -207,6 +244,10 @@ TEST(ChaosSoak, IdenticalSeedsProduceIdenticalTimelines) {
     EXPECT_EQ(a.uc_blocks_recovered, b.uc_blocks_recovered);
     EXPECT_EQ(a.bytes_salvaged, b.bytes_salvaged);
     EXPECT_EQ(a.orphans_abandoned, b.orphans_abandoned);
+    EXPECT_EQ(a.bitrot_flips, b.bitrot_flips);
+    EXPECT_EQ(a.scrub_rot_detected, b.scrub_rot_detected);
+    EXPECT_EQ(a.bad_replica_reports, b.bad_replica_reports);
+    EXPECT_EQ(a.replicas_invalidated, b.replicas_invalidated);
     EXPECT_EQ(a.file_closed, b.file_closed);
     EXPECT_EQ(a.replicas, b.replicas);
   }

@@ -8,6 +8,8 @@
 //   smarthsim --cluster=small --slow-nodes=2 --slow-mbps=50 --crash=3@30
 //   smarthsim --cluster=small --crash=3@10 --rejoin=3@25 --fail-slow=1@5-20@8
 //   smarthsim --chaos-rates=crash=2,failslow=4,rpcloss=0.05 --chaos-seed=7
+//   smarthsim --bitrot=0@40,1@45 --scan-mbps=16 --read-back
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -49,11 +51,16 @@ cluster::ClusterSpec spec_from_flags(const FlagSet& flags) {
   if (const auto repl = flags.get_int("replication")) {
     spec.hdfs.replication = static_cast<int>(*repl);
   }
+  if (const auto scan = flags.get_double("scan-mbps"); scan && *scan > 0) {
+    spec.hdfs.scanner_bytes_per_second =
+        static_cast<Bytes>(*scan * static_cast<double>(kMiB));
+  }
   return spec;
 }
 
 struct RunOutcome {
   hdfs::StreamStats stats;
+  std::optional<hdfs::ReadStats> read;
   metrics::Timeline concurrency{"pipeline concurrency"};
   metrics::FaultSummary summary;
   std::uint64_t events = 0;
@@ -86,9 +93,9 @@ std::vector<std::pair<std::string, std::string>> parse_kv_list(
 }
 
 /// Parses --chaos-rates: crash=<per-min>,failslow=<per-min>,flap=<per-min>,
-/// clientcrash=<per-min>,rpcloss=<prob>,rpcdelay-ms=<ms>,rpcjitter-ms=<ms>,
-/// rejoin-s=<s>,slowdur-s=<s>,slowfactor=<x>,flapdur-s=<s>,
-/// clientrejoin-s=<s>.
+/// clientcrash=<per-min>,bitrot=<per-replica-hour>,rpcloss=<prob>,
+/// rpcdelay-ms=<ms>,rpcjitter-ms=<ms>,rejoin-s=<s>,slowdur-s=<s>,
+/// slowfactor=<x>,flapdur-s=<s>,clientrejoin-s=<s>.
 faults::ChaosRates parse_chaos_rates(const std::string& text) {
   faults::ChaosRates rates;
   for (const auto& [key, value] : parse_kv_list(text)) {
@@ -103,6 +110,7 @@ faults::ChaosRates parse_chaos_rates(const std::string& text) {
     else if (key == "failslow") rates.fail_slow_per_minute = v;
     else if (key == "flap") rates.flap_per_minute = v;
     else if (key == "clientcrash") rates.client_crash_per_minute = v;
+    else if (key == "bitrot") rates.bitrot_per_replica_hour = v;
     else if (key == "clientrejoin-s") rates.client_rejoin_delay = seconds_f(v);
     else if (key == "rpcloss") rates.rpc_loss = v;
     else if (key == "rpcdelay-ms") rates.rpc_delay_mean = milliseconds_f(v);
@@ -196,8 +204,27 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
                 seconds_f(std::stod(flap.substr(at + 1, dash - at - 1))),
                 seconds_f(std::stod(flap.substr(dash + 1))));
     }
+    if (flags.has("bitrot")) {
+      // --bitrot=<datanode>@<seconds>[,...]: one finalized chunk at rest
+      // flips on that node at that time.
+      const std::string spec = flags.get("bitrot");
+      std::size_t start = 0;
+      while (start < spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string item = spec.substr(start, comma - start);
+        const auto at = item.find('@');
+        if (at == std::string::npos) {
+          fault_flag_error("bitrot",
+                           "expected <datanode>@<seconds>[,...], got " + item);
+        }
+        plan.bitrot(static_cast<std::size_t>(std::stol(item.substr(0, at))),
+                    seconds_f(std::stod(item.substr(at + 1))));
+        start = comma + 1;
+      }
+    }
   } catch (const std::logic_error&) {
-    fault_flag_error("crash/rejoin/fail-slow/flap",
+    fault_flag_error("crash/rejoin/fail-slow/flap/bitrot",
                      "fault spec fields must be numeric");
   }
   std::optional<SimTime> client_crash_at;
@@ -271,8 +298,24 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
       std::exit(1);
     }
   }
+  if (flags.get_bool("read-back") && !outcome.stats.failed) {
+    // Let every scheduled rot land before reading: a --bitrot past the
+    // upload's end would otherwise never fire (the simulation stops when
+    // the last requested operation completes).
+    SimTime last_rot = 0;
+    for (const workload::FaultPlan::Bitrot& b : plan.bitrots) {
+      last_rot = std::max(last_rot, b.at);
+    }
+    if (cluster.sim().now() <= last_rot) {
+      cluster.sim().run_until(last_rot + milliseconds(1));
+    }
+    // Read the file back through the checksum-verifying stream; rotted
+    // replicas fail over and get reported to the namenode.
+    outcome.read = cluster.run_download("/data/cli.bin");
+  }
   outcome.events = cluster.sim().events_executed();
   outcome.summary.fold(outcome.stats);
+  if (outcome.read) outcome.summary.fold_read(*outcome.read);
   outcome.summary.rpc_calls_dropped = cluster.rpc().calls_dropped();
   outcome.summary.rpc_messages_lost = cluster.rpc().messages_lost();
   outcome.summary.rpc_messages_delayed = cluster.rpc().messages_delayed();
@@ -286,6 +329,17 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
       cluster.namenode().uc_blocks_recovered();
   outcome.summary.bytes_salvaged = cluster.namenode().bytes_salvaged();
   outcome.summary.orphans_abandoned = cluster.namenode().orphans_abandoned();
+  // The namenode count supersedes the per-read fold: it also sees reports
+  // from block scanners and re-replication source verification.
+  outcome.summary.bad_replica_reports =
+      static_cast<int>(cluster.namenode().bad_replica_reports());
+  outcome.summary.bitrot_flips = injector.counts().bitrot_flips;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    const hdfs::Datanode& dn = cluster.datanode(i);
+    outcome.summary.replicas_invalidated += dn.replicas_invalidated();
+    outcome.summary.scrub_rot_detected += dn.scanner().rot_detected();
+    outcome.summary.scrub_bytes_scanned += dn.scanner().bytes_scanned();
+  }
   if (sampler) sampler->stop();
   Logger::instance().set_level(LogLevel::kWarn);
   Logger::instance().set_time_source(nullptr);
@@ -312,12 +366,19 @@ int main(int argc, char** argv) {
   flags.declare("client-crash",
                 "writer crash at <seconds>; lease recovery closes the file",
                 "");
+  flags.declare("bitrot",
+                "at-rest chunk rot: <datanode>@<seconds>[,...]", "");
+  flags.declare("scan-mbps",
+                "block-scanner scrub budget in MiB/s (0 = scanner off)", "0");
   flags.declare("chaos-rates",
-                "seeded chaos, e.g. crash=2,clientcrash=1,rpcloss=0.05", "");
+                "seeded chaos, e.g. crash=2,bitrot=0.5,rpcloss=0.05", "");
   flags.declare("chaos-seed", "seed for the chaos engine's RNG", "1");
   flags.declare("block-mb", "HDFS block size in MiB", "64");
   flags.declare("replication", "replication factor", "3");
   flags.declare("seed", "simulation seed", "42");
+  flags.declare_bool("read-back",
+                     "read the file back after the upload, verifying "
+                     "checksums and failing over rotted replicas");
   flags.declare_bool("timeline", "print a pipeline-concurrency timeline");
   flags.declare_bool("fault-summary", "print robustness counters per run");
   flags.declare_bool("verbose", "protocol-level logging");
@@ -350,7 +411,7 @@ int main(int argc, char** argv) {
   // reporting (clean failure, not a hang); without faults it is an error.
   const bool faults_active = flags.has("chaos-rates") || flags.has("crash") ||
                              flags.has("fail-slow") || flags.has("flap") ||
-                             flags.has("client-crash");
+                             flags.has("client-crash") || flags.has("bitrot");
   const bool want_summary = flags.get_bool("fault-summary") || faults_active;
 
   TextTable table({"protocol", "seconds", "throughput (Mbps)", "blocks",
@@ -362,6 +423,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s upload failed: %s\n",
                    cluster::protocol_name(protocol),
                    outcome.stats.failure_reason.c_str());
+      if (!faults_active) return 1;
+    }
+    if (outcome.read && outcome.read->failed) {
+      std::fprintf(stderr, "%s read-back failed: %s\n",
+                   cluster::protocol_name(protocol),
+                   outcome.read->failure_reason.c_str());
       if (!faults_active) return 1;
     }
     seconds_by_protocol.push_back(to_seconds(outcome.stats.elapsed()));
