@@ -4,6 +4,23 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace {
+
+/// One instant on the shared "faults" track; every injection execution point
+/// funnels through here so traces show the fault timeline next to the
+/// pipelines it perturbs.
+void trace_fault(const char* name, smarth::trace::Args args) {
+  if (smarth::trace::active()) {
+    smarth::trace::recorder()->instant(smarth::trace::Category::kFault,
+                                       "faults", name, std::move(args));
+  }
+}
+
+std::string idx_str(std::size_t index) { return std::to_string(index); }
+
+}  // namespace
 
 namespace smarth::faults {
 
@@ -18,7 +35,8 @@ void FaultInjector::crash(std::size_t datanode_index, SimTime at) {
   hdfs::Datanode* dn = &cluster_.datanode(datanode_index);
   cluster_.sim().schedule_at(at, [this, dn, datanode_index] {
     if (dn->crashed()) return;
-    SMARTH_INFO("faults") << "crash: datanode " << datanode_index;
+    SMARTH_KV(LogLevel::kInfo, "faults", "crash").kv("dn", datanode_index);
+    trace_fault("crash", {{"dn", idx_str(datanode_index)}});
     dn->crash();
     ++counts_.crashes;
   });
@@ -31,7 +49,8 @@ void FaultInjector::crash_and_rejoin(std::size_t datanode_index, SimTime at,
   hdfs::Datanode* dn = &cluster_.datanode(datanode_index);
   cluster_.sim().schedule_at(rejoin_at, [this, dn, datanode_index] {
     if (!dn->crashed()) return;
-    SMARTH_INFO("faults") << "rejoin: datanode " << datanode_index;
+    SMARTH_KV(LogLevel::kInfo, "faults", "rejoin").kv("dn", datanode_index);
+    trace_fault("rejoin", {{"dn", idx_str(datanode_index)}});
     dn->restart();
     ++counts_.restarts;
   });
@@ -59,17 +78,24 @@ void FaultInjector::fail_slow(std::size_t datanode_index, SimTime from,
                                   nic_before.bits_per_second() / nic_factor));
     }
     ++counts_.fail_slows;
-    SMARTH_INFO("faults") << "fail-slow: datanode " << datanode_index
-                          << " (disk /" << disk_factor << ", nic /"
-                          << nic_factor << ") until " << until;
+    SMARTH_KV(LogLevel::kInfo, "faults", "fail-slow")
+        .kv("dn", datanode_index)
+        .kv("disk_factor", disk_factor)
+        .kv("nic_factor", nic_factor)
+        .kv("until", format_duration(until));
+    trace_fault("fail-slow start", {{"dn", idx_str(datanode_index)},
+                                    {"disk_factor", std::to_string(disk_factor)},
+                                    {"nic_factor", std::to_string(nic_factor)}});
     cluster_.sim().schedule_at(until,
                                [dn, net, node, disk_before, nic_before,
                                 datanode_index] {
                                  dn->disk().set_write_bandwidth(disk_before);
                                  net->set_node_nic(node, nic_before);
-                                 SMARTH_INFO("faults")
-                                     << "fail-slow over: datanode "
-                                     << datanode_index;
+                                 SMARTH_KV(LogLevel::kInfo, "faults",
+                                           "fail-slow-over")
+                                     .kv("dn", datanode_index);
+                                 trace_fault("fail-slow end",
+                                             {{"dn", idx_str(datanode_index)}});
                                });
   });
   mark_busy(datanode_index, until);
@@ -81,12 +107,14 @@ void FaultInjector::flap_node(std::size_t datanode_index, SimTime down_at,
   const NodeId node = cluster_.datanode_id(datanode_index);
   net::Network* net = &cluster_.network();
   cluster_.sim().schedule_at(down_at, [this, net, node, datanode_index] {
-    SMARTH_INFO("faults") << "flap down: datanode " << datanode_index;
+    SMARTH_KV(LogLevel::kInfo, "faults", "flap-down").kv("dn", datanode_index);
+    trace_fault("flap down", {{"dn", idx_str(datanode_index)}});
     net->set_node_isolated(node, true);
     ++counts_.flaps;
   });
   cluster_.sim().schedule_at(up_at, [net, node, datanode_index] {
-    SMARTH_INFO("faults") << "flap up: datanode " << datanode_index;
+    SMARTH_KV(LogLevel::kInfo, "faults", "flap-up").kv("dn", datanode_index);
+    trace_fault("flap up", {{"dn", idx_str(datanode_index)}});
     net->set_node_isolated(node, false);
   });
   mark_busy(datanode_index, up_at);
@@ -99,13 +127,18 @@ void FaultInjector::partition_racks(const std::string& rack_a,
                    "partition window must have positive length");
   net::Network* net = &cluster_.network();
   cluster_.sim().schedule_at(sever_at, [this, net, rack_a, rack_b] {
-    SMARTH_INFO("faults") << "partition: " << rack_a << " <-/-> " << rack_b;
+    SMARTH_KV(LogLevel::kInfo, "faults", "partition")
+        .kv("rack_a", rack_a)
+        .kv("rack_b", rack_b);
+    trace_fault("partition", {{"rack_a", rack_a}, {"rack_b", rack_b}});
     net->set_rack_partition(rack_a, rack_b, true);
     ++counts_.partitions;
   });
   cluster_.sim().schedule_at(heal_at, [net, rack_a, rack_b] {
-    SMARTH_INFO("faults") << "partition healed: " << rack_a << " <-> "
-                          << rack_b;
+    SMARTH_KV(LogLevel::kInfo, "faults", "partition-healed")
+        .kv("rack_a", rack_a)
+        .kv("rack_b", rack_b);
+    trace_fault("partition healed", {{"rack_a", rack_a}, {"rack_b", rack_b}});
     net->set_rack_partition(rack_a, rack_b, false);
   });
 }
@@ -130,7 +163,8 @@ void FaultInjector::bitrot(std::size_t datanode_index, SimTime at) {
   const std::uint64_t salt = one_shot_salt(datanode_index, at);
   cluster_.sim().schedule_at(at, [this, dn, datanode_index, salt] {
     if (dn->rot_random_finalized_chunk(salt)) {
-      SMARTH_INFO("faults") << "bitrot: datanode " << datanode_index;
+      SMARTH_KV(LogLevel::kInfo, "faults", "bitrot").kv("dn", datanode_index);
+      trace_fault("bitrot", {{"dn", idx_str(datanode_index)}});
       ++counts_.bitrot_flips;
     }
   });
@@ -139,7 +173,9 @@ void FaultInjector::bitrot(std::size_t datanode_index, SimTime at) {
 void FaultInjector::crash_client(std::size_t client_index, SimTime at) {
   cluster_.sim().schedule_at(at, [this, client_index] {
     if (cluster_.client_crashed(client_index)) return;
-    SMARTH_INFO("faults") << "client crash: client " << client_index;
+    SMARTH_KV(LogLevel::kInfo, "faults", "client-crash")
+        .kv("client", client_index);
+    trace_fault("client crash", {{"client", idx_str(client_index)}});
     cluster_.crash_client(client_index);
     ++counts_.client_crashes;
   });
@@ -151,7 +187,9 @@ void FaultInjector::crash_and_rejoin_client(std::size_t client_index,
   crash_client(client_index, at);
   cluster_.sim().schedule_at(rejoin_at, [this, client_index] {
     if (!cluster_.client_crashed(client_index)) return;
-    SMARTH_INFO("faults") << "client rejoin: client " << client_index;
+    SMARTH_KV(LogLevel::kInfo, "faults", "client-rejoin")
+        .kv("client", client_index);
+    trace_fault("client rejoin", {{"client", idx_str(client_index)}});
     cluster_.restart_client(client_index);
     ++counts_.client_restarts;
   });
@@ -271,7 +309,8 @@ void FaultInjector::chaos_tick() {
       if (bitrot_rng_.uniform() >= p) continue;
       if (cluster_.datanode(i).rot_random_finalized_chunk(
               bitrot_rng_.next())) {
-        SMARTH_INFO("faults") << "chaos bitrot: datanode " << i;
+        SMARTH_KV(LogLevel::kInfo, "faults", "chaos-bitrot").kv("dn", i);
+        trace_fault("bitrot", {{"dn", idx_str(i)}});
         ++counts_.bitrot_flips;
       }
     }

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace smarth::hdfs {
 
@@ -74,7 +76,16 @@ void BlockScanner::scan_next() {
   if (!next_target(target)) {
     // Pass complete: wrap, forget this pass's reports (a replica that
     // survived invalidation gets re-reported next pass), resume next tick.
-    if (cursor_.block != 0 || cursor_.chunk != 0) ++scan_passes_;
+    if (cursor_.block != 0 || cursor_.chunk != 0) {
+      ++scan_passes_;
+      metrics::global_registry().counter("scanner.passes").add();
+      if (trace::active()) {
+        trace::recorder()->instant(
+            trace::Category::kScanner, "scanner", "scan pass complete",
+            {{"bytes_scanned", std::to_string(bytes_scanned_)},
+             {"chunks_scanned", std::to_string(chunks_scanned_)}});
+      }
+    }
     cursor_ = Cursor{};
     reported_.clear();
     return;
@@ -96,6 +107,13 @@ void BlockScanner::scan_next() {
     ++chunks_scanned_;
     if (!store_.chunk_ok(block, target.chunk)) {
       ++rot_detected_;
+      metrics::global_registry().counter("scanner.rot_detected").add();
+      if (trace::active()) {
+        trace::recorder()->instant(
+            trace::Category::kScanner, "scanner", "rot detected",
+            {{"block", block.to_string()},
+             {"chunk", std::to_string(target.chunk)}});
+      }
       SMARTH_WARN("scanner") << "scrub found rot in " << block.to_string()
                              << " chunk " << target.chunk;
       if (reported_.insert(target.block).second && report_bad_replica_) {

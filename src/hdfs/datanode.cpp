@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace smarth::hdfs {
 
@@ -35,6 +36,8 @@ Datanode::Datanode(sim::Simulation& sim, Transport& transport,
           namenode_.report_bad_replica(block, self_);
         });
       });
+  ack_latency_hist_ = &metrics::global_registry().histogram(
+      "datanode." + self_.to_string() + ".ack_ns");
 }
 
 Datanode::~Datanode() = default;
@@ -71,6 +74,10 @@ void Datanode::start() {
 
 void Datanode::crash() {
   crashed_ = true;
+  if (trace::active()) {
+    trace::recorder()->instant(trace::Category::kFault,
+                               "dn " + self_.to_string(), "crash", {});
+  }
   if (heartbeat_) heartbeat_->stop();
   scanner_->stop();
   rpc_.set_host_down(self_, true);
@@ -85,6 +92,10 @@ void Datanode::crash() {
 void Datanode::restart() {
   if (!crashed_) return;
   crashed_ = false;
+  if (trace::active()) {
+    trace::recorder()->instant(trace::Category::kFault,
+                               "dn " + self_.to_string(), "restart", {});
+  }
   // Replicas that were mid-write when the node died are untrusted and
   // discarded; finalized replicas survive the reboot.
   for (const auto& replica : store_.all_replicas()) {
@@ -258,17 +269,20 @@ void Datanode::deliver_packet(const WirePacket& packet) {
   if (crashed_) return;
   if (pipelines_.find(packet.pipeline) == pipelines_.end()) return;
   ++packets_received_;
+  const SimTime arrived_at = sim_.now();
   // Checksum verification occupies the node before the packet is mirrored or
   // queued for the disk.
   if (config_.checksum_verify_time > 0) {
-    sim_.schedule_after(config_.checksum_verify_time,
-                        [this, packet] { process_packet(packet); });
+    sim_.schedule_after(config_.checksum_verify_time, [this, packet,
+                                                       arrived_at] {
+      process_packet(packet, arrived_at);
+    });
   } else {
-    process_packet(packet);
+    process_packet(packet, arrived_at);
   }
 }
 
-void Datanode::process_packet(const WirePacket& packet) {
+void Datanode::process_packet(const WirePacket& packet, SimTime arrived_at) {
   if (crashed_) return;
   auto it = pipelines_.find(packet.pipeline);
   if (it == pipelines_.end()) return;
@@ -288,6 +302,7 @@ void Datanode::process_packet(const WirePacket& packet) {
   if (packet.last_in_block) ctx.last_seq = packet.seq;
   PacketState& st = ctx.packets[packet.seq];
   st.payload = packet.payload;
+  st.arrived_at = arrived_at;
   staging_for(ctx.setup.client).reserve_forced(packet.payload);
   ctx.staging_held += packet.payload;
 
@@ -360,6 +375,17 @@ void Datanode::maybe_ack_upstream(PipelineCtx& ctx, std::int64_t seq) {
   if (!ctx.is_last && !st.downstream_acked) return;
   st.ack_sent = true;
   ++ctx.acked_count;
+  // Per-hop latency: arrival -> upstream ACK. For the tail node this is its
+  // own verify+write time; for interior nodes it folds in the downstream
+  // wait, which the straggler report subtracts back out.
+  if (st.arrived_at >= 0) {
+    const SimDuration held = sim_.now() - st.arrived_at;
+    ack_latency_hist_->observe(static_cast<double>(held));
+    if (trace::active()) {
+      trace::recorder()->record_hop(ctx.setup.pipeline, self_, ctx.my_index,
+                                    held);
+    }
+  }
   send_ack_upstream(
       ctx, PipelineAck{ctx.setup.pipeline, seq, AckStatus::kSuccess, -1});
 }
@@ -378,6 +404,12 @@ void Datanode::maybe_emit_fnfa(PipelineCtx& ctx) {
   if (ctx.written_count < expected) return;
   ctx.fnfa_emitted = true;
   ++fnfa_sent_;
+  if (trace::active()) {
+    trace::recorder()->instant(
+        trace::Category::kPipeline, "dn " + self_.to_string(), "FNFA sent",
+        {{"block", ctx.setup.block.to_string()},
+         {"pipeline", ctx.setup.pipeline.to_string()}});
+  }
   SMARTH_DEBUG("datanode") << self_.to_string()
                            << " holds all packets of "
                            << ctx.setup.block.to_string()
@@ -393,6 +425,13 @@ void Datanode::maybe_finalize(PipelineId pipeline, PipelineCtx& ctx) {
   ctx.finalized = true;
   const auto len = store_.finalize(ctx.setup.block);
   SMARTH_CHECK(len.ok());
+  if (trace::active()) {
+    trace::recorder()->instant(
+        trace::Category::kBlock, "dn " + self_.to_string(), "finalize",
+        {{"block", ctx.setup.block.to_string()},
+         {"bytes", std::to_string(len.value())},
+         {"pipeline", ctx.setup.pipeline.to_string()}});
+  }
   SMARTH_DEBUG("datanode") << self_.to_string() << " finalized "
                            << ctx.setup.block.to_string() << " ("
                            << format_bytes(len.value()) << ")";
@@ -433,6 +472,14 @@ void Datanode::serve_read_packet(ReadRequest request, std::int64_t seq,
     const Bytes packet_offset = request.offset + (request.length - remaining);
     if (!store_.verify_range(request.block, packet_offset, payload)) {
       ++read_verify_failures_;
+      metrics::global_registry().counter("datanode.read_verify_failures").add();
+      if (trace::active()) {
+        trace::recorder()->instant(
+            trace::Category::kRead, "dn " + self_.to_string(),
+            "read checksum mismatch",
+            {{"block", request.block.to_string()},
+             {"offset", std::to_string(packet_offset)}});
+      }
       SMARTH_WARN("datanode") << self_.to_string()
                               << " read verification failed on "
                               << request.block.to_string() << " at offset "

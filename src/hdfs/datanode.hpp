@@ -27,6 +27,7 @@
 #include "storage/block_store.hpp"
 #include "storage/disk.hpp"
 #include "storage/staging_buffer.hpp"
+#include "trace/metrics_registry.hpp"
 
 namespace smarth::hdfs {
 
@@ -151,6 +152,7 @@ class Datanode : public PacketSink {
  private:
   struct PacketState {
     Bytes payload = 0;
+    SimTime arrived_at = -1;  ///< when the packet reached this node's NIC
     bool written = false;
     bool downstream_acked = false;
     bool ack_sent = false;
@@ -185,7 +187,7 @@ class Datanode : public PacketSink {
   void report_uc_sync(BlockId block, Bytes length,
                       std::vector<NodeId> holders);
 
-  void process_packet(const WirePacket& packet);
+  void process_packet(const WirePacket& packet, SimTime arrived_at);
   void on_packet_written(PipelineId pipeline, const WirePacket& packet);
   void maybe_ack_upstream(PipelineCtx& ctx, std::int64_t seq);
   void send_ack_upstream(PipelineCtx& ctx, PipelineAck ack);
@@ -224,6 +226,10 @@ class Datanode : public PacketSink {
   Bytes read_bytes_served_ = 0;
   std::uint64_t replicas_invalidated_ = 0;
   std::uint64_t read_verify_failures_ = 0;
+  /// Cached registry handle for this node's arrival->ACK latency (stays
+  /// valid for the node's lifetime; smarthsim resets the registry only
+  /// before constructing a fresh cluster).
+  metrics::LatencyHistogram* ack_latency_hist_ = nullptr;
 };
 
 }  // namespace smarth::hdfs

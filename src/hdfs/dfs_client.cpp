@@ -65,7 +65,7 @@ void DfsClient::create_file_attempt(const std::string& path,
                            "create(" + path +
                                ") gave up after repeated timeouts"});
       },
-      retry_stats_);
+      retry_stats_, "create");
 }
 
 void DfsClient::start_heartbeat(

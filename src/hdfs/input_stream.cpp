@@ -2,6 +2,8 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace smarth::hdfs {
 
@@ -20,6 +22,11 @@ DfsInputStream::~DfsInputStream() {
 
 void DfsInputStream::start() {
   stats_.started_at = deps_.sim.now();
+  if (trace::active()) {
+    read_span_ = trace::recorder()->begin_span(
+        trace::Category::kRead, "read", "read " + path_,
+        {{"client", std::to_string(client_.value())}, {"path", path_}});
+  }
   fetch_locations();
 }
 
@@ -104,6 +111,15 @@ void DfsInputStream::request_from_replica() {
   request.offset = block_bytes_received_;  // resume after a failover
   request.length = block_sizes_[current_block_] - block_bytes_received_;
   request.reader_node = client_node_;
+  if (trace::active()) {
+    block_span_ = trace::recorder()->begin_span(
+        trace::Category::kRead, "read",
+        "block " + std::to_string(current_block_) + " from " +
+            current_replica_.to_string(),
+        {{"block", block.block.to_string()},
+         {"replica", current_replica_.to_string()},
+         {"offset", std::to_string(block_bytes_received_)}});
+  }
   deps_.transport.send_read_request(client_node_, current_replica_, request);
   arm_watchdog();
 }
@@ -136,12 +152,22 @@ void DfsInputStream::deliver_read_packet(const ReadPacket& packet) {
 
 void DfsInputStream::on_block_done() {
   watchdog_.cancel();
+  if (trace::active()) {
+    trace::recorder()->end_span(block_span_, {{"outcome", "ok"}});
+  }
   start_block(current_block_ + 1);
 }
 
 void DfsInputStream::on_replica_corrupt() {
   if (finished_) return;
   ++stats_.checksum_mismatches;
+  metrics::global_registry().counter("read.checksum_mismatches").add();
+  if (trace::active()) {
+    trace::recorder()->instant(
+        trace::Category::kRead, "read", "replica corrupt",
+        {{"block", blocks_[current_block_].block.to_string()},
+         {"replica", current_replica_.to_string()}});
+  }
   checksum_failed_replicas_.insert(current_replica_.value());
   // Tell the namenode so it quarantines + invalidates the replica and queues
   // the block for re-replication from a good copy (HDFS reportBadBlocks).
@@ -160,6 +186,11 @@ void DfsInputStream::on_replica_failed(const std::string& reason) {
   SMARTH_WARN("read") << path_ << " block " << current_block_ << ": "
                       << reason << "; failing over";
   ++stats_.failovers;
+  metrics::global_registry().counter("read.failovers").add();
+  if (trace::active()) {
+    trace::recorder()->end_span(block_span_,
+                                {{"outcome", "failover"}, {"reason", reason}});
+  }
   failed_replicas_.insert(current_replica_.value());
   request_from_replica();
 }
@@ -180,6 +211,15 @@ void DfsInputStream::finish(bool failed, const std::string& reason) {
   stats_.finished_at = deps_.sim.now();
   stats_.failed = failed;
   stats_.failure_reason = reason;
+  if (trace::active()) {
+    if (failed) {
+      trace::recorder()->end_span(block_span_, {{"outcome", "failed"}});
+    }
+    trace::recorder()->end_span(
+        read_span_, {{"failed", failed ? "true" : "false"},
+                     {"reason", reason},
+                     {"bytes", std::to_string(stats_.bytes_read)}});
+  }
   if (failed) {
     SMARTH_ERROR("read") << path_ << " failed: " << reason;
   }

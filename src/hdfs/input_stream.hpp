@@ -20,6 +20,7 @@
 #include "hdfs/types.hpp"
 #include "rpc/rpc_bus.hpp"
 #include "sim/simulation.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace smarth::hdfs {
 
@@ -110,6 +111,12 @@ class DfsInputStream : public ReadSink {
   ReadStats stats_;
   bool finished_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  /// Open span covering the whole read (locate -> last block done).
+  trace::SpanHandle read_span_;
+  /// Open span for the block currently streaming; reopened on failover so a
+  /// trace shows one span per replica attempt.
+  trace::SpanHandle block_span_;
 };
 
 }  // namespace smarth::hdfs

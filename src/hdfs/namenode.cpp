@@ -4,6 +4,21 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace {
+
+/// Instant on the shared "namenode" track; guarded so the disabled path costs
+/// one branch.
+void trace_nn(smarth::trace::Category cat, const char* name,
+              smarth::trace::Args args) {
+  if (smarth::trace::active()) {
+    smarth::trace::recorder()->instant(cat, "namenode", name, std::move(args));
+  }
+}
+
+}  // namespace
 
 namespace smarth::hdfs {
 
@@ -208,6 +223,17 @@ Result<LocatedBlock> Namenode::add_block(
   record.expected_targets = targets;
   blocks_.emplace(block, std::move(record));
   entry.blocks.push_back(block);
+  if (trace::active()) {
+    std::string joined;
+    for (NodeId t : targets) {
+      if (!joined.empty()) joined += "+";
+      joined += t.to_string();
+    }
+    trace_nn(trace::Category::kBlock, "addBlock",
+             {{"block", block.to_string()},
+              {"file", entry.path},
+              {"targets", joined}});
+  }
   return LocatedBlock{block, std::move(targets)};
 }
 
@@ -285,6 +311,7 @@ Result<bool> Namenode::complete(FileId file, ClientId client) {
   }
   entry.state = FileState::kClosed;
   leases_.release(client, file);
+  trace_nn(trace::Category::kRun, "complete", {{"file", entry.path}});
   SMARTH_DEBUG("namenode") << "completed " << entry.path;
   return true;
 }
@@ -354,6 +381,9 @@ void Namenode::block_received(NodeId dn, BlockId block, Bytes length) {
 
 void Namenode::report_bad_replica(BlockId block, NodeId node) {
   ++bad_replica_reports_;
+  metrics::global_registry().counter("namenode.bad_replica_reports").add();
+  trace_nn(trace::Category::kScanner, "report bad replica",
+           {{"block", block.to_string()}, {"node", node.to_string()}});
   auto it = blocks_.find(block);
   if (it == blocks_.end()) return;  // stale report on a deleted block
   BlockRecord& record = it->second;
@@ -423,6 +453,8 @@ void Namenode::lease_scan() {
     SMARTH_WARN("namenode")
         << "lease of " << holder.to_string() << " on " << it->second.path
         << " passed the hard limit; recovering";
+    trace_nn(trace::Category::kLease, "lease hard-expired",
+             {{"holder", holder.to_string()}, {"file", it->second.path}});
     start_lease_recovery(file);
   }
   // Drive in-flight recoveries: re-elect primaries whose round deadline
@@ -450,6 +482,9 @@ Status Namenode::start_lease_recovery(FileId file) {
   if (entry.recovering) return Status::ok_status();  // already in progress
   entry.recovering = true;
   ++lease_expiries_;
+  metrics::global_registry().counter("namenode.lease_recoveries").add();
+  trace_nn(trace::Category::kLease, "lease recovery start",
+           {{"file", entry.path}});
   leases_.reassign(file, entry.lease_holder, kRecoveryHolder, sim_.now());
 
   LeaseRecoveryState state;
@@ -577,6 +612,11 @@ void Namenode::commit_block_synchronization(BlockId block, Bytes length,
   rt->second.pending.erase(pt);
   ++uc_blocks_recovered_;
   bytes_salvaged_ += length;
+  metrics::global_registry().counter("namenode.uc_blocks_recovered").add();
+  trace_nn(trace::Category::kRecovery, "commitBlockSynchronization",
+           {{"block", block.to_string()},
+            {"length", std::to_string(length)},
+            {"holders", std::to_string(holders.size())}});
   SMARTH_INFO("namenode") << block.to_string() << " synchronized at "
                           << length << " bytes on " << holders.size()
                           << " replicas";
@@ -710,6 +750,11 @@ void Namenode::scan_for_under_replication() {
 
     rereplication_pending_[id] = sim_.now() + seconds(60);
     ++rereplications_scheduled_;
+    metrics::global_registry().counter("namenode.rereplications").add();
+    trace_nn(trace::Category::kRecovery, "re-replicate",
+             {{"block", id.to_string()},
+              {"source", source.to_string()},
+              {"target", target.to_string()}});
     SMARTH_INFO("namenode") << "re-replicating " << id.to_string() << " from "
                             << source.value() << " to " << target.value();
     replication_executor_(

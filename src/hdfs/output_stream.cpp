@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "hdfs/recovery.hpp"
+#include "trace/metrics_registry.hpp"
 
 namespace smarth::hdfs {
 
@@ -26,8 +27,39 @@ OutputStreamBase::~OutputStreamBase() { *alive_ = false; }
 
 void OutputStreamBase::start() {
   stats_.started_at = deps_.sim.now();
+  if (trace::active()) {
+    upload_span_ = trace::recorder()->begin_span(
+        trace::Category::kRun, "client", "upload",
+        {{"client", client_.to_string()},
+         {"file", file_.to_string()},
+         {"bytes", std::to_string(file_size_)},
+         {"blocks", std::to_string(total_blocks())}});
+  }
   pump_production();
   begin_protocol();
+}
+
+std::string OutputStreamBase::trace_track(std::int64_t block_index) {
+  return "block " + std::to_string(block_index);
+}
+
+void OutputStreamBase::trace_pipeline_ready(ClientPipeline& pipeline) {
+  if (!trace::active()) return;
+  trace::recorder()->end_span(pipeline.span_setup);
+  pipeline.span_stream = trace::recorder()->begin_span(
+      trace::Category::kBlock, trace_track(pipeline.block_index), "stream",
+      {{"block_index", std::to_string(pipeline.block_index)},
+       {"block", pipeline.block.to_string()},
+       {"pipeline", pipeline.id.to_string()}});
+}
+
+void OutputStreamBase::trace_pipeline_closed(ClientPipeline& pipeline,
+                                             const char* outcome) {
+  if (!trace::active()) return;
+  trace::Args extra = {{"outcome", outcome}};
+  trace::recorder()->end_span(pipeline.span_setup, extra);
+  trace::recorder()->end_span(pipeline.span_stream, extra);
+  trace::recorder()->end_span(pipeline.span_tail, extra);
 }
 
 std::int64_t OutputStreamBase::total_blocks() const {
@@ -113,13 +145,36 @@ bool OutputStreamBase::recovery_budget_exhausted(BlockId block) {
 
 void OutputStreamBase::note_recovery_start(PipelineId pipeline) {
   recovery_started_[pipeline] = deps_.sim.now();
+  if (trace::active()) {
+    const ClientPipeline* p = find_pipeline(pipeline);
+    const std::string track =
+        p != nullptr ? trace_track(p->block_index) : std::string("client");
+    trace::Args args = {{"pipeline", pipeline.to_string()}};
+    if (p != nullptr) {
+      args.emplace_back("block_index", std::to_string(p->block_index));
+      args.emplace_back("block", p->block.to_string());
+    }
+    recovery_spans_[pipeline] = trace::recorder()->begin_span(
+        trace::Category::kRecovery, track, "recovery", std::move(args));
+  }
 }
 
 void OutputStreamBase::note_recovery_end(PipelineId pipeline) {
   auto it = recovery_started_.find(pipeline);
   if (it == recovery_started_.end()) return;
-  stats_.recovery_time_total += deps_.sim.now() - it->second;
+  const SimDuration took = deps_.sim.now() - it->second;
+  stats_.recovery_time_total += took;
   recovery_started_.erase(it);
+  metrics::global_registry()
+      .histogram("stream.recovery_ns")
+      .observe(static_cast<double>(took));
+  if (trace::active()) {
+    auto span = recovery_spans_.find(pipeline);
+    if (span != recovery_spans_.end()) {
+      trace::recorder()->end_span(span->second);
+      recovery_spans_.erase(span);
+    }
+  }
 }
 
 void OutputStreamBase::request_block(
@@ -131,6 +186,13 @@ void OutputStreamBase::request_block(
   auto shared_cb =
       std::make_shared<std::function<void(Result<LocatedBlock>)>>(
           std::move(cb));
+  trace::SpanHandle alloc_span;
+  if (trace::active()) {
+    alloc_span = trace::recorder()->begin_span(
+        trace::Category::kBlock, trace_track(block_index), "allocate",
+        {{"block_index", std::to_string(block_index)},
+         {"client", client_.to_string()}});
+  }
   rpc::call_with_retry<Result<LocatedBlock>>(
       deps_.rpc, deps_.sim, retry_policy(), client_node_, nn.node_id(),
       [&nn, file = file_, client = client_, node = client_node_,
@@ -139,16 +201,26 @@ void OutputStreamBase::request_block(
         return nn.add_block(file, client, node, excluded, deprioritized,
                             block_index);
       },
-      [alive = alive_, shared_cb](Result<LocatedBlock> result) {
+      [alive = alive_, shared_cb, alloc_span](Result<LocatedBlock> result) mutable {
+        if (trace::active()) {
+          trace::recorder()->end_span(
+              alloc_span,
+              {{"ok", result.ok() ? "true" : "false"},
+               {"block",
+                result.ok() ? result.value().block.to_string() : ""}});
+        }
         if (!*alive) return;  // stream was pruned while the RPC was in flight
         (*shared_cb)(std::move(result));
       },
-      [alive = alive_, shared_cb] {
+      [alive = alive_, shared_cb, alloc_span]() mutable {
+        if (trace::active()) {
+          trace::recorder()->end_span(alloc_span, {{"ok", "timeout"}});
+        }
         if (!*alive) return;
         (*shared_cb)(Error{"rpc_timeout",
                            "addBlock gave up after repeated timeouts"});
       },
-      retry_stats_);
+      retry_stats_, "addBlock");
 }
 
 ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
@@ -183,6 +255,20 @@ ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
   setup.smarth_mode = smarth_mode;
   setup.resume_offset = resume_offset;
   SMARTH_CHECK_MSG(!located.targets.empty(), "pipeline with no targets");
+  if (trace::active()) {
+    std::string targets;
+    for (NodeId t : located.targets) {
+      if (!targets.empty()) targets += "+";
+      targets += t.to_string();
+    }
+    it->second.span_setup = trace::recorder()->begin_span(
+        trace::Category::kBlock, trace_track(block_index), "setup",
+        {{"block_index", std::to_string(block_index)},
+         {"block", located.block.to_string()},
+         {"pipeline", id.to_string()},
+         {"targets", targets},
+         {"resume_offset", std::to_string(resume_offset)}});
+  }
   deps_.transport.send_setup(client_node_, located.targets[0], setup);
   return it->second;
 }
@@ -203,6 +289,20 @@ void OutputStreamBase::send_next_packet(ClientPipeline& pipeline) {
   }
   deps_.transport.send_packet(client_node_, pipeline.targets[0], wire);
   pipeline.ack_queue.push_back(produced);
+  // All of the block's packets are on the wire: the remaining wait is the
+  // pipeline draining its ACKs (the tail-ACK phase of the lifecycle).
+  if (trace::active() && pipeline.span_stream.valid() &&
+      pipeline.pending.empty() &&
+      pipeline.acked_packets +
+              static_cast<std::int64_t>(pipeline.ack_queue.size()) >=
+          pipeline.packets_since_resume()) {
+    trace::recorder()->end_span(pipeline.span_stream);
+    pipeline.span_tail = trace::recorder()->begin_span(
+        trace::Category::kBlock, trace_track(pipeline.block_index), "tail-ack",
+        {{"block_index", std::to_string(pipeline.block_index)},
+         {"block", pipeline.block.to_string()},
+         {"pipeline", pipeline.id.to_string()}});
+  }
   arm_watchdog(pipeline);
 }
 
@@ -233,7 +333,7 @@ void OutputStreamBase::complete_file() {
         if (!*alive || finished_) return;
         finish(true, "complete() timed out after repeated attempts");
       },
-      retry_stats_);
+      retry_stats_, "complete");
 }
 
 void OutputStreamBase::finish(bool failed, const std::string& reason) {
@@ -246,7 +346,20 @@ void OutputStreamBase::finish(bool failed, const std::string& reason) {
   stats_.rpc_give_ups = retry_stats_->give_ups;
   producer_event_.cancel();
   complete_retry_.cancel();
-  for (auto& [id, pipeline] : pipelines_) pipeline.watchdog.cancel();
+  for (auto& [id, pipeline] : pipelines_) {
+    pipeline.watchdog.cancel();
+    trace_pipeline_closed(pipeline, failed ? "aborted" : "complete");
+  }
+  if (trace::active()) {
+    for (auto& [id, span] : recovery_spans_) {
+      trace::recorder()->end_span(span, {{"outcome", "aborted"}});
+    }
+    recovery_spans_.clear();
+    trace::recorder()->end_span(
+        upload_span_, {{"failed", failed ? "true" : "false"},
+                       {"reason", reason},
+                       {"recoveries", std::to_string(stats_.recoveries)}});
+  }
   if (failed) {
     SMARTH_ERROR("stream") << "upload failed: " << reason;
   }
@@ -336,6 +449,7 @@ void DfsOutputStream::deliver_setup_ack(const SetupAck& ack) {
     return;
   }
   pipeline->ready = true;
+  trace_pipeline_ready(*pipeline);
   arm_watchdog(*pipeline);
   pump_stream();
 }
@@ -411,6 +525,9 @@ void DfsOutputStream::deliver_fnfa(const FnfaMessage& fnfa) {
 void DfsOutputStream::on_block_fully_acked() {
   SMARTH_DEBUG("stream") << "block index " << current_block_
                          << " fully acked; stop-and-wait advances";
+  if (ClientPipeline* p = find_pipeline(active_pipeline_)) {
+    trace_pipeline_closed(*p, "complete");
+  }
   pipelines_.erase(active_pipeline_);
   active_pipeline_ = PipelineId{};
   allocate_next_block();
@@ -427,6 +544,7 @@ void DfsOutputStream::on_pipeline_error(ClientPipeline& pipeline,
   }
   recovering_ = true;
   ++stats_.recoveries;
+  trace_pipeline_closed(pipeline, "error");
   note_recovery_start(pipeline.id);
   pipeline.failed = true;
   pipeline.watchdog.cancel();

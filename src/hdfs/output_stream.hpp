@@ -22,6 +22,7 @@
 #include "rpc/retry.hpp"
 #include "rpc/rpc_bus.hpp"
 #include "sim/simulation.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace smarth::hdfs {
 
@@ -109,6 +110,13 @@ struct ClientPipeline {
   SimTime first_packet_sent = -1;
   SimTime fnfa_at = -1;
   sim::EventHandle watchdog;
+
+  // Block-lifecycle spans (inert handles when tracing is disabled):
+  // setup -> stream (first packet dispatched, some un-sent) -> tail-ack
+  // (everything on the wire, waiting for the pipeline to drain).
+  trace::SpanHandle span_setup;
+  trace::SpanHandle span_stream;
+  trace::SpanHandle span_tail;
 
   std::int64_t packets_since_resume() const {
     return num_packets - resume_offset_packets();
@@ -204,9 +212,18 @@ class OutputStreamBase : public AckSink {
   bool recovery_budget_exhausted(BlockId block);
   /// MTTR bookkeeping around a recovery: start stamps the error-detection
   /// time; end accumulates into stats and folds the outcome's degradation
-  /// markers in.
+  /// markers in. Also opens/closes the recovery trace span.
   void note_recovery_start(PipelineId pipeline);
   void note_recovery_end(PipelineId pipeline);
+
+  // --- trace instrumentation (all no-ops when tracing is disabled) ----------
+  /// The per-block track name concurrent pipelines render under.
+  static std::string trace_track(std::int64_t block_index);
+  /// Marks the pipeline setup-acked: closes its setup span, opens stream.
+  void trace_pipeline_ready(ClientPipeline& pipeline);
+  /// Closes whatever lifecycle span the pipeline has open, tagging the
+  /// outcome ("complete" / "error" / "aborted").
+  void trace_pipeline_closed(ClientPipeline& pipeline, const char* outcome);
 
   StreamDeps deps_;
   ClientId client_;
@@ -234,6 +251,10 @@ class OutputStreamBase : public AckSink {
   std::unordered_map<std::int64_t, int> recovery_attempts_;
   /// PipelineId -> when its error was detected (MTTR bookkeeping).
   std::unordered_map<PipelineId, SimTime> recovery_started_;
+  /// PipelineId -> open recovery span (tracing only).
+  std::unordered_map<PipelineId, trace::SpanHandle> recovery_spans_;
+  /// Whole-upload span, opened by start() and closed by finish().
+  trace::SpanHandle upload_span_;
 
  private:
   void produce_loop();

@@ -1,12 +1,21 @@
 #include "hdfs/quarantine.hpp"
 
 #include "common/log.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace smarth::hdfs {
 
 void QuarantineList::quarantine(NodeId node, const std::string& reason) {
   until_[node.value()] = sim_.now() + duration_;
   events_.push_back({node, sim_.now(), reason});
+  metrics::global_registry().counter("quarantine.events").add();
+  if (trace::active()) {
+    trace::recorder()->instant(trace::Category::kRecovery, "client",
+                               "quarantine",
+                               {{"node", node.to_string()},
+                                {"reason", reason}});
+  }
   SMARTH_INFO("quarantine") << "datanode " << node.value() << " quarantined ("
                             << reason << ") until t+"
                             << to_seconds(duration_) << "s";

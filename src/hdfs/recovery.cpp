@@ -230,7 +230,8 @@ void BlockRecovery::request_replacements() {
             << "getAdditionalDatanodes timed out for " << block_.to_string()
             << "; continuing under-replicated";
         finish_success();
-      });
+      },
+      nullptr, "getAdditionalDatanodes");
 }
 
 void BlockRecovery::transfer_prefix(std::size_t replacement_index) {

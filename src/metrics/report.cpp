@@ -1,5 +1,7 @@
 #include "metrics/report.hpp"
 
+#include <algorithm>
+
 namespace smarth::metrics {
 
 std::string render_comparison_table(const std::string& x_label,
@@ -48,6 +50,17 @@ void FaultSummary::fold(const hdfs::StreamStats& stats) {
   rpc_retries += stats.rpc_retries;
   rpc_give_ups += stats.rpc_give_ups;
   recovery_time_total += stats.recovery_time_total;
+}
+
+void FaultSummary::fold_registry(const Registry& registry) {
+  const auto counter = [&registry](const char* name) -> std::uint64_t {
+    const Counter* c = registry.find_counter(name);
+    return c != nullptr ? c->value() : 0;
+  };
+  rpc_retries = std::max(rpc_retries, counter("rpc.retries"));
+  rpc_give_ups = std::max(rpc_give_ups, counter("rpc.give_ups"));
+  quarantine_events = std::max(
+      quarantine_events, static_cast<int>(counter("quarantine.events")));
 }
 
 void FaultSummary::fold_read(const hdfs::ReadStats& stats) {

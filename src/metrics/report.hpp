@@ -11,6 +11,7 @@
 #include "common/units.hpp"
 #include "hdfs/input_stream.hpp"
 #include "hdfs/output_stream.hpp"
+#include "trace/metrics_registry.hpp"
 
 namespace smarth::metrics {
 
@@ -93,6 +94,12 @@ struct FaultSummary {
   void fold(const hdfs::StreamStats& stats);
   /// Accumulates one read's resilience counters.
   void fold_read(const hdfs::ReadStats& stats);
+  /// Overlays registry-sourced counters (rpc.retries, rpc.give_ups,
+  /// quarantine.events) onto the folded per-stream ones. The registry sees
+  /// call sites that never report into StreamStats (e.g. recovery-internal
+  /// RPCs), so the overlay takes the max — the table can only get more
+  /// complete, never lose a count.
+  void fold_registry(const Registry& registry);
   /// Mean time to recover across every folded recovery, in seconds.
   double recovery_mttr_seconds() const {
     return recoveries > 0 ? to_seconds(recovery_time_total) / recoveries

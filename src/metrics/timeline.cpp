@@ -29,6 +29,9 @@ double Timeline::min_value() const {
 }
 
 double Timeline::time_weighted_mean(SimTime horizon) const {
+  // Mean over [first.t, horizon]. A horizon at or before the first sample
+  // leaves a zero-length (or negative) window, over which the mean is
+  // defined as 0 — never a division by zero or a sign flip.
   if (points_.empty() || horizon <= points_.front().t) return 0.0;
   double weighted = 0.0;
   for (std::size_t i = 0; i < points_.size(); ++i) {
@@ -46,6 +49,13 @@ std::string Timeline::render_ascii(int width) const {
   if (points_.empty()) return name_ + ": (empty)\n";
   const SimTime t0 = points_.front().t;
   const SimTime t1 = points_.back().t;
+  if (t1 == t0) {
+    // All samples share one instant: a bar chart would stretch that instant
+    // across the whole width and pretend the level held for a span. Report
+    // the (final) value at its time instead.
+    return name_ + ": " + std::to_string(points_.back().value) + " at " +
+           format_duration(t0) + " (single sample)\n";
+  }
   const double span = std::max<double>(1.0, static_cast<double>(t1 - t0));
 
   // Resample to `width` columns (last value wins per column).

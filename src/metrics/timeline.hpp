@@ -28,10 +28,13 @@ class Timeline {
   double max_value() const;
   double min_value() const;
   /// Time-weighted mean over [first.t, horizon]; each value holds until the
-  /// next point.
+  /// next point. Returns 0 when empty or when `horizon <= first.t` (an
+  /// empty window has no mean).
   double time_weighted_mean(SimTime horizon) const;
 
   /// Fixed-width ASCII strip chart (one row per integer level up to max).
+  /// A timeline whose samples all share one instant renders as a one-line
+  /// "value at time (single sample)" note instead of a chart.
   std::string render_ascii(int width = 72) const;
 
  private:

@@ -18,6 +18,8 @@
 #include "common/units.hpp"
 #include "rpc/rpc_bus.hpp"
 #include "sim/simulation.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace smarth::rpc {
 
@@ -42,14 +44,18 @@ struct RetryStats {
 /// Issues `bus.call<Resp>(client, server, handler, ...)` with retries.
 /// `on_response` receives the first response to arrive; `on_give_up` runs if
 /// all attempts time out. `stats` (optional) must outlive the call chain —
-/// pass a shared_ptr owned by the initiating stream/client.
+/// pass a shared_ptr owned by the initiating stream/client. `label` names
+/// the call in the metrics registry and trace ("rpc.<label>.retries"); every
+/// retry and give-up also lands in the global rpc.retries / rpc.give_ups
+/// counters, which mirror the summed RetryStats of all callers.
 template <typename Resp>
 void call_with_retry(RpcBus& bus, sim::Simulation& sim,
                      const RetryPolicy& policy, NodeId client, NodeId server,
                      std::function<Resp()> handler,
                      std::function<void(Resp)> on_response,
                      std::function<void()> on_give_up,
-                     std::shared_ptr<RetryStats> stats = nullptr) {
+                     std::shared_ptr<RetryStats> stats = nullptr,
+                     const char* label = "call") {
   struct State {
     bool settled = false;
     int attempt = 0;  // attempts issued so far
@@ -64,21 +70,44 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
   std::weak_ptr<std::function<void()>> weak_launch = launch;
   *launch = [&bus, &sim, policy, client, server, handler = std::move(handler),
              on_response = std::move(on_response),
-             on_give_up = std::move(on_give_up), stats, state, weak_launch]() {
+             on_give_up = std::move(on_give_up), stats, state, weak_launch,
+             label]() {
     auto self = weak_launch.lock();  // alive: our caller holds a strong ref
     const int attempt = ++state->attempt;
-    if (attempt > 1 && stats) ++stats->retries;
+    if (attempt > 1) {
+      if (stats) ++stats->retries;
+      metrics::global_registry().counter("rpc.retries").add();
+      metrics::global_registry()
+          .counter(std::string("rpc.") + label + ".retries")
+          .add();
+      if (trace::active()) {
+        trace::recorder()->instant(
+            trace::Category::kRpc, "rpc", std::string("retry ") + label,
+            {{"attempt", std::to_string(attempt)},
+             {"client", client.to_string()},
+             {"server", server.to_string()}});
+      }
+    }
     bus.call<Resp>(client, server, handler, [state, on_response](Resp resp) {
       if (state->settled) return;  // a slow earlier attempt already won
       state->settled = true;
       on_response(std::move(resp));
     });
     sim.schedule_after(policy.timeout, [&sim, policy, attempt, state, self,
-                                        on_give_up, stats]() {
+                                        on_give_up, stats, client, server,
+                                        label]() {
       if (state->settled || state->attempt != attempt) return;
       if (attempt >= policy.max_attempts) {
         state->settled = true;
         if (stats) ++stats->give_ups;
+        metrics::global_registry().counter("rpc.give_ups").add();
+        if (trace::active()) {
+          trace::recorder()->instant(
+              trace::Category::kRpc, "rpc", std::string("give-up ") + label,
+              {{"attempts", std::to_string(attempt)},
+               {"client", client.to_string()},
+               {"server", server.to_string()}});
+        }
         on_give_up();
         return;
       }
@@ -92,6 +121,14 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
             1.0 + policy.jitter * (2.0 * sim.rng().uniform() - 1.0);
         backoff = static_cast<SimDuration>(
             static_cast<double>(backoff) * scale);
+      }
+      if (trace::active()) {
+        trace::recorder()->instant(
+            trace::Category::kRpc, "rpc", std::string("backoff ") + label,
+            {{"next_attempt", std::to_string(attempt + 1)},
+             {"backoff", format_duration(backoff)},
+             {"client", client.to_string()},
+             {"server", server.to_string()}});
       }
       sim.schedule_after(backoff, [self]() { (*self)(); });
     });

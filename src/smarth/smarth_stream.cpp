@@ -133,6 +133,7 @@ void SmarthOutputStream::deliver_setup_ack(const SetupAck& ack) {
     return;
   }
   pipeline->ready = true;
+  trace_pipeline_ready(*pipeline);
   SMARTH_DEBUG("smarth") << "pipeline " << ack.pipeline.to_string()
                          << " ready";
   arm_watchdog(*pipeline);
@@ -146,6 +147,14 @@ void SmarthOutputStream::deliver_fnfa(const hdfs::FnfaMessage& fnfa) {
   pipeline->fnfa = true;
   pipeline->fnfa_at = deps_.sim.now();
   ++fnfa_received_;
+  if (trace::active()) {
+    trace::recorder()->instant(
+        trace::Category::kPipeline,
+        hdfs::OutputStreamBase::trace_track(pipeline->block_index), "FNFA",
+        {{"block", fnfa.block.to_string()},
+         {"pipeline", fnfa.pipeline.to_string()},
+         {"first_node", pipeline->targets[0].to_string()}});
+  }
   // The client's speed record for this first datanode: whole-block bytes over
   // first-packet-sent -> FNFA (network + the node's storage path).
   if (pipeline->first_packet_sent >= 0) {
@@ -198,6 +207,7 @@ void SmarthOutputStream::deliver_ack(const PipelineAck& ack) {
 void SmarthOutputStream::on_pipeline_complete(PipelineId id) {
   ClientPipeline* pipeline = find_pipeline(id);
   SMARTH_CHECK(pipeline != nullptr);
+  trace_pipeline_closed(*pipeline, "complete");
   pipeline->watchdog.cancel();
   if (streaming_ == id) streaming_ = PipelineId{};
   pipelines_.erase(id);
@@ -239,6 +249,7 @@ void SmarthOutputStream::on_pipeline_error(ClientPipeline& pipeline,
                         << " failed (error_index=" << error_index << ")";
   // Algorithm 4 lines 1-3: stop the current block transfer, move the ACK
   // queue back to the (re)send queue, and put the pipeline in the error set.
+  trace_pipeline_closed(pipeline, "error");
   pipeline.failed = true;
   pipeline.watchdog.cancel();
   ++stats_.recoveries;

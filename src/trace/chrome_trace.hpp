@@ -1,0 +1,33 @@
+// Chrome trace_event JSON export (the "JSON Array with metadata" object form
+// understood by Perfetto and chrome://tracing) plus a dependency-free
+// validator used by tests to schema-check exported traces.
+#pragma once
+
+#include <string>
+
+#include "trace/trace_recorder.hpp"
+
+namespace smarth::trace {
+
+/// Serializes the recorder to a Chrome trace JSON document. Timestamps are
+/// converted from simulated nanoseconds to the format's microseconds. Open
+/// spans are closed first (see TraceRecorder::close_open_spans).
+std::string to_chrome_trace_json(TraceRecorder& recorder);
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(const std::string& s);
+
+/// Result of validating a trace document.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;        ///< first problem found (empty when ok)
+  std::size_t event_count = 0;
+};
+
+/// Fully parses `json` (strict RFC-8259 subset: no comments, no trailing
+/// commas) and checks the Chrome trace schema: a top-level object with a
+/// "traceEvents" array whose entries carry name/ph/pid/tid, ts for non-'M'
+/// phases and a non-negative dur for 'X' spans.
+ValidationResult validate_chrome_trace(const std::string& json);
+
+}  // namespace smarth::trace

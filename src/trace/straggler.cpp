@@ -1,0 +1,187 @@
+#include "trace/straggler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace smarth::trace {
+
+namespace {
+
+const std::string* find_arg(const Args& args, const std::string& key) {
+  for (const auto& [k, v] : args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Parses the numeric suffix of an id string like "pipe-3" / "blk-17".
+/// Returns -1 when there is none.
+std::int64_t trailing_number(const std::string& s) {
+  std::size_t end = s.size();
+  std::size_t begin = end;
+  while (begin > 0 && s[begin - 1] >= '0' && s[begin - 1] <= '9') --begin;
+  if (begin == end) return -1;
+  return std::strtoll(s.c_str() + begin, nullptr, 10);
+}
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+struct BlockInfo {
+  std::map<std::string, SimDuration> phase_ns;  // phase name -> total dur
+  std::set<std::int64_t> pipelines;             // pipeline id values
+  std::string block_label;                      // "blk-7" (if tagged)
+};
+
+struct NodeShare {
+  double wait_ns = 0.0;    // packets * own-latency contribution
+  double packets = 0.0;
+  double mean_own_ns = 0.0;  // latest own-latency estimate (for display)
+  int position = 0;
+};
+
+/// Per-node critical-path contribution for one pipeline: a node's own share
+/// of the observed arrival->ACK latency is its mean minus its downstream
+/// neighbour's mean (the tail node keeps everything), weighted by packets.
+void accumulate_pipeline(const std::vector<HopStats>& hops,
+                         std::map<std::int64_t, NodeShare>& by_node) {
+  std::vector<HopStats> sorted = hops;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const HopStats& a, const HopStats& b) {
+              return a.position < b.position;
+            });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double mean = sorted[i].ack_latency_ns.mean();
+    const double next_mean =
+        i + 1 < sorted.size() ? sorted[i + 1].ack_latency_ns.mean() : 0.0;
+    const double own = std::max(0.0, mean - next_mean);
+    NodeShare& share = by_node[sorted[i].node.value()];
+    share.wait_ns += own * static_cast<double>(sorted[i].ack_latency_ns.count());
+    share.packets += static_cast<double>(sorted[i].ack_latency_ns.count());
+    share.mean_own_ns = own;
+    share.position = sorted[i].position;
+  }
+}
+
+}  // namespace
+
+StragglerReport straggler_report(const TraceRecorder& recorder, int pid) {
+  StragglerReport report;
+  const std::string run_name =
+      pid >= 0 && pid < static_cast<int>(recorder.run_names().size())
+          ? recorder.run_names()[static_cast<std::size_t>(pid)]
+          : "run " + std::to_string(pid);
+
+  // Collect block-phase spans.
+  std::map<std::int64_t, BlockInfo> blocks;
+  for (const TraceEvent& ev : recorder.events()) {
+    if (ev.pid != pid || ev.ph != 'X' || ev.cat != Category::kBlock) continue;
+    const std::string* index = find_arg(ev.args, "block_index");
+    if (!index) continue;
+    BlockInfo& info = blocks[trailing_number(*index)];
+    info.phase_ns[ev.name] += std::max<SimDuration>(0, ev.dur);
+    if (const std::string* pipe = find_arg(ev.args, "pipeline")) {
+      const std::int64_t id = trailing_number(*pipe);
+      if (id >= 0) info.pipelines.insert(id);
+    }
+    if (const std::string* blk = find_arg(ev.args, "block")) {
+      info.block_label = *blk;
+    }
+  }
+
+  // Cluster-wide per-node shares across every pipeline of the run.
+  const auto& hops = recorder.hops(pid);
+  std::map<std::int64_t, NodeShare> cluster_shares;
+  for (const auto& [pipeline, hop_list] : hops) {
+    accumulate_pipeline(hop_list, cluster_shares);
+  }
+
+  std::string& out = report.text;
+  out += "Straggler attribution — " + run_name + "\n";
+  if (blocks.empty()) {
+    out += "  (no block spans recorded)\n";
+  }
+
+  static const char* kPhaseOrder[] = {"allocate", "setup", "stream",
+                                      "tail-ack", "recovery"};
+  for (const auto& [index, info] : blocks) {
+    SimDuration total = 0;
+    for (const auto& [phase, ns] : info.phase_ns) total += ns;
+    out += "  block " + std::to_string(index);
+    if (!info.block_label.empty()) out += " (" + info.block_label + ")";
+    out += ": total " + format_duration(total);
+    std::string dominant_phase;
+    SimDuration dominant_ns = -1;
+    for (const char* phase : kPhaseOrder) {
+      auto it = info.phase_ns.find(phase);
+      if (it == info.phase_ns.end()) continue;
+      out += " | " + std::string(phase) + " " +
+             percent(total > 0 ? static_cast<double>(it->second) /
+                                     static_cast<double>(total)
+                               : 0.0);
+      if (it->second > dominant_ns) {
+        dominant_ns = it->second;
+        dominant_phase = phase;
+      }
+    }
+    // Per-block node attribution from this block's pipelines.
+    std::map<std::int64_t, NodeShare> block_shares;
+    for (std::int64_t pipeline : info.pipelines) {
+      auto it = hops.find(pipeline);
+      if (it != hops.end()) accumulate_pipeline(it->second, block_shares);
+    }
+    double block_total = 0.0;
+    std::int64_t best_node = -1;
+    double best_wait = -1.0;
+    for (const auto& [node, share] : block_shares) {
+      block_total += share.wait_ns;
+      if (share.wait_ns > best_wait) {
+        best_wait = share.wait_ns;
+        best_node = node;
+      }
+    }
+    if (best_node >= 0 && block_total > 0.0) {
+      out += " — " + percent(best_wait / block_total) + " waiting on " +
+             NodeId{best_node}.to_string();
+      if (!dominant_phase.empty()) out += " " + dominant_phase;
+    }
+    out += "\n";
+  }
+
+  // Run-level summary.
+  double run_total = 0.0;
+  for (const auto& [node, share] : cluster_shares) run_total += share.wait_ns;
+  if (run_total > 0.0) {
+    out += "  critical path by datanode:";
+    std::vector<std::pair<std::int64_t, NodeShare>> ranked(
+        cluster_shares.begin(), cluster_shares.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.wait_ns > b.second.wait_ns;
+              });
+    for (const auto& [node, share] : ranked) {
+      out += " " + NodeId{node}.to_string() + " " +
+             percent(share.wait_ns / run_total) + " (own " +
+             format_duration(static_cast<SimDuration>(share.mean_own_ns)) +
+             "/pkt)";
+    }
+    out += "\n";
+    report.dominant_node = NodeId{ranked.front().first};
+    report.dominant_share = ranked.front().second.wait_ns / run_total;
+    out += "  dominant straggler: " + report.dominant_node.to_string() +
+           " (" + percent(report.dominant_share) + " of per-hop wait)\n";
+  } else {
+    out += "  (no hop-latency samples recorded)\n";
+  }
+  return report;
+}
+
+}  // namespace smarth::trace

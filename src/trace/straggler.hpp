@@ -1,0 +1,24 @@
+// Straggler attribution: walks the recorded block-lifecycle spans and the
+// per-hop ACK-latency stats of one run and prints, per upload, where each
+// block's wall-clock went (allocate / setup / stream / tail-ack) and which
+// datanode dominates the critical path.
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace smarth::trace {
+
+struct StragglerReport {
+  std::string text;        ///< human-readable multi-line report
+  NodeId dominant_node;    ///< invalid when no hop data was recorded
+  double dominant_share = 0.0;  ///< its fraction of summed hop wait [0,1]
+};
+
+/// Builds the report for run `pid` of the recorder. Safe on partial traces:
+/// blocks without hop data are reported from their phase spans alone.
+StragglerReport straggler_report(const TraceRecorder& recorder, int pid);
+
+}  // namespace smarth::trace

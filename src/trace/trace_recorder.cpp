@@ -1,0 +1,160 @@
+#include "trace/trace_recorder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace smarth::trace {
+
+TraceRecorder* g_recorder = nullptr;
+
+void install(TraceRecorder* r) { g_recorder = r; }
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::kRun: return "run";
+    case Category::kBlock: return "block";
+    case Category::kPipeline: return "pipeline";
+    case Category::kPacket: return "packet";
+    case Category::kRpc: return "rpc";
+    case Category::kFault: return "fault";
+    case Category::kRecovery: return "recovery";
+    case Category::kScanner: return "scanner";
+    case Category::kRead: return "read";
+    case Category::kLease: return "lease";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder() { events_.reserve(1024); }
+
+SimTime TraceRecorder::now() const {
+  if (time_source_) return time_source_();
+  return last_ts_;
+}
+
+int TraceRecorder::begin_run(const std::string& name) {
+  current_pid_ = static_cast<int>(run_names_.size());
+  run_names_.push_back(name);
+  next_tid_.push_back(0);
+  TraceEvent ev;
+  ev.cat = Category::kRun;
+  ev.ph = 'M';
+  ev.ts = 0;
+  ev.pid = current_pid_;
+  ev.tid = 0;
+  ev.name = "process_name";
+  ev.args = {{"name", name}};
+  events_.push_back(std::move(ev));
+  return current_pid_;
+}
+
+std::int64_t TraceRecorder::track(const std::string& name) {
+  SMARTH_CHECK_MSG(current_pid_ >= 0, "begin_run() before recording events");
+  const auto key = std::make_pair(current_pid_, name);
+  auto it = tracks_.find(key);
+  if (it != tracks_.end()) return it->second;
+  const std::int64_t tid = next_tid_[static_cast<std::size_t>(current_pid_)]++;
+  tracks_.emplace(key, tid);
+  TraceEvent ev;
+  ev.cat = Category::kRun;
+  ev.ph = 'M';
+  ev.ts = 0;
+  ev.pid = current_pid_;
+  ev.tid = tid;
+  ev.name = "thread_name";
+  ev.args = {{"name", name}};
+  events_.push_back(std::move(ev));
+  return tid;
+}
+
+SpanHandle TraceRecorder::begin_span(Category cat, const std::string& track_name,
+                                     std::string name, Args args) {
+  const std::int64_t tid = track(track_name);
+  const SimTime ts = now();
+  last_ts_ = std::max(last_ts_, ts);
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts = ts;
+  ev.dur = -1;  // open; patched by end_span / close_open_spans
+  ev.pid = current_pid_;
+  ev.tid = tid;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  SpanHandle handle;
+  handle.index_ = spans_.size();
+  handle.pid_ = current_pid_;
+  spans_.push_back(OpenSpan{events_.size(), true});
+  events_.push_back(std::move(ev));
+  ++open_spans_;
+  return handle;
+}
+
+void TraceRecorder::end_span(SpanHandle& handle, Args extra) {
+  if (!handle.valid()) return;
+  OpenSpan& span = spans_[handle.index_];
+  handle.index_ = static_cast<std::size_t>(-1);
+  if (!span.open) return;
+  span.open = false;
+  --open_spans_;
+  TraceEvent& ev = events_[span.event_index];
+  const SimTime ts = now();
+  last_ts_ = std::max(last_ts_, ts);
+  ev.dur = std::max<SimDuration>(0, ts - ev.ts);
+  for (auto& kv : extra) ev.args.push_back(std::move(kv));
+}
+
+void TraceRecorder::instant(Category cat, const std::string& track_name,
+                            std::string name, Args args) {
+  const std::int64_t tid = track(track_name);
+  const SimTime ts = now();
+  last_ts_ = std::max(last_ts_, ts);
+  TraceEvent ev;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts = ts;
+  ev.pid = current_pid_;
+  ev.tid = tid;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::record_hop(PipelineId pipeline, NodeId node, int position,
+                               SimDuration ack_latency) {
+  SMARTH_CHECK_MSG(current_pid_ >= 0, "begin_run() before recording hops");
+  last_ts_ = std::max(last_ts_, now());
+  auto& per_pipeline = hops_[current_pid_][pipeline.value()];
+  for (auto& hop : per_pipeline) {
+    if (hop.position == position) {
+      hop.ack_latency_ns.add(static_cast<double>(ack_latency));
+      return;
+    }
+  }
+  HopStats hop;
+  hop.node = node;
+  hop.position = position;
+  hop.ack_latency_ns.add(static_cast<double>(ack_latency));
+  per_pipeline.push_back(hop);
+}
+
+const std::map<std::int64_t, std::vector<HopStats>>& TraceRecorder::hops(
+    int pid) const {
+  static const std::map<std::int64_t, std::vector<HopStats>> kEmpty;
+  auto it = hops_.find(pid);
+  return it == hops_.end() ? kEmpty : it->second;
+}
+
+void TraceRecorder::close_open_spans() {
+  for (OpenSpan& span : spans_) {
+    if (!span.open) continue;
+    span.open = false;
+    --open_spans_;
+    TraceEvent& ev = events_[span.event_index];
+    ev.dur = std::max<SimDuration>(0, last_ts_ - ev.ts);
+    ev.args.emplace_back("truncated", "true");
+  }
+}
+
+}  // namespace smarth::trace

@@ -1,0 +1,175 @@
+// Cluster-wide span tracing in simulated time. A TraceRecorder captures typed
+// spans (begin/end pairs) and instant events, each tagged with the ids of the
+// entities involved (client, datanode, block, pipeline), and groups them into
+// named tracks so concurrent pipelines render side by side in a trace viewer.
+//
+// The recorder is process-global and *off by default*: every instrumentation
+// site guards on `trace::active()`, a single inlined null-pointer check, so a
+// run without tracing pays one predictable branch per site and allocates
+// nothing. Installing a recorder (smarthsim --trace-out, or tests) turns the
+// same sites into event appends.
+//
+// One recorder can hold several runs (e.g. the HDFS upload and the SMARTH
+// upload of a comparison); each run becomes its own process in the exported
+// Chrome trace, so the serial-vs-overlapped pipeline structure of the two
+// protocols is directly comparable on one timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace smarth::trace {
+
+/// Span taxonomy. Categories map to the `cat` field of Chrome trace events,
+/// so a viewer can filter e.g. only fault-injector activity.
+enum class Category {
+  kRun,       ///< whole-upload / whole-download envelopes
+  kBlock,     ///< block lifecycle: allocate, setup, stream, tail-ack
+  kPipeline,  ///< pipeline-scoped markers (FNFA, errors, slot waits)
+  kPacket,    ///< per-packet hop events (verbose; instants only)
+  kRpc,       ///< control-plane calls, retries, backoff, give-ups
+  kFault,     ///< fault-injector activity
+  kRecovery,  ///< pipeline / UC-block recovery
+  kScanner,   ///< background block scanner passes
+  kRead,      ///< read path: block reads, failovers, checksum mismatches
+  kLease,     ///< lease expiry and takeover
+};
+
+const char* category_name(Category cat);
+
+/// Ordered key=value annotations attached to an event. A vector (not a map)
+/// keeps insertion order, which reads better in viewers.
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+/// One recorded event, already flattened to the Chrome trace model:
+/// ph 'X' = complete span (ts + dur), 'i' = instant, 'M' = metadata.
+struct TraceEvent {
+  Category cat = Category::kRun;
+  char ph = 'i';
+  SimTime ts = 0;
+  SimDuration dur = 0;
+  int pid = 0;           ///< run index
+  std::int64_t tid = 0;  ///< track index within the run
+  std::string name;
+  Args args;
+};
+
+/// Opaque handle returned by begin_span(); pass it back to end_span(). A
+/// default-constructed handle is inert, so instrumented structs can embed one
+/// unconditionally.
+class SpanHandle {
+ public:
+  bool valid() const { return index_ != static_cast<std::size_t>(-1); }
+
+ private:
+  friend class TraceRecorder;
+  std::size_t index_ = static_cast<std::size_t>(-1);
+  int pid_ = -1;
+};
+
+/// Per-(pipeline, position) hop-latency accumulator: how long each datanode
+/// held a packet between arrival and sending its upstream ACK. The straggler
+/// report turns these into per-node critical-path contributions.
+struct HopStats {
+  NodeId node;
+  int position = 0;  ///< 0 = first datanode in the pipeline
+  SummaryStats ack_latency_ns;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Starts a new run (e.g. "HDFS" or "SMARTH"); subsequent events land in
+  /// it. Returns the run's pid. Emits the process_name metadata event.
+  int begin_run(const std::string& name);
+  int current_run() const { return current_pid_; }
+  const std::vector<std::string>& run_names() const { return run_names_; }
+
+  /// Installs the simulated-clock source (normally &Simulation::now). Must be
+  /// cleared (nullptr) before the simulation it reads from is destroyed.
+  void set_time_source(std::function<SimTime()> source) {
+    time_source_ = std::move(source);
+  }
+  SimTime now() const;
+
+  /// Resolves a track name ("client", "dn node-3", "block 7") to a stable tid
+  /// within the current run, emitting thread_name metadata on first use.
+  std::int64_t track(const std::string& name);
+
+  SpanHandle begin_span(Category cat, const std::string& track,
+                        std::string name, Args args = {});
+  /// Closes the span at now(), appending `extra` to its args. Safe to call
+  /// with an invalid handle (no-op) and idempotent per handle.
+  void end_span(SpanHandle& handle, Args extra = {});
+  void instant(Category cat, const std::string& track, std::string name,
+               Args args = {});
+
+  /// Typed hop-latency sample (see HopStats). Keyed by pipeline so the
+  /// straggler report can join hops against the block spans of the same run.
+  void record_hop(PipelineId pipeline, NodeId node, int position,
+                  SimDuration ack_latency);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t open_span_count() const { return open_spans_; }
+
+  /// Hops recorded for runs with the given pid, grouped by pipeline.
+  const std::map<std::int64_t, std::vector<HopStats>>& hops(int pid) const;
+
+  /// Closes every still-open span at the latest timestamp seen; called by the
+  /// exporters so aborted uploads still produce well-formed traces.
+  void close_open_spans();
+
+ private:
+  struct OpenSpan {
+    std::size_t event_index;
+    bool open = false;
+  };
+
+  std::function<SimTime()> time_source_;
+  SimTime last_ts_ = 0;
+  int current_pid_ = -1;
+  std::vector<std::string> run_names_;
+  /// (pid, track name) -> tid, dense per run.
+  std::map<std::pair<int, std::string>, std::int64_t> tracks_;
+  std::vector<std::int64_t> next_tid_;  // per pid
+  std::vector<TraceEvent> events_;
+  std::vector<OpenSpan> spans_;
+  std::size_t open_spans_ = 0;
+  /// pid -> pipeline id value -> per-position hop stats.
+  std::map<int, std::map<std::int64_t, std::vector<HopStats>>> hops_;
+};
+
+/// Global recorder pointer. Null (the default) means tracing is disabled and
+/// every instrumentation site reduces to one branch.
+extern TraceRecorder* g_recorder;
+
+inline bool active() { return g_recorder != nullptr; }
+inline TraceRecorder* recorder() { return g_recorder; }
+
+/// Installs `r` as the process-global recorder (nullptr disables tracing).
+void install(TraceRecorder* r);
+
+/// RAII installer for tests and tools.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(TraceRecorder* r) : previous_(g_recorder) {
+    install(r);
+  }
+  ~ScopedInstall() { install(previous_); }
+  ScopedInstall(const ScopedInstall&) = delete;
+  ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+}  // namespace smarth::trace

@@ -1,0 +1,269 @@
+// Tests for the tracing + metrics subsystem: span/track bookkeeping in the
+// recorder, the metrics registry, Chrome trace_event export (schema-checked
+// by the built-in validator), the golden two-block SMARTH upload trace, and
+// straggler attribution naming a throttled datanode.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/straggler.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace smarth {
+namespace {
+
+using cluster::Cluster;
+using cluster::Protocol;
+
+cluster::ClusterSpec small_spec(std::uint64_t seed = 42) {
+  cluster::ClusterSpec spec = cluster::small_cluster(seed);
+  spec.hdfs.block_size = 4 * kMiB;
+  return spec;
+}
+
+TEST(TraceRecorder, SpansCarryTimestampsAndDurations) {
+  trace::TraceRecorder rec;
+  SimTime now = 0;
+  rec.set_time_source([&now] { return now; });
+  const int pid = rec.begin_run("RUN");
+
+  now = milliseconds(5);
+  trace::SpanHandle span = rec.begin_span(trace::Category::kBlock, "block 0",
+                                          "stream", {{"block", "blk-0"}});
+  EXPECT_TRUE(span.valid());
+  EXPECT_EQ(rec.open_span_count(), 1u);
+  now = milliseconds(12);
+  rec.end_span(span, {{"outcome", "ok"}});
+  EXPECT_EQ(rec.open_span_count(), 0u);
+
+  const trace::TraceEvent* ev = nullptr;
+  for (const trace::TraceEvent& e : rec.events()) {
+    if (e.ph == 'X') ev = &e;
+  }
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->pid, pid);
+  EXPECT_EQ(ev->ts, milliseconds(5));
+  EXPECT_EQ(ev->dur, milliseconds(7));
+  // Args from begin and end are merged in order.
+  ASSERT_EQ(ev->args.size(), 2u);
+  EXPECT_EQ(ev->args[0].first, "block");
+  EXPECT_EQ(ev->args[0].second, "blk-0");
+  EXPECT_EQ(ev->args[1].first, "outcome");
+}
+
+TEST(TraceRecorder, EndSpanIsIdempotentAndInertHandleIsSafe) {
+  trace::TraceRecorder rec;
+  rec.begin_run("RUN");
+  trace::SpanHandle inert;
+  EXPECT_FALSE(inert.valid());
+  rec.end_span(inert);  // no-op, no crash
+
+  trace::SpanHandle span =
+      rec.begin_span(trace::Category::kRun, "client", "upload");
+  rec.end_span(span);
+  const std::size_t events_after_first_close = rec.events().size();
+  rec.end_span(span, {{"ignored", "true"}});  // second close is a no-op
+  EXPECT_EQ(rec.events().size(), events_after_first_close);
+  EXPECT_EQ(rec.open_span_count(), 0u);
+}
+
+TEST(TraceRecorder, TracksGetDenseTidsAndOneMetadataEventEach) {
+  trace::TraceRecorder rec;
+  rec.begin_run("RUN");
+  const std::int64_t client = rec.track("client");
+  const std::int64_t block = rec.track("block 0");
+  EXPECT_NE(client, block);
+  EXPECT_EQ(rec.track("client"), client);  // stable on repeat lookups
+
+  int thread_names = 0;
+  for (const trace::TraceEvent& e : rec.events()) {
+    if (e.ph == 'M' && e.name == "thread_name") ++thread_names;
+  }
+  EXPECT_EQ(thread_names, 2);
+
+  // A second run gets its own dense tid space and its own metadata.
+  rec.begin_run("RUN2");
+  EXPECT_EQ(rec.track("client"), client);  // dense from 0 again
+}
+
+TEST(TraceRecorder, DisabledModeIsInert) {
+  // No recorder installed: the global hooks must report inactive and every
+  // instrumented struct's embedded handle stays invalid.
+  ASSERT_FALSE(trace::active());
+  trace::SpanHandle handle;
+  EXPECT_FALSE(handle.valid());
+  // A full upload with tracing disabled exercises every guarded site.
+  metrics::global_registry().reset();
+  Cluster cluster(small_spec());
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 8 * kMiB, Protocol::kSmarth);
+  EXPECT_FALSE(stats.failed);
+}
+
+TEST(TraceRecorder, HopStatsAccumulatePerPipelinePosition) {
+  trace::TraceRecorder rec;
+  const int pid = rec.begin_run("RUN");
+  rec.record_hop(PipelineId{7}, NodeId{3}, 0, milliseconds(2));
+  rec.record_hop(PipelineId{7}, NodeId{3}, 0, milliseconds(4));
+  rec.record_hop(PipelineId{7}, NodeId{5}, 1, milliseconds(1));
+  const auto& hops = rec.hops(pid);
+  ASSERT_EQ(hops.size(), 1u);
+  const std::vector<trace::HopStats>& pipeline = hops.at(7);
+  ASSERT_EQ(pipeline.size(), 2u);
+  for (const trace::HopStats& h : pipeline) {
+    if (h.position == 0) {
+      EXPECT_EQ(h.node, NodeId{3});
+      EXPECT_EQ(h.ack_latency_ns.count(), 2u);
+      EXPECT_DOUBLE_EQ(h.ack_latency_ns.mean(),
+                       static_cast<double>(milliseconds(3)));
+    }
+  }
+  EXPECT_TRUE(rec.hops(pid + 1).empty());  // unknown run: empty, no insert
+}
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  metrics::Registry reg;
+  reg.counter("a").add();
+  reg.counter("a").add(4);
+  EXPECT_EQ(reg.counter("a").value(), 5u);
+  reg.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+  auto& h = reg.histogram("lat_ns");
+  for (int i = 1; i <= 100; ++i) h.observe(i * 1.0e6);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GT(h.quantile(0.95), h.quantile(0.50));
+  EXPECT_EQ(reg.find_counter("a")->value(), 5u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ns\""), std::string::npos);
+  const std::string csv = reg.to_csv("smarth");
+  EXPECT_NE(csv.find("smarth,counter,a,,5"), std::string::npos);
+  EXPECT_NE(csv.find("smarth,histogram,lat_ns,100"), std::string::npos);
+
+  reg.reset();
+  EXPECT_EQ(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.find_histogram("lat_ns"), nullptr);
+}
+
+TEST(ChromeTrace, ExportPassesSchemaValidation) {
+  trace::TraceRecorder rec;
+  SimTime now = 0;
+  rec.set_time_source([&now] { return now; });
+  rec.begin_run("RUN \"quoted\"");  // exercises json escaping
+  trace::SpanHandle span = rec.begin_span(trace::Category::kBlock, "block 0",
+                                          "stream", {{"k", "v with space"}});
+  now = milliseconds(3);
+  rec.instant(trace::Category::kFault, "faults", "crash", {{"dn", "2"}});
+  rec.end_span(span);
+  // Leave one span open: the exporter must close it ("truncated") and still
+  // emit valid JSON.
+  trace::SpanHandle open =
+      rec.begin_span(trace::Category::kRecovery, "client", "recovery");
+  (void)open;
+
+  const std::string json = trace::to_chrome_trace_json(rec);
+  const trace::ValidationResult result = trace::validate_chrome_trace(json);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.event_count, 0u);
+  EXPECT_NE(json.find("truncated"), std::string::npos);
+}
+
+TEST(ChromeTrace, GoldenTwoBlockSmarthUploadTrace) {
+  metrics::global_registry().reset();
+  trace::TraceRecorder rec;
+  trace::ScopedInstall install(&rec);
+
+  rec.begin_run("SMARTH");
+  {
+    Cluster cluster(small_spec());
+    rec.set_time_source([&cluster] { return cluster.sim().now(); });
+    const auto stats =
+        cluster.run_upload("/data/a.bin", 8 * kMiB, Protocol::kSmarth);
+    ASSERT_FALSE(stats.failed) << stats.failure_reason;
+    EXPECT_EQ(stats.blocks, 2);
+    rec.set_time_source(nullptr);
+  }
+  metrics::global_registry().reset();
+  rec.begin_run("HDFS");
+  {
+    Cluster cluster(small_spec());
+    rec.set_time_source([&cluster] { return cluster.sim().now(); });
+    const auto stats =
+        cluster.run_upload("/data/a.bin", 8 * kMiB, Protocol::kHdfs);
+    ASSERT_FALSE(stats.failed) << stats.failure_reason;
+    rec.set_time_source(nullptr);
+  }
+
+  const std::string json = trace::to_chrome_trace_json(rec);
+  const trace::ValidationResult result = trace::validate_chrome_trace(json);
+  ASSERT_TRUE(result.ok) << result.error;
+  // Both protocol runs are present as separate processes...
+  EXPECT_NE(json.find("\"SMARTH\""), std::string::npos);
+  EXPECT_NE(json.find("\"HDFS\""), std::string::npos);
+  // ...and the two concurrent-capable pipelines render as distinct block
+  // tracks, with the lifecycle phases as complete spans.
+  EXPECT_NE(json.find("\"block 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"block 1\""), std::string::npos);
+  EXPECT_EQ(json.find("\"block 2\""), std::string::npos);
+  for (const char* phase : {"allocate", "setup", "stream", "tail-ack"}) {
+    EXPECT_NE(json.find(std::string("\"") + phase + "\""), std::string::npos)
+        << phase;
+  }
+  // No span may leak past the upload's clean completion.
+  EXPECT_EQ(rec.open_span_count(), 0u);
+  EXPECT_EQ(json.find("truncated"), std::string::npos);
+}
+
+TEST(Straggler, ThrottledDatanodeNamedDominant) {
+  metrics::global_registry().reset();
+  trace::TraceRecorder rec;
+  trace::ScopedInstall install(&rec);
+  const int pid = rec.begin_run("SMARTH");
+  Cluster cluster(small_spec());
+  rec.set_time_source([&cluster] { return cluster.sim().now(); });
+  // Datanode index 2 ("node-3") gets a starved NIC: every pipeline through
+  // it stalls on that hop.
+  const NodeId slow = cluster.datanode(2).node_id();
+  cluster.throttle_datanode(2, Bandwidth::mbps(20));
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 16 * kMiB, Protocol::kSmarth);
+  ASSERT_FALSE(stats.failed) << stats.failure_reason;
+  rec.set_time_source(nullptr);
+
+  const trace::StragglerReport report = trace::straggler_report(rec, pid);
+  EXPECT_EQ(report.dominant_node, slow) << report.text;
+  EXPECT_GT(report.dominant_share, 0.0);
+  EXPECT_NE(report.text.find("dominant straggler: " + slow.to_string()),
+            std::string::npos)
+      << report.text;
+}
+
+TEST(MetricsRegistry, RpcRetryCountersCoverStreamStats) {
+  metrics::global_registry().reset();
+  Cluster cluster(small_spec());
+  rpc::RpcChaos chaos;
+  chaos.loss_probability = 0.4;
+  cluster.rpc().set_chaos(chaos);
+  const auto stats =
+      cluster.run_upload("/data/a.bin", 8 * kMiB, Protocol::kSmarth);
+  ASSERT_FALSE(stats.failed) << stats.failure_reason;
+  const metrics::Counter* retries =
+      metrics::global_registry().find_counter("rpc.retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GT(retries->value(), 0u);
+  // The registry sees every labeled call site (including ones that do not
+  // report into StreamStats), so it can only be >= the stream's count.
+  EXPECT_GE(retries->value(),
+            static_cast<std::uint64_t>(stats.rpc_retries));
+}
+
+}  // namespace
+}  // namespace smarth

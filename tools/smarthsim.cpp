@@ -26,6 +26,10 @@
 #include "metrics/report.hpp"
 #include "metrics/timeline.hpp"
 #include "sim/periodic_task.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/straggler.hpp"
+#include "trace/trace_recorder.hpp"
 #include "workload/fault_plan.hpp"
 
 using namespace smarth;
@@ -84,6 +88,21 @@ std::vector<std::pair<std::string, std::string>> parse_kv_list(
   return out;
 }
 
+void write_file_or_die(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 /// A typo'd fault flag silently running a fault-free experiment is worse
 /// than an abort: fail loudly instead.
 [[noreturn]] void fault_flag_error(const std::string& flag,
@@ -125,7 +144,18 @@ faults::ChaosRates parse_chaos_rates(const std::string& text) {
 }
 
 RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
+  // Fresh metrics per protocol run. Must happen before the cluster exists:
+  // datanodes cache registry references at construction and a later reset
+  // would dangle them.
+  metrics::global_registry().reset();
+  if (trace::active()) {
+    trace::recorder()->begin_run(cluster::protocol_name(protocol));
+  }
   cluster::Cluster cluster(spec_from_flags(flags));
+  if (trace::active()) {
+    trace::recorder()->set_time_source(
+        [&cluster] { return cluster.sim().now(); });
+  }
   faults::FaultInjector injector(
       cluster,
       static_cast<std::uint64_t>(flags.get_int("chaos-seed").value_or(1)));
@@ -243,8 +273,18 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   if (flags.has("chaos-rates")) {
     injector.start_chaos(parse_chaos_rates(flags.get("chaos-rates")));
   }
+  LogLevel log_level = LogLevel::kWarn;
+  bool log_level_chosen = false;
   if (flags.get_bool("verbose")) {
-    Logger::instance().set_level(LogLevel::kInfo);
+    log_level = LogLevel::kInfo;
+    log_level_chosen = true;
+  }
+  // --log-level wins over --verbose; validated in main() before any run.
+  if (const std::string level = flags.get("log-level"); !level.empty()) {
+    log_level_chosen = parse_log_level(level, log_level);
+  }
+  if (log_level_chosen) {
+    Logger::instance().set_level(log_level);
     Logger::instance().set_time_source(
         [&cluster] { return cluster.sim().now(); });
   }
@@ -316,6 +356,7 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   outcome.events = cluster.sim().events_executed();
   outcome.summary.fold(outcome.stats);
   if (outcome.read) outcome.summary.fold_read(*outcome.read);
+  outcome.summary.fold_registry(metrics::global_registry());
   outcome.summary.rpc_calls_dropped = cluster.rpc().calls_dropped();
   outcome.summary.rpc_messages_lost = cluster.rpc().messages_lost();
   outcome.summary.rpc_messages_delayed = cluster.rpc().messages_delayed();
@@ -343,6 +384,8 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   if (sampler) sampler->stop();
   Logger::instance().set_level(LogLevel::kWarn);
   Logger::instance().set_time_source(nullptr);
+  // The recorder outlives this cluster; its clock must not.
+  if (trace::active()) trace::recorder()->set_time_source(nullptr);
   return outcome;
 }
 
@@ -376,6 +419,18 @@ int main(int argc, char** argv) {
   flags.declare("block-mb", "HDFS block size in MiB", "64");
   flags.declare("replication", "replication factor", "3");
   flags.declare("seed", "simulation seed", "42");
+  flags.declare("trace-out",
+                "write a Chrome trace_event JSON of all runs (open in "
+                "Perfetto / chrome://tracing)", "");
+  flags.declare("metrics-out",
+                "write metrics registry snapshots; .csv extension selects "
+                "CSV, anything else JSON", "");
+  flags.declare("log-level",
+                "log threshold: trace|debug|info|warn|error|off "
+                "(overrides --verbose)", "");
+  flags.declare_bool("straggler-report",
+                     "print a per-upload critical-path breakdown naming the "
+                     "dominant straggler datanode");
   flags.declare_bool("read-back",
                      "read the file back after the upload, verifying "
                      "checksums and failing over rotted replicas");
@@ -393,6 +448,19 @@ int main(int argc, char** argv) {
     std::printf("%s", flags.usage().c_str());
     return 0;
   }
+
+  if (const std::string level = flags.get("log-level"); !level.empty()) {
+    LogLevel parsed;
+    if (!parse_log_level(level, parsed)) {
+      std::fprintf(stderr, "unknown --log-level=%s\n", level.c_str());
+      return 2;
+    }
+  }
+  const std::string trace_out = flags.get("trace-out");
+  const std::string metrics_out = flags.get("metrics-out");
+  const bool want_straggler = flags.get_bool("straggler-report");
+  trace::TraceRecorder recorder;
+  if (!trace_out.empty() || want_straggler) trace::install(&recorder);
 
   const std::string protocol_choice = flags.get("protocol");
   std::vector<cluster::Protocol> protocols;
@@ -417,8 +485,25 @@ int main(int argc, char** argv) {
   TextTable table({"protocol", "seconds", "throughput (Mbps)", "blocks",
                    "pipelines", "max concurrent", "recoveries", "events"});
   std::vector<double> seconds_by_protocol;
+  // Per-protocol registry snapshots, captured before the next run resets the
+  // registry.
+  std::vector<std::pair<std::string, std::string>> metric_snapshots;
+  std::string straggler_text;
   for (const cluster::Protocol protocol : protocols) {
     const RunOutcome outcome = run_once(flags, protocol);
+    if (!metrics_out.empty()) {
+      const std::string name = cluster::protocol_name(protocol);
+      metric_snapshots.emplace_back(
+          name, ends_with(metrics_out, ".csv")
+                    ? metrics::global_registry().to_csv(name)
+                    : metrics::global_registry().to_json());
+    }
+    if (want_straggler) {
+      const trace::StragglerReport report =
+          trace::straggler_report(recorder, recorder.current_run());
+      straggler_text += std::string(cluster::protocol_name(protocol)) +
+                        " straggler attribution:\n" + report.text;
+    }
     if (outcome.stats.failed) {
       std::fprintf(stderr, "%s upload failed: %s\n",
                    cluster::protocol_name(protocol),
@@ -447,6 +532,28 @@ int main(int argc, char** argv) {
       std::printf("%s robustness:\n%s", cluster::protocol_name(protocol),
                   metrics::render_fault_summary(outcome.summary).c_str());
     }
+  }
+  if (!straggler_text.empty()) std::printf("%s", straggler_text.c_str());
+  if (!trace_out.empty()) {
+    write_file_or_die(trace_out, trace::to_chrome_trace_json(recorder));
+    std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::string out;
+    if (ends_with(metrics_out, ".csv")) {
+      out = "protocol,kind,name,count,value,mean,p50,p95,p99,min,max\n";
+      for (const auto& [name, body] : metric_snapshots) out += body;
+    } else {
+      out = "{";
+      for (std::size_t i = 0; i < metric_snapshots.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + metric_snapshots[i].first +
+               "\":" + metric_snapshots[i].second;
+      }
+      out += "}\n";
+    }
+    write_file_or_die(metrics_out, out);
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
   }
   std::printf("%s", table.to_string().c_str());
   if (seconds_by_protocol.size() == 2) {
