@@ -4,9 +4,13 @@
 // of the figure benches, not any paper result.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_spec.hpp"
 #include "net/link.hpp"
+#include "sim/reference_queue.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -41,6 +45,61 @@ void BM_EventCancellation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_EventCancellation);
+
+// Steady-state churn: Arg(0) concurrent self-rescheduling chains — the shape
+// of a running simulation (every dispatched event schedules a successor a
+// short,
+// varying delay ahead). This is where record pooling and the calendar
+// queue's O(1) future inserts pay off; the *Reference variant runs the same
+// workload on the pre-refactor core kept in sim/reference_queue.hpp, so the
+// pair reports the engine speedup independent of machine load.
+constexpr std::uint64_t kChurnEvents = 100'000;
+
+SimDuration churn_delay(std::uint64_t n) {
+  return 100 + static_cast<SimDuration>((n * 2654435761u) % 10'000);
+}
+
+void BM_EventChurn(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t fired = 0;
+    std::function<void()> spawn = [&] {
+      if (++fired >= kChurnEvents) return;
+      sim.post_after(churn_delay(fired), "churn", [&] { spawn(); });
+    };
+    for (int c = 0; c < chains; ++c) {
+      sim.post_after(churn_delay(static_cast<std::uint64_t>(c)), "churn",
+                     [&] { spawn(); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kChurnEvents));
+}
+BENCHMARK(BM_EventChurn)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_EventChurnReference(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::ReferenceQueue sim;
+    std::uint64_t fired = 0;
+    std::function<void()> spawn = [&] {
+      if (++fired >= kChurnEvents) return;
+      sim.schedule_after(churn_delay(fired), [&] { spawn(); });
+    };
+    for (int c = 0; c < chains; ++c) {
+      sim.schedule_after(churn_delay(static_cast<std::uint64_t>(c)),
+                         [&] { spawn(); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kChurnEvents));
+}
+BENCHMARK(BM_EventChurnReference)->Arg(64)->Arg(4096)->Arg(65536);
 
 void BM_LinkStoreAndForward(benchmark::State& state) {
   for (auto _ : state) {

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "model/cost_model.hpp"
 #include "smarth/global_optimizer.hpp"
 #include "smarth/smarth_stream.hpp"
 
@@ -12,6 +13,16 @@ const char* protocol_name(Protocol protocol) {
 }
 
 Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  // Block fidelity: derive the macro-transfer unit from the analytic skew
+  // bound unless the spec pinned one explicitly. Replication depth is the
+  // store-and-forward pipeline depth the coarsening must stay honest across.
+  if (spec_.hdfs.fidelity == hdfs::DataFidelity::kBlock &&
+      spec_.hdfs.block_transfer_unit <= 0) {
+    spec_.hdfs.block_transfer_unit = model::coalesced_transfer_unit(
+        spec_.hdfs.block_size, spec_.hdfs.packet_payload,
+        spec_.hdfs.replication, spec_.hdfs.block_fidelity_tolerance,
+        spec_.hdfs.max_outstanding_packets);
+  }
   sim_ = std::make_unique<sim::Simulation>(spec_.seed);
   network_ = std::make_unique<net::Network>(*sim_, spec_.network);
 

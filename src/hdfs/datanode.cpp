@@ -211,7 +211,7 @@ void Datanode::deliver_setup(const PipelineSetup& setup) {
   if (!ctx.is_last) {
     ctx.downstream = setup.targets[static_cast<std::size_t>(ctx.my_index + 1)];
   }
-  ctx.resume_start_seq = setup.resume_offset / config_.packet_payload;
+  ctx.resume_start_seq = setup.resume_offset / config_.transfer_payload();
 
   if (!store_.has_replica(setup.block)) {
     SMARTH_CHECK(store_.create_replica(setup.block).ok());
@@ -271,10 +271,10 @@ void Datanode::deliver_packet(const WirePacket& packet) {
   ++packets_received_;
   const SimTime arrived_at = sim_.now();
   // Checksum verification occupies the node before the packet is mirrored or
-  // queued for the disk.
-  if (config_.checksum_verify_time > 0) {
-    sim_.schedule_after(config_.checksum_verify_time, [this, packet,
-                                                       arrived_at] {
+  // queued for the disk (a coalesced transfer pays it once per real packet).
+  const SimDuration verify = config_.transfer_verify_time(packet.payload);
+  if (verify > 0) {
+    sim_.post_after(verify, "dn.verify", [this, packet, arrived_at] {
       process_packet(packet, arrived_at);
     });
   } else {
@@ -312,9 +312,12 @@ void Datanode::process_packet(const WirePacket& packet, SimTime arrived_at) {
     transport_.send_packet(self_, ctx.downstream, packet);
   }
 
-  disk_->write(packet.payload, [this, pipeline = packet.pipeline, packet] {
-    on_packet_written(pipeline, packet);
-  });
+  disk_->write(packet.payload,
+               static_cast<std::uint64_t>(
+                   config_.packets_in_transfer(packet.payload)),
+               [this, pipeline = packet.pipeline, packet] {
+                 on_packet_written(pipeline, packet);
+               });
 }
 
 void Datanode::release_packet_staging(PipelineCtx& ctx, PacketState& st) {
@@ -463,8 +466,10 @@ void Datanode::deliver_read_request(const ReadRequest& request) {
 void Datanode::serve_read_packet(ReadRequest request, std::int64_t seq,
                                  Bytes remaining) {
   if (crashed_ || remaining <= 0) return;
-  const Bytes payload = std::min(remaining, config_.packet_payload);
-  disk_->read(payload, [this, request, seq, remaining, payload] {
+  const Bytes payload = std::min(remaining, config_.transfer_payload());
+  const auto read_ops =
+      static_cast<std::uint64_t>(config_.packets_in_transfer(payload));
+  disk_->read(payload, read_ops, [this, request, seq, remaining, payload] {
     if (crashed_) return;
     // Verify the chunk CRCs covering this packet's byte range, as a real
     // datanode does after pulling the bytes off disk. On mismatch no payload

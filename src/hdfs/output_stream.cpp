@@ -72,19 +72,22 @@ Bytes OutputStreamBase::block_bytes(std::int64_t block_index) const {
   return std::min(deps_.config.block_size, file_size_ - start);
 }
 
+// Stream geometry is expressed in transfer units (== packets in packet
+// fidelity, coalesced multi-packet units in block fidelity); `seq` fields
+// index transfer units within a block.
 std::int64_t OutputStreamBase::packets_in_block(
     std::int64_t block_index) const {
+  const Bytes unit = deps_.config.transfer_payload();
   const Bytes bytes = block_bytes(block_index);
-  return (bytes + deps_.config.packet_payload - 1) /
-         deps_.config.packet_payload;
+  return (bytes + unit - 1) / unit;
 }
 
 Bytes OutputStreamBase::packet_payload(std::int64_t block_index,
                                        std::int64_t seq) const {
-  const Bytes remaining = block_bytes(block_index) -
-                          seq * deps_.config.packet_payload;
+  const Bytes unit = deps_.config.transfer_payload();
+  const Bytes remaining = block_bytes(block_index) - seq * unit;
   SMARTH_DCHECK(remaining > 0);
-  return std::min(deps_.config.packet_payload, remaining);
+  return std::min(unit, remaining);
 }
 
 void OutputStreamBase::pump_production() {
@@ -98,8 +101,10 @@ void OutputStreamBase::produce_loop() {
     return;
   }
   producer_armed_ = true;
+  const SimDuration production_time = deps_.config.transfer_production_time(
+      packet_payload(produce_block_, produce_seq_));
   producer_event_ =
-      deps_.sim.schedule_after(deps_.config.packet_production_time, [this] {
+      deps_.sim.schedule_after(production_time, "client.produce", [this] {
     if (finished_) {
       producer_armed_ = false;
       return;
@@ -236,7 +241,7 @@ ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
   pipeline.block_bytes = block_bytes(block_index);
   pipeline.num_packets = packets_in_block(block_index);
   pipeline.resume_offset = resume_offset;
-  pipeline.set_resume_packets(resume_offset / deps_.config.packet_payload);
+  pipeline.set_resume_packets(resume_offset / deps_.config.transfer_payload());
   pipeline.created_at = deps_.sim.now();
 
   auto [it, inserted] = pipelines_.emplace(id, std::move(pipeline));
@@ -402,13 +407,14 @@ DfsOutputStream::DfsOutputStream(StreamDeps deps, ClientId client,
                        std::move(on_done)) {}
 
 bool DfsOutputStream::production_window_open() const {
-  // Hadoop caps dataQueue + ackQueue at max_outstanding_packets.
+  // Hadoop caps dataQueue + ackQueue at max_outstanding_packets (expressed
+  // here in transfer units).
   std::size_t in_flight = data_queue_.size();
   for (const auto& [id, p] : pipelines_) {
     in_flight += p.pending.size() + p.ack_queue.size();
   }
   return in_flight <
-         static_cast<std::size_t>(deps_.config.max_outstanding_packets);
+         static_cast<std::size_t>(deps_.config.max_outstanding_transfers());
 }
 
 void DfsOutputStream::begin_protocol() { allocate_next_block(); }
@@ -462,7 +468,7 @@ void DfsOutputStream::pump_stream() {
   // Window: Hadoop keeps at most max_outstanding_packets un-acked.
   auto window_open = [&] {
     return pipeline->ack_queue.size() <
-           static_cast<std::size_t>(deps_.config.max_outstanding_packets);
+           static_cast<std::size_t>(deps_.config.max_outstanding_transfers());
   };
   while (window_open()) {
     if (!pipeline->pending.empty()) {
@@ -559,7 +565,8 @@ void DfsOutputStream::on_pipeline_error(ClientPipeline& pipeline,
   const Bytes durable_floor =
       pipeline.pending.empty()
           ? Bytes{0}
-          : pipeline.pending.front().seq_in_block * deps_.config.packet_payload;
+          : pipeline.pending.front().seq_in_block *
+                deps_.config.transfer_payload();
   auto recovery = std::make_unique<BlockRecovery>(
       deps_, client_, client_node_, pipeline.id, pipeline.block,
       pipeline.block_bytes, durable_floor, pipeline.targets, error_index,
@@ -588,7 +595,7 @@ void DfsOutputStream::resume_after_recovery(ClientPipeline& old_pipeline,
                                             std::vector<NodeId> targets,
                                             Bytes sync_offset) {
   const std::int64_t resume_packets =
-      sync_offset / deps_.config.packet_payload;
+      sync_offset / deps_.config.transfer_payload();
   // Packets already durable everywhere are dropped from the resend queue.
   std::deque<ProducedPacket> pending = std::move(old_pipeline.pending);
   while (!pending.empty() &&

@@ -122,7 +122,7 @@ void BlockRecovery::on_probes_done(std::vector<ReplicaProbeResult> results) {
     const Bytes len = results[i].has_replica ? results[i].bytes : 0;
     if (min_len < 0 || len < min_len) min_len = len;
   }
-  const Bytes packet = deps_.config.packet_payload;
+  const Bytes packet = deps_.config.transfer_payload();
   sync_offset_ = (min_len / packet) * packet;
   // Always leave at least the last packet to retransmit: its last_in_block
   // marker is what lets the rebuilt pipeline finalize the replicas.

@@ -27,7 +27,7 @@ void Transport::send_packet(NodeId from, NodeId to, WirePacket packet) {
   // mirrors per-connection TCP sharing.
   const net::FlowKey flow =
       static_cast<net::FlowKey>(packet.pipeline.value()) + 1;
-  network_.send(from, to, config_.packet_wire_size(packet.payload),
+  network_.send(from, to, config_.transfer_wire_size(packet.payload),
                 [this, to, packet] {
                   if (PacketSink* sink = resolver_.packet_sink(to)) {
                     sink->deliver_packet(packet);
@@ -108,7 +108,7 @@ void Transport::send_read_request(NodeId from, NodeId to,
 void Transport::send_read_packet(NodeId from, NodeId to, ReadPacket packet) {
   // Error markers are tiny control messages; data packets are bulk.
   const Bytes wire = packet.error ? config_.ack_wire
-                                  : config_.packet_wire_size(packet.payload);
+                                  : config_.transfer_wire_size(packet.payload);
   const auto priority = packet.error ? net::LinkPriority::kControl
                                      : net::LinkPriority::kBulk;
   const net::FlowKey flow =

@@ -13,12 +13,33 @@
 
 namespace smarth::hdfs {
 
+/// Data-path fidelity. kPacket simulates every packet as its own
+/// serialize/verify/store/ack event chain — the reference behavior. kBlock
+/// coalesces runs of consecutive packets into macro "transfer units" that
+/// carry the same aggregate analytic costs (k packets' production, headers,
+/// verification and disk-op overhead per unit), trading per-packet timing
+/// detail for an order-of-magnitude fewer events. The unit size is derived
+/// from the cost model so the coarsening distorts block pipeline times by at
+/// most HdfsConfig::block_fidelity_tolerance (contract in DESIGN.md §10).
+enum class DataFidelity { kPacket, kBlock };
+
 /// All tunables of the simulated DFS. One instance is shared by every
 /// component of a cluster.
 struct HdfsConfig {
   // --- Data layout ----------------------------------------------------------
   Bytes block_size = 64 * kMiB;
   Bytes packet_payload = 64 * kKiB;
+
+  // --- Fidelity -------------------------------------------------------------
+  DataFidelity fidelity = DataFidelity::kPacket;
+  /// Block-fidelity macro-transfer payload, a multiple of packet_payload.
+  /// Derived by the cluster builder (model::coalesced_transfer_unit) when
+  /// left at 0; ignored in packet mode.
+  Bytes block_transfer_unit = 0;
+  /// Ceiling on block-fidelity distortion: the extra store-and-forward skew
+  /// a coalesced unit introduces across the pipeline, as a fraction of the
+  /// whole block's transfer time.
+  double block_fidelity_tolerance = 0.05;
 
   // --- Wire overheads -------------------------------------------------------
   Bytes packet_header_wire = 512;  ///< checksums + header per data packet
@@ -121,6 +142,49 @@ struct HdfsConfig {
   }
   Bytes packet_wire_size(Bytes payload) const {
     return payload + packet_header_wire;
+  }
+
+  // --- Fidelity-aware transfer geometry -------------------------------------
+  // The data paths (output/input streams, datanodes, recovery) are written in
+  // terms of "transfer units": identical to packets in packet mode, coalesced
+  // multi-packet units in block mode. WirePacket::seq then indexes transfer
+  // units within the block, and all offset arithmetic scales accordingly.
+
+  /// Active data-transfer granularity.
+  Bytes transfer_payload() const {
+    if (fidelity == DataFidelity::kPacket || block_transfer_unit <= 0) {
+      return packet_payload;
+    }
+    return block_transfer_unit;
+  }
+  /// Real packets represented by one transfer of `payload` bytes.
+  std::int64_t packets_in_transfer(Bytes payload) const {
+    return (payload + packet_payload - 1) / packet_payload;
+  }
+  int transfers_per_block() const {
+    return static_cast<int>((block_size + transfer_payload() - 1) /
+                            transfer_payload());
+  }
+  /// SMARTH per-pipeline window, in transfer units (the whole block).
+  int smarth_outstanding_transfers() const { return transfers_per_block(); }
+  /// HDFS client window, in transfer units (>= 1; rounds the 80-packet cap
+  /// down so block mode never holds more data in flight than packet mode).
+  int max_outstanding_transfers() const {
+    const auto per_unit = packets_in_transfer(transfer_payload());
+    const auto units = max_outstanding_packets / static_cast<int>(per_unit);
+    return units < 1 ? 1 : units;
+  }
+  /// Wire footprint of one transfer: payload plus one header per real packet.
+  Bytes transfer_wire_size(Bytes payload) const {
+    return payload + packet_header_wire * packets_in_transfer(payload);
+  }
+  /// Aggregate client production cost (k packets' worth of Tc).
+  SimDuration transfer_production_time(Bytes payload) const {
+    return packet_production_time * packets_in_transfer(payload);
+  }
+  /// Aggregate datanode checksum-verification cost (k packets' worth).
+  SimDuration transfer_verify_time(Bytes payload) const {
+    return checksum_verify_time * packets_in_transfer(payload);
   }
 };
 

@@ -71,6 +71,36 @@ void FaultSummary::fold_read(const hdfs::ReadStats& stats) {
   bad_replica_reports += stats.bad_replica_reports;
 }
 
+void FaultSummary::merge(const FaultSummary& other) {
+  uploads += other.uploads;
+  failed_uploads += other.failed_uploads;
+  recoveries += other.recoveries;
+  quarantine_events += other.quarantine_events;
+  under_replication_events += other.under_replication_events;
+  rpc_retries += other.rpc_retries;
+  rpc_give_ups += other.rpc_give_ups;
+  recovery_time_total += other.recovery_time_total;
+  rpc_calls_dropped += other.rpc_calls_dropped;
+  rpc_messages_lost += other.rpc_messages_lost;
+  rpc_messages_delayed += other.rpc_messages_delayed;
+  datanode_reregistrations += other.datanode_reregistrations;
+  under_replicated_blocks += other.under_replicated_blocks;
+  faults_injected += other.faults_injected;
+  lease_expiries += other.lease_expiries;
+  uc_blocks_recovered += other.uc_blocks_recovered;
+  bytes_salvaged += other.bytes_salvaged;
+  orphans_abandoned += other.orphans_abandoned;
+  reads += other.reads;
+  failed_reads += other.failed_reads;
+  read_failovers += other.read_failovers;
+  checksum_mismatches += other.checksum_mismatches;
+  bad_replica_reports += other.bad_replica_reports;
+  bitrot_flips += other.bitrot_flips;
+  replicas_invalidated += other.replicas_invalidated;
+  scrub_rot_detected += other.scrub_rot_detected;
+  scrub_bytes_scanned += other.scrub_bytes_scanned;
+}
+
 std::string render_fault_summary(const FaultSummary& summary) {
   TextTable table({"metric", "value"});
   table.add_row({"uploads", std::to_string(summary.uploads)});

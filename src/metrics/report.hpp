@@ -100,6 +100,9 @@ struct FaultSummary {
   /// RPCs), so the overlay takes the max — the table can only get more
   /// complete, never lose a count.
   void fold_registry(const Registry& registry);
+  /// Accumulates another summary wholesale (multi-seed sweep aggregation:
+  /// every counter is additive across independent runs).
+  void merge(const FaultSummary& other);
   /// Mean time to recover across every folded recovery, in seconds.
   double recovery_mttr_seconds() const {
     return recoveries > 0 ? to_seconds(recovery_time_total) / recoveries

@@ -77,4 +77,33 @@ double improvement_percent(SimDuration hdfs_time, SimDuration smarth_time) {
          100.0;
 }
 
+Bytes coalesced_transfer_unit(Bytes block_size, Bytes packet_payload,
+                              int pipeline_depth, double tolerance,
+                              int max_outstanding_packets) {
+  SMARTH_CHECK(block_size > 0 && packet_payload > 0);
+  SMARTH_CHECK(packet_payload <= block_size);
+  SMARTH_CHECK(pipeline_depth >= 1);
+  SMARTH_CHECK(tolerance > 0.0);
+  // Skew bound: (depth - 1) · (M - P) <= tolerance · B.
+  std::int64_t max_units = block_size / (8 * packet_payload);
+  if (pipeline_depth > 1) {
+    const double budget = tolerance * static_cast<double>(block_size) /
+                          static_cast<double>(pipeline_depth - 1);
+    const auto skew_units =
+        1 + static_cast<std::int64_t>(budget /
+                                      static_cast<double>(packet_payload));
+    max_units = std::min(max_units, skew_units);
+  }
+  // Window-coverage bound: the flow-control window, re-denominated in
+  // coalesced units, must still cover every serialization stage of the
+  // pipeline (with 2x margin for the verify/disk stages it overlaps).
+  if (max_outstanding_packets > 0) {
+    const std::int64_t window_units =
+        max_outstanding_packets / (4 * (pipeline_depth + 1));
+    max_units = std::min(max_units, window_units);
+  }
+  if (max_units < 1) max_units = 1;
+  return max_units * packet_payload;
+}
+
 }  // namespace smarth::model

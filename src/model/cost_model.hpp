@@ -63,4 +63,27 @@ SimDuration production_bound_time_pipelined(const CostParams& p);
 SimDuration predict_hdfs_time_pipelined(const CostParams& p);
 SimDuration predict_smarth_time_pipelined(const CostParams& p);
 
+// --- Block-fidelity coalescing ----------------------------------------------
+
+/// Macro-transfer payload for block-fidelity simulation: the largest multiple
+/// of `packet_payload` whose extra store-and-forward skew across a
+/// `pipeline_depth`-deep pipeline stays within `tolerance` of a block's
+/// transfer time. Enlarging the unit from P to M delays each downstream hop's
+/// start by (M - P) of serialization per hop — (depth-1)·(M-P)/Bw total —
+/// against a block time of ~B/Bw, so the bandwidth cancels and the bound is
+///   (depth - 1) · (M - P) <= tolerance · B.
+/// Two further caps:
+///  - 1/8 of the block, so per-block windowing and durable-floor tracking
+///    keep at least 8 units to work with;
+///  - when `max_outstanding_packets` > 0 (the client's packet-denominated
+///    flow-control window), the unit must stay small enough that the window
+///    still holds ~4·(depth+1) units: a store-and-forward pipeline has
+///    depth+1 serialization stages in flight (plus overlapped verify/disk
+///    stages), and a window that quantizes to about as few units as stages
+///    stalls the pipeline — a coarsening artifact, not a property of the
+///    modeled system.
+Bytes coalesced_transfer_unit(Bytes block_size, Bytes packet_payload,
+                              int pipeline_depth, double tolerance,
+                              int max_outstanding_packets = 0);
+
 }  // namespace smarth::model

@@ -69,8 +69,8 @@ void Link::try_start_next() {
   const SimDuration serialize = capacity_.transmit_time(next.size);
   // Serialization completes after `serialize`; the message then propagates
   // for `latency_` without occupying the link (cut-through for the wire).
-  sim_.schedule_after(
-      serialize,
+  sim_.post_after(
+      serialize, "link.serialize",
       [this, size = next.size, cb = std::move(next.on_delivered)]() mutable {
         finish_current(size, std::move(cb));
       });
@@ -82,9 +82,9 @@ void Link::finish_current(Bytes size, DeliveryCallback cb) {
   bytes_transmitted_ += size;
   ++messages_transmitted_;
   if (latency_ > 0) {
-    sim_.schedule_after(latency_, [cb = std::move(cb)] { cb(); });
+    sim_.post_after(latency_, "link.deliver", [cb = std::move(cb)] { cb(); });
   } else {
-    sim_.schedule_now([cb = std::move(cb)] { cb(); });
+    sim_.post_now("link.deliver", [cb = std::move(cb)] { cb(); });
   }
   try_start_next();
 }

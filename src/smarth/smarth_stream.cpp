@@ -27,7 +27,7 @@ bool SmarthOutputStream::production_window_open() const {
   // Production may run one block ahead of the wire; pipelines hold their own
   // in-flight state.
   return data_queue_.size() <
-         static_cast<std::size_t>(deps_.config.packets_per_block());
+         static_cast<std::size_t>(deps_.config.transfers_per_block());
 }
 
 void SmarthOutputStream::on_packet_produced() { pump_stream(); }
@@ -103,7 +103,8 @@ void SmarthOutputStream::pump_stream() {
     // SMARTH streams a whole block ahead of full-pipeline ACKs; the window is
     // a block, i.e. effectively open until the block is fully in flight.
     return p.ack_queue.size() <
-           static_cast<std::size_t>(deps_.config.smarth_outstanding_packets());
+           static_cast<std::size_t>(
+               deps_.config.smarth_outstanding_transfers());
   };
 
   // Recovered pipelines retransmit their backlog first.
@@ -282,7 +283,7 @@ void SmarthOutputStream::recover_next_error_pipeline() {
       pipeline->pending.empty()
           ? Bytes{0}
           : pipeline->pending.front().seq_in_block *
-                deps_.config.packet_payload;
+                deps_.config.transfer_payload();
   auto recovery = std::make_unique<hdfs::BlockRecovery>(
       deps_, client_, client_node_, id, pipeline->block,
       pipeline->block_bytes, durable_floor, pipeline->targets, error_index,
@@ -320,7 +321,7 @@ void SmarthOutputStream::resume_recovered_pipeline(PipelineId old_id,
   ClientPipeline* old_pipeline = find_pipeline(old_id);
   SMARTH_CHECK(old_pipeline != nullptr);
   const std::int64_t resume_packets =
-      sync_offset / deps_.config.packet_payload;
+      sync_offset / deps_.config.transfer_payload();
   std::deque<hdfs::ProducedPacket> pending = std::move(old_pipeline->pending);
   while (!pending.empty() && pending.front().seq_in_block < resume_packets) {
     pending.pop_front();

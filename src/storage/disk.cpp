@@ -33,17 +33,27 @@ SimDuration DiskDevice::read_service_time(Bytes size) const {
 }
 
 void DiskDevice::write(Bytes size, WriteCallback on_done) {
-  enqueue(size, /*is_read=*/false, std::move(on_done));
+  enqueue(size, /*ops=*/1, /*is_read=*/false, std::move(on_done));
+}
+
+void DiskDevice::write(Bytes size, std::uint64_t ops, WriteCallback on_done) {
+  enqueue(size, ops, /*is_read=*/false, std::move(on_done));
 }
 
 void DiskDevice::read(Bytes size, WriteCallback on_done) {
-  enqueue(size, /*is_read=*/true, std::move(on_done));
+  enqueue(size, /*ops=*/1, /*is_read=*/true, std::move(on_done));
 }
 
-void DiskDevice::enqueue(Bytes size, bool is_read, WriteCallback on_done) {
+void DiskDevice::read(Bytes size, std::uint64_t ops, WriteCallback on_done) {
+  enqueue(size, ops, /*is_read=*/true, std::move(on_done));
+}
+
+void DiskDevice::enqueue(Bytes size, std::uint64_t ops, bool is_read,
+                         WriteCallback on_done) {
   SMARTH_CHECK_MSG(size >= 0, "negative op size on " << name_);
+  SMARTH_CHECK(ops >= 1);
   SMARTH_CHECK(static_cast<bool>(on_done));
-  queue_.push_back(Pending{size, is_read, std::move(on_done)});
+  queue_.push_back(Pending{size, ops, is_read, std::move(on_done)});
   if (!busy_) start_next();
 }
 
@@ -56,19 +66,24 @@ void DiskDevice::start_next() {
   queue_.pop_front();
   busy_ = true;
   busy_since_ = sim_.now();
+  // A coalesced request (ops > 1) pays the per-op overhead once per logical
+  // operation so block-fidelity runs charge the same seek/syscall budget a
+  // packet-granularity run would.
+  const SimDuration per_op =
+      static_cast<SimDuration>(op.ops) * per_op_overhead_;
   const SimDuration service =
-      op.is_read ? read_service_time(op.size) : service_time(op.size);
-  sim_.schedule_after(service, [this, size = op.size, is_read = op.is_read,
-                                cb = std::move(op.on_done)]() mutable {
+      per_op + (op.is_read ? read_bandwidth() : write_bandwidth_)
+                   .transmit_time(op.size);
+  sim_.post_after(service, "disk.io", [this, op = std::move(op)]() mutable {
     busy_accum_ += sim_.now() - busy_since_;
     busy_ = false;
-    if (is_read) {
-      bytes_read_ += size;
+    if (op.is_read) {
+      bytes_read_ += op.size;
     } else {
-      bytes_written_ += size;
+      bytes_written_ += op.size;
     }
-    ++ops_completed_;
-    cb();
+    ops_completed_ += op.ops;
+    op.on_done();
     if (!busy_) start_next();
   });
 }

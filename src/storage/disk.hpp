@@ -30,11 +30,16 @@ class DiskDevice {
 
   /// Enqueues a write of `size` bytes; `on_done` fires when it is durable.
   void write(Bytes size, WriteCallback on_done);
+  /// Coalesced write representing `ops` logical operations: pays the per-op
+  /// overhead `ops` times (block-fidelity parity with packet-granularity
+  /// writes) and advances ops_completed() by `ops`.
+  void write(Bytes size, std::uint64_t ops, WriteCallback on_done);
 
   /// Enqueues a read of `size` bytes; reads and writes share the same FIFO
   /// (one head), so concurrent readers contend with the write path — the
   /// I/O-interference effect block reads cause on ingesting datanodes.
   void read(Bytes size, WriteCallback on_done);
+  void read(Bytes size, std::uint64_t ops, WriteCallback on_done);
 
   /// Expected service time for one write of `size` (used by the analytic
   /// model to derive Tw).
@@ -52,11 +57,13 @@ class DiskDevice {
  private:
   struct Pending {
     Bytes size;
+    std::uint64_t ops;
     bool is_read;
     WriteCallback on_done;
   };
 
-  void enqueue(Bytes size, bool is_read, WriteCallback on_done);
+  void enqueue(Bytes size, std::uint64_t ops, bool is_read,
+               WriteCallback on_done);
   void start_next();
 
   sim::Simulation& sim_;

@@ -131,7 +131,10 @@ std::string Registry::to_csv(const std::string& label_column) const {
 }
 
 Registry& global_registry() {
-  static Registry registry;
+  // thread_local, not static: parallel seed sweeps run one share-nothing
+  // simulation per thread, and each must fold its own registry. On the main
+  // thread this is indistinguishable from a process global.
+  static thread_local Registry registry;
   return registry;
 }
 

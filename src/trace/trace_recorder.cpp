@@ -6,7 +6,7 @@
 
 namespace smarth::trace {
 
-TraceRecorder* g_recorder = nullptr;
+thread_local TraceRecorder* g_recorder = nullptr;
 
 void install(TraceRecorder* r) { g_recorder = r; }
 

@@ -148,9 +148,10 @@ class TraceRecorder {
   std::map<int, std::map<std::int64_t, std::vector<HopStats>>> hops_;
 };
 
-/// Global recorder pointer. Null (the default) means tracing is disabled and
-/// every instrumentation site reduces to one branch.
-extern TraceRecorder* g_recorder;
+/// Per-thread recorder pointer. Null (the default) means tracing is disabled
+/// and every instrumentation site reduces to one branch. thread_local so
+/// parallel seed sweeps can trace (or not) per worker without sharing.
+extern thread_local TraceRecorder* g_recorder;
 
 inline bool active() { return g_recorder != nullptr; }
 inline TraceRecorder* recorder() { return g_recorder; }

@@ -53,8 +53,11 @@ faults::ChaosRates soak_rates() {
   return rates;
 }
 
-cluster::ClusterSpec soak_spec(std::uint64_t seed) {
+cluster::ClusterSpec soak_spec(
+    std::uint64_t seed,
+    hdfs::DataFidelity fidelity = hdfs::DataFidelity::kPacket) {
   cluster::ClusterSpec spec = cluster::small_cluster(seed);
+  spec.hdfs.fidelity = fidelity;
   spec.hdfs.block_size = 4 * kMiB;
   spec.hdfs.ack_timeout = seconds(2);
   spec.hdfs.datanode_dead_interval = seconds(8);
@@ -95,8 +98,10 @@ struct SoakResult {
 /// Drives one chaos-soaked upload with a bounded loop. The hard property is
 /// "complete or fail cleanly before `deadline`": if neither happens the test
 /// fails instead of hanging.
-SoakResult soak_once(std::uint64_t seed) {
-  Cluster cluster(soak_spec(seed));
+SoakResult soak_once(
+    std::uint64_t seed,
+    hdfs::DataFidelity fidelity = hdfs::DataFidelity::kPacket) {
+  Cluster cluster(soak_spec(seed, fidelity));
   cluster.throttle_cross_rack(Bandwidth::mbps(60));
   faults::FaultInjector injector(cluster, /*chaos_seed=*/seed * 7919 + 1);
   injector.start_chaos(soak_rates());
@@ -250,6 +255,40 @@ TEST(ChaosSoak, IdenticalSeedsProduceIdenticalTimelines) {
     EXPECT_EQ(a.replicas_invalidated, b.replicas_invalidated);
     EXPECT_EQ(a.file_closed, b.file_closed);
     EXPECT_EQ(a.replicas, b.replicas);
+  }
+}
+
+// Block fidelity must survive the same chaos: coalescing per-packet events
+// into macro-transfer units cannot introduce hangs or nondeterminism in the
+// recovery machinery. A subset of the sweep runs in block mode, and a
+// same-seed pair must reproduce the identical timeline there too.
+TEST(ChaosSoak, BlockFidelitySubsetCompletesOrFailsCleanly) {
+  const std::uint64_t seeds = std::min<std::uint64_t>(soak_seed_count(), 12);
+  std::uint64_t completed = 0;
+  std::uint64_t clean_failures = 0;
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult result = soak_once(seed, hdfs::DataFidelity::kBlock);
+    if (HasFatalFailure()) return;
+    total_faults += result.faults;
+    if (result.failed) {
+      ++clean_failures;
+    } else {
+      ++completed;
+    }
+  }
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(completed, seeds / 2) << "completed=" << completed
+                                  << " clean_failures=" << clean_failures;
+}
+
+TEST(ChaosSoak, BlockFidelityIdenticalSeedsProduceIdenticalTimelines) {
+  for (std::uint64_t seed : {5u, 17u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult a = soak_once(seed, hdfs::DataFidelity::kBlock);
+    const SoakResult b = soak_once(seed, hdfs::DataFidelity::kBlock);
+    EXPECT_EQ(a, b);
   }
 }
 

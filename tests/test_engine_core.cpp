@@ -1,0 +1,184 @@
+// Event-core refactor coverage: randomized differential testing of the
+// calendar queue against the pre-refactor reference design, tombstone
+// accounting, and the category dump the event limit produces.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/reference_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace smarth::sim {
+namespace {
+
+// --- Differential: calendar queue vs reference priority_queue ---------------
+// Drives both cores through the same randomized schedule/cancel script and
+// demands the identical execution sequence. Scripts mix far-future times
+// (exercising bucket distribution and ladder rebuilds), same-time ties
+// (insertion-order FIFO), zero delays, nested scheduling from callbacks, and
+// cancellation of a random live subset.
+
+struct Script {
+  struct Op {
+    SimDuration delay = 0;
+    bool cancel_some = false;
+    int nested = 0;  ///< events scheduled from inside the callback
+  };
+  std::vector<Op> ops;
+};
+
+Script make_script(std::uint64_t seed, int size) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<SimDuration> delay(0, 1'000'000);
+  std::uniform_int_distribution<int> shape(0, 9);
+  Script script;
+  for (int i = 0; i < size; ++i) {
+    Script::Op op;
+    const int kind = shape(rng);
+    if (kind == 0) {
+      op.delay = 0;  // schedule_now FIFO path
+    } else if (kind == 1) {
+      op.delay = 777;  // deliberate tie pile-up
+    } else {
+      op.delay = delay(rng);
+    }
+    op.cancel_some = kind == 2;
+    op.nested = kind >= 8 ? 2 : 0;
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+/// Runs a script against the calendar-queue Simulation; returns the order
+/// in which event ids executed.
+std::vector<int> run_calendar(const Script& script) {
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  int next_id = 0;
+  for (const Script::Op& op : script.ops) {
+    const int id = next_id++;
+    handles.push_back(sim.schedule_after(op.delay, [&, id, op] {
+      order.push_back(id);
+      for (int n = 0; n < op.nested; ++n) {
+        const int nested_id = 1'000'000 + id * 10 + n;
+        sim.schedule_after(op.delay / 2 + n,
+                           [&order, nested_id] { order.push_back(nested_id); });
+      }
+    }));
+    if (op.cancel_some && handles.size() >= 3) {
+      handles[handles.size() - 3].cancel();
+    }
+  }
+  sim.run();
+  return order;
+}
+
+/// The same script against the reference core.
+std::vector<int> run_reference(const Script& script) {
+  ReferenceQueue sim;
+  std::vector<int> order;
+  std::vector<ReferenceQueue::Handle> handles;
+  int next_id = 0;
+  for (const Script::Op& op : script.ops) {
+    const int id = next_id++;
+    handles.push_back(sim.schedule_after(op.delay, [&, id, op] {
+      order.push_back(id);
+      for (int n = 0; n < op.nested; ++n) {
+        const int nested_id = 1'000'000 + id * 10 + n;
+        sim.schedule_after(op.delay / 2 + n,
+                           [&order, nested_id] { order.push_back(nested_id); });
+      }
+    }));
+    if (op.cancel_some && handles.size() >= 3) {
+      handles[handles.size() - 3].cancel();
+    }
+  }
+  sim.run();
+  return order;
+}
+
+TEST(EngineDifferential, RandomScriptsMatchReferenceCore) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Script script = make_script(seed, 400);
+    const std::vector<int> calendar = run_calendar(script);
+    const std::vector<int> reference = run_reference(script);
+    ASSERT_EQ(calendar, reference) << "divergence at seed " << seed;
+  }
+}
+
+TEST(EngineDifferential, LargePendingSetMatches) {
+  // Enough simultaneous events to force several ladder rebuilds.
+  const Script script = make_script(99, 5000);
+  EXPECT_EQ(run_calendar(script), run_reference(script));
+}
+
+// --- Tombstones -------------------------------------------------------------
+
+TEST(EngineCancellation, CancelledCounterTracksTombstones) {
+  Simulation sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sim.schedule_at(100 + i, [] {}));
+  }
+  EXPECT_EQ(sim.events_cancelled(), 0u);
+  for (int i = 0; i < 5; ++i) handles[static_cast<size_t>(i)].cancel();
+  EXPECT_EQ(sim.events_cancelled(), 5u);
+  // Double-cancel is a no-op, not a double count.
+  handles[0].cancel();
+  EXPECT_EQ(sim.events_cancelled(), 5u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+  EXPECT_EQ(sim.events_cancelled(), 5u);
+}
+
+TEST(EngineCancellation, CancelledEventsDoNotBlockEmpty) {
+  // A cancelled record must not keep the simulation "non-empty" forever:
+  // run() terminates without executing it even though its time never comes.
+  Simulation sim;
+  auto handle = sim.schedule_at(1'000'000'000, [] {});
+  sim.schedule_at(10, [] {});
+  handle.cancel();
+  sim.run();
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_TRUE(sim.empty());
+}
+
+// --- Event-limit diagnostics ------------------------------------------------
+
+TEST(EngineLimit, LimitDumpNamesTopPendingCategories) {
+  Simulation sim;
+  sim.set_event_limit(50);
+  // A self-sustaining storm with a distinctive category name, plus a few
+  // bystanders in another category.
+  std::function<void()> storm = [&] { sim.post_after(1, "storm.tick", storm); };
+  for (int i = 0; i < 8; ++i) storm();
+  for (int i = 0; i < 3; ++i) sim.post_at(1'000'000, "bystander.later", [] {});
+  try {
+    sim.run();
+    FAIL() << "expected the event limit to throw";
+  } catch (const std::logic_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("event limit exceeded"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("storm.tick"), std::string::npos) << message;
+    EXPECT_NE(message.find("bystander.later"), std::string::npos) << message;
+  }
+}
+
+TEST(EngineLimit, CategorySummaryCountsPending) {
+  Simulation sim;
+  for (int i = 0; i < 4; ++i) sim.post_at(100, "a.lot", [] {});
+  sim.post_at(100, "a.little", [] {});
+  const std::string summary = sim.pending_category_summary();
+  // Sorted by count: the bigger category leads.
+  EXPECT_LT(summary.find("a.lot"), summary.find("a.little"));
+  EXPECT_NE(summary.find("4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smarth::sim

@@ -20,6 +20,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_spec.hpp"
 #include "common/flags.hpp"
+#include "harness/sweep.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "faults/fault_injector.hpp"
@@ -36,10 +37,12 @@ using namespace smarth;
 
 namespace {
 
-cluster::ClusterSpec spec_from_flags(const FlagSet& flags) {
+cluster::ClusterSpec spec_from_flags(const FlagSet& flags,
+                                     std::optional<std::uint64_t> seed_override =
+                                         std::nullopt) {
   const std::string name = flags.get("cluster");
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(flags.get_int("seed").value_or(42));
+  const std::uint64_t seed = seed_override.value_or(
+      static_cast<std::uint64_t>(flags.get_int("seed").value_or(42)));
   cluster::ClusterSpec spec;
   if (name == "hetero" || name == "heterogeneous") {
     spec = cluster::heterogeneous_cluster(seed);
@@ -58,6 +61,14 @@ cluster::ClusterSpec spec_from_flags(const FlagSet& flags) {
   if (const auto scan = flags.get_double("scan-mbps"); scan && *scan > 0) {
     spec.hdfs.scanner_bytes_per_second =
         static_cast<Bytes>(*scan * static_cast<double>(kMiB));
+  }
+  // --fidelity is validated in main() before any run.
+  if (flags.get("fidelity") == "block") {
+    spec.hdfs.fidelity = hdfs::DataFidelity::kBlock;
+  }
+  if (const auto tol = flags.get_double("fidelity-tolerance");
+      tol && *tol > 0) {
+    spec.hdfs.block_fidelity_tolerance = *tol;
   }
   return spec;
 }
@@ -143,33 +154,9 @@ faults::ChaosRates parse_chaos_rates(const std::string& text) {
   return rates;
 }
 
-RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
-  // Fresh metrics per protocol run. Must happen before the cluster exists:
-  // datanodes cache registry references at construction and a later reset
-  // would dangle them.
-  metrics::global_registry().reset();
-  if (trace::active()) {
-    trace::recorder()->begin_run(cluster::protocol_name(protocol));
-  }
-  cluster::Cluster cluster(spec_from_flags(flags));
-  if (trace::active()) {
-    trace::recorder()->set_time_source(
-        [&cluster] { return cluster.sim().now(); });
-  }
-  faults::FaultInjector injector(
-      cluster,
-      static_cast<std::uint64_t>(flags.get_int("chaos-seed").value_or(1)));
-
-  if (const auto throttle = flags.get_double("throttle-mbps");
-      throttle && *throttle > 0) {
-    cluster.throttle_cross_rack(Bandwidth::mbps(*throttle));
-  }
-  const auto slow_nodes = flags.get_int("slow-nodes").value_or(0);
-  const double slow_mbps = flags.get_double("slow-mbps").value_or(50);
-  for (std::int64_t i = 0; i < slow_nodes; ++i) {
-    cluster.throttle_datanode(static_cast<std::size_t>(i),
-                              Bandwidth::mbps(slow_mbps));
-  }
+/// Parses the one-shot fault flags (--crash/--rejoin/--fail-slow/--flap/
+/// --bitrot) into a FaultPlan. Exits loudly on malformed specs.
+workload::FaultPlan plan_from_flags(const FlagSet& flags) {
   workload::FaultPlan plan;
   try {
     if (flags.has("crash")) {
@@ -257,6 +244,67 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
     fault_flag_error("crash/rejoin/fail-slow/flap/bitrot",
                      "fault spec fields must be numeric");
   }
+  return plan;
+}
+
+/// Folds the cluster-level robustness counters (RPC bus, namenode, datanode
+/// scanners, injector) into `summary` after a run finishes.
+void fold_cluster_counters(metrics::FaultSummary& summary,
+                           cluster::Cluster& cluster,
+                           const faults::FaultInjector& injector) {
+  summary.fold_registry(metrics::global_registry());
+  summary.rpc_calls_dropped = cluster.rpc().calls_dropped();
+  summary.rpc_messages_lost = cluster.rpc().messages_lost();
+  summary.rpc_messages_delayed = cluster.rpc().messages_delayed();
+  summary.datanode_reregistrations = cluster.namenode().reregistrations();
+  summary.under_replicated_blocks =
+      cluster.namenode().under_replicated_blocks().size();
+  summary.faults_injected = injector.counts().total();
+  summary.lease_expiries = cluster.namenode().lease_expiries();
+  summary.uc_blocks_recovered = cluster.namenode().uc_blocks_recovered();
+  summary.bytes_salvaged = cluster.namenode().bytes_salvaged();
+  summary.orphans_abandoned = cluster.namenode().orphans_abandoned();
+  // The namenode count supersedes the per-read fold: it also sees reports
+  // from block scanners and re-replication source verification.
+  summary.bad_replica_reports =
+      static_cast<int>(cluster.namenode().bad_replica_reports());
+  summary.bitrot_flips = injector.counts().bitrot_flips;
+  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
+    const hdfs::Datanode& dn = cluster.datanode(i);
+    summary.replicas_invalidated += dn.replicas_invalidated();
+    summary.scrub_rot_detected += dn.scanner().rot_detected();
+    summary.scrub_bytes_scanned += dn.scanner().bytes_scanned();
+  }
+}
+
+RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
+  // Fresh metrics per protocol run. Must happen before the cluster exists:
+  // datanodes cache registry references at construction and a later reset
+  // would dangle them.
+  metrics::global_registry().reset();
+  if (trace::active()) {
+    trace::recorder()->begin_run(cluster::protocol_name(protocol));
+  }
+  cluster::Cluster cluster(spec_from_flags(flags));
+  if (trace::active()) {
+    trace::recorder()->set_time_source(
+        [&cluster] { return cluster.sim().now(); });
+  }
+  faults::FaultInjector injector(
+      cluster,
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed").value_or(1)));
+
+  if (const auto throttle = flags.get_double("throttle-mbps");
+      throttle && *throttle > 0) {
+    cluster.throttle_cross_rack(Bandwidth::mbps(*throttle));
+  }
+  const auto slow_nodes = flags.get_int("slow-nodes").value_or(0);
+  const double slow_mbps = flags.get_double("slow-mbps").value_or(50);
+  for (std::int64_t i = 0; i < slow_nodes; ++i) {
+    cluster.throttle_datanode(static_cast<std::size_t>(i),
+                              Bandwidth::mbps(slow_mbps));
+  }
+  workload::FaultPlan plan = plan_from_flags(flags);
   std::optional<SimTime> client_crash_at;
   if (flags.has("client-crash")) {
     // --client-crash=<seconds>: the writer host dies mid-upload; lease
@@ -356,37 +404,84 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   outcome.events = cluster.sim().events_executed();
   outcome.summary.fold(outcome.stats);
   if (outcome.read) outcome.summary.fold_read(*outcome.read);
-  outcome.summary.fold_registry(metrics::global_registry());
-  outcome.summary.rpc_calls_dropped = cluster.rpc().calls_dropped();
-  outcome.summary.rpc_messages_lost = cluster.rpc().messages_lost();
-  outcome.summary.rpc_messages_delayed = cluster.rpc().messages_delayed();
-  outcome.summary.datanode_reregistrations =
-      cluster.namenode().reregistrations();
-  outcome.summary.under_replicated_blocks =
-      cluster.namenode().under_replicated_blocks().size();
-  outcome.summary.faults_injected = injector.counts().total();
-  outcome.summary.lease_expiries = cluster.namenode().lease_expiries();
-  outcome.summary.uc_blocks_recovered =
-      cluster.namenode().uc_blocks_recovered();
-  outcome.summary.bytes_salvaged = cluster.namenode().bytes_salvaged();
-  outcome.summary.orphans_abandoned = cluster.namenode().orphans_abandoned();
-  // The namenode count supersedes the per-read fold: it also sees reports
-  // from block scanners and re-replication source verification.
-  outcome.summary.bad_replica_reports =
-      static_cast<int>(cluster.namenode().bad_replica_reports());
-  outcome.summary.bitrot_flips = injector.counts().bitrot_flips;
-  for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
-    const hdfs::Datanode& dn = cluster.datanode(i);
-    outcome.summary.replicas_invalidated += dn.replicas_invalidated();
-    outcome.summary.scrub_rot_detected += dn.scanner().rot_detected();
-    outcome.summary.scrub_bytes_scanned += dn.scanner().bytes_scanned();
-  }
+  fold_cluster_counters(outcome.summary, cluster, injector);
   if (sampler) sampler->stop();
   Logger::instance().set_level(LogLevel::kWarn);
   Logger::instance().set_time_source(nullptr);
   // The recorder outlives this cluster; its clock must not.
   if (trace::active()) trace::recorder()->set_time_source(nullptr);
   return outcome;
+}
+
+/// --sweep-seeds mode: N independent worlds per protocol, one per seed,
+/// spread over --jobs worker threads. Share-nothing: each worker resets its
+/// thread-local metrics registry and builds its own cluster, so every
+/// per-seed result is identical to running that seed alone and the merged
+/// report is independent of thread scheduling.
+int run_sweeps(const FlagSet& flags,
+               const std::vector<cluster::Protocol>& protocols) {
+  const int seeds = static_cast<int>(flags.get_int("sweep-seeds").value_or(0));
+  const int jobs = static_cast<int>(flags.get_int("jobs").value_or(0));
+  const auto base_seed =
+      static_cast<std::uint64_t>(flags.get_int("seed").value_or(42));
+  const auto chaos_base =
+      static_cast<std::uint64_t>(flags.get_int("chaos-seed").value_or(1));
+  const Bytes size =
+      static_cast<Bytes>(flags.get_double("size-gb").value_or(1.0) *
+                         static_cast<double>(kGiB));
+  // Parse the shared fault plan once so a malformed flag fails fast, before
+  // any thread spawns.
+  const workload::FaultPlan plan = plan_from_flags(flags);
+  const bool faults_active = flags.has("chaos-rates") || !plan.empty();
+  const bool want_summary = flags.get_bool("fault-summary") || faults_active;
+
+  int exit_code = 0;
+  std::vector<double> mean_by_protocol;
+  for (const cluster::Protocol protocol : protocols) {
+    const harness::SweepSummary sweep = harness::run_seed_sweep(
+        base_seed, seeds, jobs,
+        [&](std::uint64_t seed, harness::SeedRun& run) {
+          metrics::global_registry().reset();
+          cluster::Cluster cluster(spec_from_flags(flags, seed));
+          faults::FaultInjector injector(cluster,
+                                         chaos_base + (seed - base_seed));
+          if (const auto throttle = flags.get_double("throttle-mbps");
+              throttle && *throttle > 0) {
+            cluster.throttle_cross_rack(Bandwidth::mbps(*throttle));
+          }
+          const auto slow_nodes = flags.get_int("slow-nodes").value_or(0);
+          const double slow_mbps = flags.get_double("slow-mbps").value_or(50);
+          for (std::int64_t i = 0; i < slow_nodes; ++i) {
+            cluster.throttle_datanode(static_cast<std::size_t>(i),
+                                      Bandwidth::mbps(slow_mbps));
+          }
+          if (!plan.empty()) plan.apply(injector);
+          if (flags.has("chaos-rates")) {
+            injector.start_chaos(parse_chaos_rates(flags.get("chaos-rates")));
+          }
+          run.stats = cluster.run_upload("/data/sweep.bin", size, protocol);
+          run.events = cluster.sim().events_executed();
+          run.summary.fold(run.stats);
+          fold_cluster_counters(run.summary, cluster, injector);
+        });
+    std::printf("%s sweep, %d seeds from %llu:\n%s",
+                cluster::protocol_name(protocol), seeds,
+                static_cast<unsigned long long>(base_seed),
+                harness::render_sweep(sweep).c_str());
+    if (want_summary) {
+      std::printf("%s merged robustness:\n%s",
+                  cluster::protocol_name(protocol),
+                  metrics::render_fault_summary(sweep.merged).c_str());
+    }
+    mean_by_protocol.push_back(sweep.mean_seconds);
+    if (sweep.errored > 0) exit_code = 1;
+    if (!faults_active && sweep.merged.failed_uploads > 0) exit_code = 1;
+  }
+  if (mean_by_protocol.size() == 2 && mean_by_protocol[1] > 0) {
+    std::printf("mean improvement: %.1f%%\n",
+                (mean_by_protocol[0] / mean_by_protocol[1] - 1.0) * 100.0);
+  }
+  return exit_code;
 }
 
 }  // namespace
@@ -419,6 +514,17 @@ int main(int argc, char** argv) {
   flags.declare("block-mb", "HDFS block size in MiB", "64");
   flags.declare("replication", "replication factor", "3");
   flags.declare("seed", "simulation seed", "42");
+  flags.declare("fidelity",
+                "data-path granularity: packet (reference) | block "
+                "(coalesced macro-transfers, ~10x fewer events)", "packet");
+  flags.declare("fidelity-tolerance",
+                "block-mode timing distortion ceiling as a fraction of a "
+                "block's transfer time", "0.05");
+  flags.declare("sweep-seeds",
+                "run N independent seeds (counting up from --seed) per "
+                "protocol and merge the results (0 = single-run mode)", "0");
+  flags.declare("jobs",
+                "worker threads for --sweep-seeds (0 = one per core)", "0");
   flags.declare("trace-out",
                 "write a Chrome trace_event JSON of all runs (open in "
                 "Perfetto / chrome://tracing)", "");
@@ -456,6 +562,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (const std::string fidelity = flags.get("fidelity");
+      fidelity != "packet" && fidelity != "block") {
+    std::fprintf(stderr, "unknown --fidelity=%s (expected packet or block)\n",
+                 fidelity.c_str());
+    return 2;
+  }
   const std::string trace_out = flags.get("trace-out");
   const std::string metrics_out = flags.get("metrics-out");
   const bool want_straggler = flags.get_bool("straggler-report");
@@ -473,6 +585,22 @@ int main(int argc, char** argv) {
   if (protocols.empty()) {
     std::fprintf(stderr, "unknown --protocol=%s\n", protocol_choice.c_str());
     return 2;
+  }
+
+  if (flags.get_int("sweep-seeds").value_or(0) > 0) {
+    // Sweep mode merges N share-nothing runs; the single-run observability
+    // attachments (trace, per-run metrics export, timelines, client-crash
+    // drive loop, read-back) are per-world and do not compose across it.
+    if (!trace_out.empty() || !metrics_out.empty() || want_straggler ||
+        flags.get_bool("timeline") || flags.get_bool("read-back") ||
+        flags.has("client-crash")) {
+      std::fprintf(stderr,
+                   "--sweep-seeds does not combine with --trace-out, "
+                   "--metrics-out, --straggler-report, --timeline, "
+                   "--read-back or --client-crash\n");
+      return 2;
+    }
+    return run_sweeps(flags, protocols);
   }
 
   // Under injected faults a failed upload is a legitimate outcome worth
