@@ -49,6 +49,15 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
   namenode_ = std::make_unique<hdfs::Namenode>(*sim_, network_->topology(),
                                                spec_.hdfs, nn_node);
 
+  // Durability: every namespace mutation journals into the edit log, and the
+  // checkpointer periodically snapshots the namenode into an fsimage and
+  // truncates the log. Restart replays fsimage + tail; see restart_namenode().
+  edit_log_ = std::make_unique<hdfs::EditLog>();
+  namenode_->attach_edit_log(edit_log_.get());
+  checkpointer_ = std::make_unique<hdfs::FsImageCheckpointer>(
+      *sim_, *namenode_, *edit_log_, spec_.hdfs.checkpoint_interval);
+  checkpointer_->start();
+
   for (const NodeSpec& node_spec : spec_.datanodes) {
     const NodeId node = network_->add_node(node_spec.name, node_spec.rack,
                                            node_spec.profile.network);
@@ -236,6 +245,100 @@ bool Cluster::client_crashed(std::size_t index) const {
 hdfs::QuarantineList& Cluster::quarantine(std::size_t client_index) {
   SMARTH_CHECK(client_index < clients_.size());
   return *clients_[client_index].quarantine;
+}
+
+void Cluster::crash_namenode() {
+  if (namenode_crashed_) return;
+  namenode_crashed_ = true;
+  nn_crashed_at_ = sim_->now();
+  namenode_->crash();
+  // Client calls to a down host fall into rpc::call_with_retry backoff;
+  // heartbeats and blockReceived notifies are dropped outright.
+  rpc_->set_host_down(namenode_->node_id(), true);
+  network_->set_node_isolated(namenode_->node_id(), true);
+  SMARTH_WARN("cluster") << "namenode crashed";
+}
+
+void Cluster::restart_namenode() {
+  SMARTH_CHECK_MSG(namenode_crashed_,
+                   "restart_namenode: namenode is not down");
+  // The recovery inputs are fixed at initiation: nothing journals while the
+  // process is dead, so image + tail cannot move under the scheduled replay.
+  const hdfs::NamenodeImage image = checkpointer_->latest();
+  std::vector<hdfs::EditOp> tail = edit_log_->tail(image.last_txid);
+  const SimDuration delay =
+      spec_.hdfs.nn_restart_process_delay +
+      spec_.hdfs.edit_replay_op_cost * static_cast<std::int64_t>(tail.size());
+  sim_->schedule_after(delay, "nn-restart", [this, image,
+                                             tail = std::move(tail)] {
+    complete_namenode_recovery(image, tail, /*failover=*/false);
+  });
+}
+
+void Cluster::failover_namenode() {
+  SMARTH_CHECK_MSG(namenode_crashed_,
+                   "failover_namenode: namenode is not down");
+  SMARTH_CHECK_MSG(standby_ != nullptr,
+                   "failover_namenode: enable_standby() was never called");
+  // Promote the standby: only the ops past its tail position need replaying,
+  // so the downtime is strictly below a cold restart from the fsimage.
+  standby_->stop();
+  const hdfs::NamenodeImage image = standby_->image();
+  std::vector<hdfs::EditOp> tail = edit_log_->tail(image.last_txid);
+  const SimDuration delay =
+      spec_.hdfs.nn_failover_delay +
+      spec_.hdfs.edit_replay_op_cost * static_cast<std::int64_t>(tail.size());
+  sim_->schedule_after(delay, "nn-failover", [this, image,
+                                              tail = std::move(tail)] {
+    complete_namenode_recovery(image, tail, /*failover=*/true);
+  });
+}
+
+void Cluster::complete_namenode_recovery(const hdfs::NamenodeImage& image,
+                                         const std::vector<hdfs::EditOp>& tail,
+                                         bool failover) {
+  namenode_->restart(image, tail);
+  namenode_crashed_ = false;
+  rpc_->set_host_down(namenode_->node_id(), false);
+  network_->set_node_isolated(namenode_->node_id(), false);
+  last_nn_downtime_ = sim_->now() - nn_crashed_at_;
+  nn_downtimes_.push_back(last_nn_downtime_);
+  nn_crashed_at_ = -1;
+  if (failover) ++nn_failovers_;
+  // The standby stays consistent across the outage — it tails the same log
+  // the revived active journals into — so it just resumes tailing.
+  if (standby_ != nullptr) standby_->start();
+  SMARTH_INFO("cluster") << "namenode "
+                         << (failover ? "failover" : "restart")
+                         << " complete after "
+                         << last_nn_downtime_ / 1'000'000 << " ms downtime ("
+                         << tail.size() << " ops replayed)";
+}
+
+void Cluster::crash_namenode_at(SimTime at) {
+  sim_->schedule_at(at, [this] { crash_namenode(); });
+}
+
+void Cluster::restart_namenode_at(SimTime at) {
+  sim_->schedule_at(at, [this] { restart_namenode(); });
+}
+
+void Cluster::failover_namenode_at(SimTime at) {
+  sim_->schedule_at(at, [this] { failover_namenode(); });
+}
+
+void Cluster::enable_standby() {
+  if (standby_ != nullptr) return;
+  SMARTH_CHECK_MSG(!namenode_crashed_,
+                   "enable_standby: active namenode is down");
+  standby_ = std::make_unique<hdfs::StandbyNamenode>(
+      *sim_, network_->topology(), spec_.hdfs, namenode_->node_id(),
+      *edit_log_);
+  standby_->bootstrap(namenode_->capture_image(), edit_log_->last_txid());
+  standby_->start();
+  // Checkpoints must never truncate ops the standby has not applied yet.
+  checkpointer_->set_truncate_floor(
+      [this] { return standby_->applied_txid(); });
 }
 
 void Cluster::enable_rereplication(SimDuration scan_interval) {

@@ -13,9 +13,12 @@
 #include "cluster/cluster_spec.hpp"
 #include "hdfs/datanode.hpp"
 #include "hdfs/dfs_client.hpp"
+#include "hdfs/edit_log.hpp"
+#include "hdfs/fsimage.hpp"
 #include "hdfs/input_stream.hpp"
 #include "hdfs/namenode.hpp"
 #include "hdfs/output_stream.hpp"
+#include "hdfs/standby.hpp"
 #include "hdfs/transport.hpp"
 #include "net/network.hpp"
 #include "rpc/rpc_bus.hpp"
@@ -83,6 +86,44 @@ class Cluster {
   /// The quarantine list recovery feeds and placement consults, per client.
   hdfs::QuarantineList& quarantine(std::size_t client_index = 0);
 
+  // --- Namenode crash / restart / failover ------------------------------------
+  /// Control-plane loss: the namenode process dies. Monitors freeze, its RPC
+  /// endpoint goes down (client calls fall into their retry backoff,
+  /// heartbeats and blockReceived notifications are dropped) and its host is
+  /// isolated from the fabric.
+  void crash_namenode();
+  /// Cold restart: boots a fresh namenode process from the latest fsimage
+  /// checkpoint plus the edit-log tail. Service resumes after
+  /// nn_restart_process_delay + edit_replay_op_cost * tail-ops, in safe mode
+  /// until enough replicas are re-reported.
+  void restart_namenode();
+  /// Warm failover: promotes the standby (enable_standby() must have been
+  /// called). Only the ops past the standby's tail position need replaying,
+  /// so downtime is strictly below a cold restart's.
+  void failover_namenode();
+  void crash_namenode_at(SimTime at);
+  void restart_namenode_at(SimTime at);
+  void failover_namenode_at(SimTime at);
+  bool namenode_crashed() const { return namenode_crashed_; }
+
+  /// Brings up the warm standby: bootstraps from the active's current image
+  /// and starts tailing the edit log. Idempotent.
+  void enable_standby();
+  bool standby_enabled() const { return standby_ != nullptr; }
+  const hdfs::StandbyNamenode* standby() const { return standby_.get(); }
+
+  hdfs::EditLog& edit_log() { return *edit_log_; }
+  const hdfs::FsImageCheckpointer& checkpointer() const {
+    return *checkpointer_;
+  }
+  /// Downtime of the most recent completed outage (-1 before the first).
+  SimDuration last_namenode_downtime() const { return last_nn_downtime_; }
+  /// Every completed outage's downtime, in order.
+  const std::vector<SimDuration>& namenode_downtimes() const {
+    return nn_downtimes_;
+  }
+  std::uint64_t namenode_failovers() const { return nn_failovers_; }
+
   /// Turns on the namenode's background re-replication of under-replicated
   /// blocks (off by default; the paper's experiments do not rely on it).
   void enable_rereplication(SimDuration scan_interval = seconds(5));
@@ -141,6 +182,11 @@ class Cluster {
   hdfs::Datanode* resolve_datanode(NodeId node);
   hdfs::AckSink* resolve_ack_sink(NodeId node, PipelineId pipeline);
   hdfs::ReadSink* resolve_read_sink(NodeId node, hdfs::ReadId read);
+  /// Shared tail of restart_namenode()/failover_namenode(): restores the
+  /// process from `image` + `tail` and lifts the RPC/network isolation.
+  void complete_namenode_recovery(const hdfs::NamenodeImage& image,
+                                  const std::vector<hdfs::EditOp>& tail,
+                                  bool failover);
 
   ClusterSpec spec_;
   std::unique_ptr<sim::Simulation> sim_;
@@ -148,6 +194,14 @@ class Cluster {
   std::unique_ptr<rpc::RpcBus> rpc_;
   std::unique_ptr<hdfs::Transport> transport_;
   std::unique_ptr<hdfs::Namenode> namenode_;
+  std::unique_ptr<hdfs::EditLog> edit_log_;
+  std::unique_ptr<hdfs::FsImageCheckpointer> checkpointer_;
+  std::unique_ptr<hdfs::StandbyNamenode> standby_;
+  bool namenode_crashed_ = false;
+  SimTime nn_crashed_at_ = -1;
+  SimDuration last_nn_downtime_ = -1;
+  std::vector<SimDuration> nn_downtimes_;
+  std::uint64_t nn_failovers_ = 0;
   std::vector<std::unique_ptr<hdfs::Datanode>> datanodes_;
   std::vector<NodeId> datanode_ids_;
   std::vector<ClientRuntime> clients_;

@@ -63,6 +63,11 @@ class IdGenerator {
  public:
   Id next() { return Id{next_++}; }
   std::int64_t issued() const { return next_; }
+  /// Raises the high-water mark (edit-log replay / fsimage restore): after
+  /// this, next() never reissues an id below `issued`.
+  void ensure_at_least(std::int64_t issued) {
+    if (issued > next_) next_ = issued;
+  }
 
  private:
   std::int64_t next_ = 0;

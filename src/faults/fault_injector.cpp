@@ -196,6 +196,43 @@ void FaultInjector::crash_and_rejoin_client(std::size_t client_index,
   mark_client_busy(client_index, rejoin_at);
 }
 
+void FaultInjector::crash_namenode(SimTime at) {
+  cluster_.sim().schedule_at(at, [this] {
+    if (cluster_.namenode_crashed()) return;
+    SMARTH_KV(LogLevel::kWarn, "faults", "nn-crash");
+    trace_fault("nn crash", {});
+    cluster_.crash_namenode();
+    ++counts_.nn_crashes;
+  });
+}
+
+void FaultInjector::crash_and_restart_namenode(SimTime at, SimTime restart_at) {
+  SMARTH_CHECK_MSG(restart_at > at, "restart must come after the crash");
+  crash_namenode(at);
+  cluster_.sim().schedule_at(restart_at, [this] {
+    if (!cluster_.namenode_crashed()) return;
+    SMARTH_KV(LogLevel::kInfo, "faults", "nn-restart");
+    trace_fault("nn restart", {});
+    cluster_.restart_namenode();
+    ++counts_.nn_restarts;
+  });
+  nn_busy_until_ = std::max(nn_busy_until_, restart_at);
+}
+
+void FaultInjector::crash_and_failover_namenode(SimTime at,
+                                                SimTime failover_at) {
+  SMARTH_CHECK_MSG(failover_at > at, "failover must come after the crash");
+  crash_namenode(at);
+  cluster_.sim().schedule_at(failover_at, [this] {
+    if (!cluster_.namenode_crashed()) return;
+    SMARTH_KV(LogLevel::kInfo, "faults", "nn-failover");
+    trace_fault("nn failover", {});
+    cluster_.failover_namenode();
+    ++counts_.nn_failovers;
+  });
+  nn_busy_until_ = std::max(nn_busy_until_, failover_at);
+}
+
 void FaultInjector::set_rpc_chaos(double loss_probability,
                                   SimDuration delay_mean,
                                   SimDuration delay_jitter) {
@@ -214,7 +251,8 @@ void FaultInjector::start_chaos(const ChaosRates& rates, SimDuration tick) {
                 rates_.rpc_delay_jitter);
   if (rates_.crash_per_minute <= 0.0 && rates_.fail_slow_per_minute <= 0.0 &&
       rates_.flap_per_minute <= 0.0 && rates_.client_crash_per_minute <= 0.0 &&
-      rates_.bitrot_per_replica_hour <= 0.0) {
+      rates_.bitrot_per_replica_hour <= 0.0 &&
+      rates_.nn_crash_per_minute <= 0.0) {
     return;  // only RPC chaos requested; no sampling loop needed
   }
   chaos_task_ = std::make_unique<sim::PeriodicTask>(cluster_.sim(), tick_,
@@ -292,6 +330,22 @@ void FaultInjector::chaos_tick() {
           rates_.client_crash_per_minute * per_minute_to_per_tick;
       if (!hit || client_busy(i)) continue;
       crash_and_rejoin_client(i, now, now + rates_.client_rejoin_delay);
+    }
+  }
+  // The namenode draw is last on the shared stream and only happens when the
+  // class is enabled, so seeds predating control-plane chaos keep their exact
+  // datanode/client fault timelines. The draw itself is unconditional (stream
+  // alignment); only the application is gated on the namenode being up and no
+  // recovery being pending.
+  if (rates_.nn_crash_per_minute > 0.0) {
+    const bool hit =
+        rng_.uniform() < rates_.nn_crash_per_minute * per_minute_to_per_tick;
+    if (hit && !cluster_.namenode_crashed() && nn_busy_until_ <= now) {
+      if (rates_.nn_failover && cluster_.standby_enabled()) {
+        crash_and_failover_namenode(now, now + rates_.nn_restart_delay);
+      } else {
+        crash_and_restart_namenode(now, now + rates_.nn_restart_delay);
+      }
     }
   }
   // Bit-rot draws come from a dedicated stream (see bitrot_rng_), so this

@@ -48,6 +48,14 @@ struct ChaosRates {
   /// shifts the other classes' timelines.
   double bitrot_per_replica_hour = 0.0;
 
+  /// Control-plane loss chaos: the namenode process dies ~r times per
+  /// simulated minute and comes back after nn_restart_delay — via a cold
+  /// restart (fsimage + edit-log tail) or, when nn_failover is set and a
+  /// standby is enabled, a warm failover. While the namenode is down, client
+  /// RPCs fall into their retry backoff and heartbeats are dropped; on
+  /// recovery the namenode runs in safe mode until replicas re-report.
+  double nn_crash_per_minute = 0.0;
+
   /// Control-plane chaos, applied to the RPC bus when any() holds.
   double rpc_loss = 0.0;              ///< per-message drop probability
   SimDuration rpc_delay_mean = 0;     ///< extra control-message latency
@@ -59,12 +67,14 @@ struct ChaosRates {
   double fail_slow_factor = 8.0;                ///< bandwidth divisor
   SimDuration flap_duration = seconds(2);       ///< isolation window
   SimDuration client_rejoin_delay = seconds(10);///< writer crash -> reboot
+  SimDuration nn_restart_delay = seconds(5);    ///< nn crash -> recovery start
+  bool nn_failover = false;  ///< recover via standby instead of cold restart
 
   bool any() const {
     return crash_per_minute > 0.0 || fail_slow_per_minute > 0.0 ||
            flap_per_minute > 0.0 || client_crash_per_minute > 0.0 ||
-           bitrot_per_replica_hour > 0.0 || rpc_loss > 0.0 ||
-           rpc_delay_mean > 0;
+           bitrot_per_replica_hour > 0.0 || nn_crash_per_minute > 0.0 ||
+           rpc_loss > 0.0 || rpc_delay_mean > 0;
   }
 };
 
@@ -79,10 +89,14 @@ struct InjectionCounts {
   std::uint64_t client_crashes = 0;
   std::uint64_t client_restarts = 0;
   std::uint64_t bitrot_flips = 0;  ///< at-rest chunk corruptions applied
+  std::uint64_t nn_crashes = 0;    ///< namenode process deaths
+  std::uint64_t nn_restarts = 0;   ///< cold restarts (fsimage + log replay)
+  std::uint64_t nn_failovers = 0;  ///< warm standby promotions
 
   std::uint64_t total() const {
     return crashes + restarts + fail_slows + flaps + partitions + corruptions +
-           client_crashes + client_restarts + bitrot_flips;
+           client_crashes + client_restarts + bitrot_flips + nn_crashes +
+           nn_restarts + nn_failovers;
   }
 };
 
@@ -129,6 +143,17 @@ class FaultInjector {
   /// survives) at `rejoin_at`.
   void crash_and_rejoin_client(std::size_t client_index, SimTime at,
                                SimTime rejoin_at);
+  /// Namenode crash with no recovery: the control plane stays dark. Client
+  /// RPCs burn through their retry budgets; heartbeats and blockReceived
+  /// notifications drop on the floor.
+  void crash_namenode(SimTime at);
+  /// Namenode crash at `at`, cold restart initiated at `restart_at` (service
+  /// resumes after the process-boot delay plus edit-log replay, in safe mode
+  /// until enough replicas re-report).
+  void crash_and_restart_namenode(SimTime at, SimTime restart_at);
+  /// Namenode crash at `at`, warm standby promotion at `failover_at`
+  /// (cluster.enable_standby() must have been called).
+  void crash_and_failover_namenode(SimTime at, SimTime failover_at);
   /// Installs RPC chaos on the bus (loss probability + delay distribution).
   void set_rpc_chaos(double loss_probability, SimDuration delay_mean,
                      SimDuration delay_jitter);
@@ -168,6 +193,9 @@ class FaultInjector {
   /// Same ledger for client hosts; sized lazily because clients can be
   /// added after the injector is constructed.
   std::vector<SimTime> client_busy_until_;
+  /// End of the current namenode outage window (chaos never stacks a second
+  /// crash on a pending recovery).
+  SimTime nn_busy_until_ = 0;
 };
 
 }  // namespace smarth::faults

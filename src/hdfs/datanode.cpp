@@ -59,7 +59,12 @@ void Datanode::start() {
         }
         rpc_.notify(self_, namenode_.node_id(),
                     [this, report = std::move(report)] {
-                      namenode_.handle_heartbeat(self_);
+                      if (!namenode_.handle_heartbeat(self_)) {
+                        // The namenode restarted and lost our registration:
+                        // re-register, then let the full report below stand
+                        // in for the post-registration block report.
+                        namenode_.register_datanode(self_);
+                      }
                       for (const auto& [block, bytes] : report) {
                         namenode_.block_received(self_, block, bytes);
                       }

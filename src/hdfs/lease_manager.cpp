@@ -54,6 +54,32 @@ std::vector<std::pair<ClientId, FileId>> LeaseManager::hard_expired_files(
   return expired;
 }
 
+std::vector<LeaseImage> LeaseManager::snapshot() const {
+  std::vector<LeaseImage> out;
+  out.reserve(leases_.size());
+  for (const auto& [holder, lease] : leases_) {
+    LeaseImage image;
+    image.holder = holder;
+    image.last_renewal = lease.last_renewal;
+    image.files.assign(lease.files.begin(), lease.files.end());
+    out.push_back(std::move(image));
+  }
+  return out;
+}
+
+void LeaseManager::restore(const std::vector<LeaseImage>& leases) {
+  leases_.clear();
+  for (const LeaseImage& image : leases) {
+    Lease& lease = leases_[image.holder];
+    lease.last_renewal = image.last_renewal;
+    lease.files.insert(image.files.begin(), image.files.end());
+  }
+}
+
+void LeaseManager::reset_renewals(SimTime now) {
+  for (auto& [holder, lease] : leases_) lease.last_renewal = now;
+}
+
 std::size_t LeaseManager::active_lease_count() const {
   std::size_t count = 0;
   for (const auto& [holder, lease] : leases_) {

@@ -18,6 +18,17 @@
 
 namespace smarth::hdfs {
 
+/// One client's lease in durable form: holder, last renewal stamp, held
+/// files (sorted). Snapshotted into the fsimage and compared bit-for-bit by
+/// the replay-equivalence property test.
+struct LeaseImage {
+  ClientId holder;
+  SimTime last_renewal = 0;
+  std::vector<FileId> files;
+
+  friend bool operator==(const LeaseImage&, const LeaseImage&) = default;
+};
+
 class LeaseManager {
  public:
   LeaseManager(SimDuration soft_limit, SimDuration hard_limit)
@@ -59,6 +70,17 @@ class LeaseManager {
 
   SimDuration soft_limit() const { return soft_limit_; }
   SimDuration hard_limit() const { return hard_limit_; }
+
+  // --- durability -----------------------------------------------------------
+  /// All leases (including empty heartbeat-only ones), sorted by holder.
+  std::vector<LeaseImage> snapshot() const;
+  /// Replaces the lease table with `leases` (fsimage restore). The renewal
+  /// counter is telemetry, not namespace state, and is left untouched.
+  void restore(const std::vector<LeaseImage>& leases);
+  /// Stamps every lease as renewed at `now`. A restarted namenode cannot
+  /// distinguish "writer died during the outage" from "renewals were lost
+  /// with the process", so — like HDFS — expiry clocks restart with it.
+  void reset_renewals(SimTime now);
 
  private:
   struct Lease {

@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "hdfs/edit_log.hpp"
+#include "hdfs/fsimage.hpp"
 #include "trace/metrics_registry.hpp"
 #include "trace/trace_recorder.hpp"
 
@@ -65,25 +67,44 @@ void Namenode::set_placement_policy(std::unique_ptr<PlacementPolicy> policy) {
 }
 
 void Namenode::register_datanode(NodeId dn) {
+  // Registration into a crashed control plane is lost with it; the datanode
+  // re-registers when a post-restore heartbeat comes back unrecognized.
+  if (crashed_) return;
   // Idempotent: a crashed datanode that restarts re-registers (real HDFS
   // treats it as a fresh registration of a known storage id); the heartbeat
   // clock restarts so the node counts as alive again immediately.
   if (std::find(datanodes_.begin(), datanodes_.end(), dn) !=
       datanodes_.end()) {
     ++reregistrations_;
+    // A re-registration announces a fresh process: whatever replica state its
+    // previous incarnation reported is stale until the block report that
+    // follows the registration re-asserts it. Dropping it here (instead of
+    // merging) is what keeps re-registration idempotent — the old entries
+    // cannot double-count live replicas or shadow replicas lost in the
+    // restart. Quarantine entries stay: a condemned replica remains condemned
+    // across its node's restarts.
+    for (auto& [id, record] : blocks_) record.reported.erase(dn);
     SMARTH_INFO("namenode") << "datanode " << dn.value() << " re-registered";
   } else {
     datanodes_.push_back(dn);
   }
   last_heartbeat_[dn] = sim_.now();
+  // A returning datanode may be the one safe mode was waiting on.
+  maybe_exit_safe_mode();
 }
 
-void Namenode::handle_heartbeat(NodeId dn) {
+bool Namenode::handle_heartbeat(NodeId dn) {
   auto it = last_heartbeat_.find(dn);
-  SMARTH_CHECK_MSG(it != last_heartbeat_.end(),
-                   "heartbeat from unregistered datanode " << dn.value());
+  if (it == last_heartbeat_.end()) {
+    // Unknown node — typically this namenode restarted and lost its
+    // registration table. The datanode re-registers on seeing `false`.
+    SMARTH_DEBUG("namenode") << "heartbeat from unregistered datanode "
+                             << dn.value() << "; requesting re-registration";
+    return false;
+  }
   it->second = sim_.now();
   ++heartbeats_;
+  return true;
 }
 
 bool Namenode::is_alive(NodeId dn) const {
@@ -121,6 +142,12 @@ Result<FileId> Namenode::create(const std::string& path, ClientId client,
     return Error{"invalid_path", "path must be absolute: " + path};
   }
   leases_.renew(client, sim_.now());
+  {
+    EditOp op;
+    op.type = EditOpType::kLeaseRenew;
+    op.client = client;
+    journal(std::move(op));
+  }
   if (auto it = files_by_path_.find(path); it != files_by_path_.end()) {
     FileEntry& existing = files_.at(it->second);
     if (existing.state == FileState::kUnderConstruction) {
@@ -160,6 +187,14 @@ Result<FileId> Namenode::create(const std::string& path, ClientId client,
   files_by_path_.emplace(path, id);
   files_.emplace(id, std::move(entry));
   leases_.add(client, id, sim_.now());
+  {
+    EditOp op;
+    op.type = EditOpType::kCreate;
+    op.file = id;
+    op.client = client;
+    op.path = path;
+    journal(std::move(op));
+  }
   SMARTH_DEBUG("namenode") << "created " << path << " as " << id.to_string();
   return id;
 }
@@ -188,6 +223,12 @@ Result<LocatedBlock> Namenode::add_block(
                                        entry.path};
   }
   leases_.renew(client, sim_.now());
+  {
+    EditOp op;
+    op.type = EditOpType::kLeaseRenew;
+    op.client = client;
+    journal(std::move(op));
+  }
   if (block_index >= 0 &&
       block_index < static_cast<std::int64_t>(entry.blocks.size())) {
     // Retry of an addBlock whose response was lost: return the allocation
@@ -223,6 +264,15 @@ Result<LocatedBlock> Namenode::add_block(
   record.expected_targets = targets;
   blocks_.emplace(block, std::move(record));
   entry.blocks.push_back(block);
+  {
+    EditOp op;
+    op.type = EditOpType::kAddBlock;
+    op.file = file;
+    op.block = block;
+    op.client = client;
+    op.nodes = targets;
+    journal(std::move(op));
+  }
   if (trace::active()) {
     std::string joined;
     for (NodeId t : targets) {
@@ -273,10 +323,23 @@ Status Namenode::update_block_targets(BlockId block,
     return make_error("block_not_found", "unknown block " + block.to_string());
   }
   it->second.expected_targets = std::move(targets);
+  {
+    EditOp op;
+    op.type = EditOpType::kUpdateTargets;
+    op.block = block;
+    op.file = it->second.file;
+    op.nodes = it->second.expected_targets;
+    journal(std::move(op));
+  }
   return Status::ok_status();
 }
 
 Result<bool> Namenode::complete(FileId file, ClientId client) {
+  if (safe_mode_) {
+    // Not an error: the replica reports complete() depends on are still
+    // arriving. The client retries, exactly as for minimum-replication waits.
+    return false;
+  }
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Error{"file_not_found", "unknown file " + file.to_string()};
@@ -302,6 +365,12 @@ Result<bool> Namenode::complete(FileId file, ClientId client) {
     return true;  // idempotent
   }
   leases_.renew(client, sim_.now());
+  {
+    EditOp op;
+    op.type = EditOpType::kLeaseRenew;
+    op.client = client;
+    journal(std::move(op));
+  }
   for (BlockId block : entry.blocks) {
     const auto bt = blocks_.find(block);
     SMARTH_CHECK(bt != blocks_.end());
@@ -311,6 +380,13 @@ Result<bool> Namenode::complete(FileId file, ClientId client) {
   }
   entry.state = FileState::kClosed;
   leases_.release(client, file);
+  {
+    EditOp op;
+    op.type = EditOpType::kCompleteFile;
+    op.file = file;
+    op.client = client;
+    journal(std::move(op));
+  }
   trace_nn(trace::Category::kRun, "complete", {{"file", entry.path}});
   SMARTH_DEBUG("namenode") << "completed " << entry.path;
   return true;
@@ -370,13 +446,16 @@ void Namenode::block_received(NodeId dn, BlockId block, Bytes length) {
     SMARTH_DEBUG("namenode") << "ignoring blockReceived for quarantined "
                              << block.to_string() << " from node "
                              << dn.value();
-    if (invalidation_executor_) {
+    // Safe mode defers invalidation decisions: the replica map is still
+    // being rebuilt and commands issued against it would be guesses.
+    if (invalidation_executor_ && !safe_mode_) {
       ++invalidations_issued_;
       invalidation_executor_(dn, block);
     }
     return;
   }
   it->second.reported[dn] = length;
+  maybe_exit_safe_mode();
 }
 
 void Namenode::report_bad_replica(BlockId block, NodeId node) {
@@ -390,6 +469,12 @@ void Namenode::report_bad_replica(BlockId block, NodeId node) {
   const bool fresh = record.corrupt_replicas.insert(node).second;
   record.reported.erase(node);
   if (fresh) {
+    EditOp op;
+    op.type = EditOpType::kQuarantine;
+    op.block = block;
+    op.file = record.file;
+    op.node = node;
+    journal(std::move(op));
     SMARTH_WARN("namenode") << block.to_string() << " on node "
                             << node.value()
                             << " reported corrupt; quarantined ("
@@ -398,8 +483,10 @@ void Namenode::report_bad_replica(BlockId block, NodeId node) {
                             << live_replica_count(record) << " live good)";
   }
   // Invalidate even on duplicate reports: the previous command may have been
-  // lost to RPC chaos or a crashed node that has since restarted.
-  if (invalidation_executor_) {
+  // lost to RPC chaos or a crashed node that has since restarted. Safe mode
+  // defers the command (the quarantine itself is durable and re-issues once
+  // the replica map is rebuilt).
+  if (invalidation_executor_ && !safe_mode_) {
     ++invalidations_issued_;
     invalidation_executor_(node, block);
   }
@@ -419,6 +506,12 @@ void Namenode::report_client_speeds(ClientId client,
 void Namenode::client_heartbeat(ClientId client,
                                 const std::vector<SpeedRecord>& records) {
   leases_.renew(client, sim_.now());
+  {
+    EditOp op;
+    op.type = EditOpType::kLeaseRenew;
+    op.client = client;
+    journal(std::move(op));
+  }
   ++client_heartbeats_;
   if (!records.empty()) report_client_speeds(client, records);
 }
@@ -438,6 +531,11 @@ void Namenode::disable_lease_recovery() {
 }
 
 void Namenode::lease_scan() {
+  // No expiry or recovery decisions in safe mode: the replica map the
+  // pending-block computation and primary election read is still being
+  // rebuilt from block reports. Lease clocks were reset at restart, so
+  // nothing can expire before safe mode has had a chance to exit anyway.
+  if (safe_mode_) return;
   const SimTime now = sim_.now();
   for (const auto& [holder, file] : leases_.hard_expired_files(now)) {
     if (holder == kRecoveryHolder) continue;
@@ -507,6 +605,18 @@ Status Namenode::start_lease_recovery(FileId file) {
                           << state.pending.size() << " of "
                           << entry.blocks.size()
                           << " blocks need synchronization";
+  {
+    // The pending set is computed from the volatile replica map, so replay
+    // cannot rederive it — the explicit block list rides in the op.
+    EditOp op;
+    op.type = EditOpType::kLeaseRecoveryStart;
+    op.file = file;
+    op.client = entry.lease_holder;
+    for (const auto& [block, pending] : state.pending) {
+      op.blocks.push_back(block);
+    }
+    journal(std::move(op));
+  }
   auto [rt, inserted] = lease_recoveries_.emplace(file, std::move(state));
   SMARTH_CHECK(inserted);
   if (rt->second.pending.empty()) {
@@ -548,6 +658,13 @@ void Namenode::issue_uc_recoveries(FileId file, LeaseRecoveryState& state) {
     }
     ++pending.attempts;
     pending.retry_at = sim_.now() + config_.lease_recovery_retry_interval;
+    {
+      EditOp op;
+      op.type = EditOpType::kUcAttempt;
+      op.file = file;
+      op.block = block;
+      journal(std::move(op));
+    }
     if (!primary.valid() || !uc_recovery_executor_) {
       // No live replica candidate right now; the attempt still counts so a
       // permanently dead pipeline cannot wedge the file forever.
@@ -612,6 +729,15 @@ void Namenode::commit_block_synchronization(BlockId block, Bytes length,
   rt->second.pending.erase(pt);
   ++uc_blocks_recovered_;
   bytes_salvaged_ += length;
+  {
+    EditOp op;
+    op.type = EditOpType::kCommitBlockSync;
+    op.file = file;
+    op.block = block;
+    op.length = length;
+    op.nodes = holders;
+    journal(std::move(op));
+  }
   metrics::global_registry().counter("namenode.uc_blocks_recovered").add();
   trace_nn(trace::Category::kRecovery, "commitBlockSynchronization",
            {{"block", block.to_string()},
@@ -633,6 +759,13 @@ void Namenode::commit_block_synchronization(BlockId block, Bytes length,
 
 void Namenode::truncate_file_blocks(FileId file, std::size_t first_removed) {
   FileEntry& entry = files_.at(file);
+  if (first_removed < entry.blocks.size()) {
+    EditOp op;
+    op.type = EditOpType::kTruncateBlocks;
+    op.file = file;
+    op.index = static_cast<std::int64_t>(first_removed);
+    journal(std::move(op));
+  }
   auto rt = lease_recoveries_.find(file);
   for (std::size_t i = first_removed; i < entry.blocks.size(); ++i) {
     const BlockId block = entry.blocks[i];
@@ -647,12 +780,14 @@ void Namenode::truncate_file_blocks(FileId file, std::size_t first_removed) {
 void Namenode::maybe_close_recovered(FileId file) {
   auto rt = lease_recoveries_.find(file);
   if (rt == lease_recoveries_.end() || !rt->second.pending.empty()) return;
-  FileEntry& entry = files_.at(file);
-  entry.state = FileState::kClosed;
-  entry.recovering = false;
-  entry.closed_by_recovery = true;
-  leases_.release(kRecoveryHolder, file);
-  lease_recoveries_.erase(rt);
+  {
+    EditOp op;
+    op.type = EditOpType::kCloseRecovered;
+    op.file = file;
+    journal(std::move(op));
+  }
+  close_recovered(file);
+  const FileEntry& entry = files_.at(file);
   Bytes prefix = 0;
   for (BlockId block : entry.blocks) {
     const BlockRecord& record = blocks_.at(block);
@@ -665,9 +800,24 @@ void Namenode::maybe_close_recovered(FileId file) {
                           << " blocks)";
 }
 
+void Namenode::close_recovered(FileId file) {
+  FileEntry& entry = files_.at(file);
+  entry.state = FileState::kClosed;
+  entry.recovering = false;
+  entry.closed_by_recovery = true;
+  leases_.release(kRecoveryHolder, file);
+  lease_recoveries_.erase(file);
+}
+
 void Namenode::erase_file(FileId file) {
   auto it = files_.find(file);
   if (it == files_.end()) return;
+  {
+    EditOp op;
+    op.type = EditOpType::kEraseFile;
+    op.file = file;
+    journal(std::move(op));
+  }
   FileEntry& entry = it->second;
   for (BlockId block : entry.blocks) {
     blocks_.erase(block);
@@ -712,6 +862,9 @@ void Namenode::disable_rereplication() {
 }
 
 void Namenode::scan_for_under_replication() {
+  // Safe mode defers re-replication: a replica map mid-rebuild makes every
+  // block look under-replicated and would trigger a pointless copy storm.
+  if (safe_mode_) return;
   for (auto& [id, record] : blocks_) {
     const auto ft = files_.find(record.file);
     // Open files are the writer's responsibility (pipeline recovery).
@@ -779,6 +932,296 @@ const FileEntry* Namenode::file_by_path(const std::string& path) const {
 const BlockRecord* Namenode::block(BlockId id) const {
   auto it = blocks_.find(id);
   return it == blocks_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: journaling, fsimage capture/restore, replay, crash/restart
+// ---------------------------------------------------------------------------
+
+void Namenode::journal(EditOp op) {
+  if (edit_log_ == nullptr || replaying_) return;
+  op.at = sim_.now();
+  edit_log_->append(std::move(op));
+}
+
+NamenodeImage Namenode::capture_image() const {
+  NamenodeImage image;
+  image.files.reserve(files_.size());
+  for (const auto& [id, entry] : files_) image.files.push_back(entry);
+  std::sort(image.files.begin(), image.files.end(),
+            [](const FileEntry& a, const FileEntry& b) { return a.id < b.id; });
+  image.blocks.reserve(blocks_.size());
+  for (const auto& [id, record] : blocks_) {
+    BlockImage b;
+    b.id = record.id;
+    b.file = record.file;
+    b.expected_targets = record.expected_targets;
+    b.corrupt_replicas.assign(record.corrupt_replicas.begin(),
+                              record.corrupt_replicas.end());
+    image.blocks.push_back(std::move(b));
+  }
+  std::sort(
+      image.blocks.begin(), image.blocks.end(),
+      [](const BlockImage& a, const BlockImage& b) { return a.id < b.id; });
+  image.leases = leases_.snapshot();
+  for (const auto& [file, state] : lease_recoveries_) {
+    RecoveryImage r;
+    r.file = file;
+    r.started_at = state.started_at;
+    for (const auto& [block, pending] : state.pending) {
+      r.pending.push_back(UcPendingImage{block, pending.retry_at,
+                                         pending.attempts});
+    }
+    image.recoveries.push_back(std::move(r));
+  }
+  image.file_ids_issued = file_ids_.issued();
+  image.block_ids_issued = block_ids_.issued();
+  image.lease_expiries = lease_expiries_;
+  image.uc_blocks_recovered = uc_blocks_recovered_;
+  image.bytes_salvaged = bytes_salvaged_;
+  image.orphans_abandoned = orphans_abandoned_;
+  return image;
+}
+
+void Namenode::restore_image(const NamenodeImage& image) {
+  files_.clear();
+  files_by_path_.clear();
+  blocks_.clear();
+  lease_recoveries_.clear();
+  for (const FileEntry& entry : image.files) {
+    files_by_path_.emplace(entry.path, entry.id);
+    files_.emplace(entry.id, entry);
+  }
+  for (const BlockImage& b : image.blocks) {
+    BlockRecord record;
+    record.id = b.id;
+    record.file = b.file;
+    record.expected_targets = b.expected_targets;
+    record.corrupt_replicas.insert(b.corrupt_replicas.begin(),
+                                   b.corrupt_replicas.end());
+    blocks_.emplace(b.id, std::move(record));
+  }
+  leases_.restore(image.leases);
+  for (const RecoveryImage& r : image.recoveries) {
+    LeaseRecoveryState state;
+    state.started_at = r.started_at;
+    for (const UcPendingImage& p : r.pending) {
+      state.pending.emplace(p.block,
+                            UcBlockPending{p.retry_at, p.attempts});
+    }
+    lease_recoveries_.emplace(r.file, std::move(state));
+  }
+  file_ids_.ensure_at_least(image.file_ids_issued);
+  block_ids_.ensure_at_least(image.block_ids_issued);
+  lease_expiries_ = image.lease_expiries;
+  uc_blocks_recovered_ = image.uc_blocks_recovered;
+  bytes_salvaged_ = image.bytes_salvaged;
+  orphans_abandoned_ = image.orphans_abandoned;
+}
+
+void Namenode::apply_edit(const EditOp& op) {
+  // Replay is pure state manipulation: the shared mutation helpers called
+  // below must not re-journal the ops they were journaled from, and no
+  // executor ever fires (commands were already issued by the live run).
+  const bool was_replaying = replaying_;
+  replaying_ = true;
+  switch (op.type) {
+    case EditOpType::kLeaseRenew:
+      leases_.renew(op.client, op.at);
+      break;
+    case EditOpType::kCreate: {
+      file_ids_.ensure_at_least(op.file.value() + 1);
+      FileEntry entry;
+      entry.id = op.file;
+      entry.path = op.path;
+      entry.lease_holder = op.client;
+      files_by_path_.insert_or_assign(op.path, op.file);
+      files_.emplace(op.file, std::move(entry));
+      leases_.add(op.client, op.file, op.at);
+      break;
+    }
+    case EditOpType::kEraseFile:
+      erase_file(op.file);
+      break;
+    case EditOpType::kAddBlock: {
+      block_ids_.ensure_at_least(op.block.value() + 1);
+      BlockRecord record;
+      record.id = op.block;
+      record.file = op.file;
+      record.expected_targets = op.nodes;
+      blocks_.emplace(op.block, std::move(record));
+      files_.at(op.file).blocks.push_back(op.block);
+      break;
+    }
+    case EditOpType::kUpdateTargets:
+      blocks_.at(op.block).expected_targets = op.nodes;
+      break;
+    case EditOpType::kCompleteFile:
+      files_.at(op.file).state = FileState::kClosed;
+      leases_.release(op.client, op.file);
+      break;
+    case EditOpType::kLeaseRecoveryStart: {
+      FileEntry& entry = files_.at(op.file);
+      entry.recovering = true;
+      ++lease_expiries_;
+      leases_.reassign(op.file, op.client, kRecoveryHolder, op.at);
+      LeaseRecoveryState state;
+      state.started_at = op.at;
+      for (BlockId block : op.blocks) {
+        state.pending.emplace(block, UcBlockPending{});
+      }
+      lease_recoveries_.emplace(op.file, std::move(state));
+      break;
+    }
+    case EditOpType::kUcAttempt: {
+      UcBlockPending& pending =
+          lease_recoveries_.at(op.file).pending.at(op.block);
+      ++pending.attempts;
+      pending.retry_at = op.at + config_.lease_recovery_retry_interval;
+      break;
+    }
+    case EditOpType::kCommitBlockSync: {
+      // Replica locations (`reported`) are volatile and not reconstructed;
+      // only the durable outcome — the sealed target set and the salvage
+      // accounting — is.
+      blocks_.at(op.block).expected_targets = op.nodes;
+      lease_recoveries_.at(op.file).pending.erase(op.block);
+      ++uc_blocks_recovered_;
+      bytes_salvaged_ += op.length;
+      break;
+    }
+    case EditOpType::kTruncateBlocks:
+      truncate_file_blocks(op.file, static_cast<std::size_t>(op.index));
+      break;
+    case EditOpType::kCloseRecovered:
+      close_recovered(op.file);
+      break;
+    case EditOpType::kQuarantine:
+      if (auto it = blocks_.find(op.block); it != blocks_.end()) {
+        it->second.corrupt_replicas.insert(op.node);
+        it->second.reported.erase(op.node);
+      }
+      break;
+  }
+  replaying_ = was_replaying;
+}
+
+void Namenode::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  safe_mode_timeout_.cancel();
+  if (lease_task_) lease_task_->stop();
+  if (rereplication_task_) rereplication_task_->stop();
+  metrics::global_registry().counter("namenode.crashes").add();
+  trace_nn(trace::Category::kFault, "namenode crash", {});
+  SMARTH_WARN("namenode") << "control plane down (crash)";
+}
+
+std::size_t Namenode::restart(const NamenodeImage& image,
+                              const std::vector<EditOp>& tail) {
+  crashed_ = false;
+  // The pre-crash registration count doubles as the include-list safe mode
+  // waits on: a freshly restored namespace has no closed blocks yet (a young
+  // cluster, or a restart mid-first-upload), and without this gate safe mode
+  // would exit instantly while most datanodes are still unregistered —
+  // handing the first addBlock an artificially tiny cluster. High-water, not
+  // last-seen: a crash landing mid-way through the previous outage's
+  // re-registration wave must not lower the bar.
+  safe_mode_min_datanodes_ =
+      std::max(safe_mode_min_datanodes_, datanodes_.size());
+  // Volatile state died with the process: registrations, heartbeat clocks,
+  // the replica location map (implicit in the restored blocks, which come
+  // back with empty `reported`), speed observations, in-flight copy ledger.
+  datanodes_.clear();
+  last_heartbeat_.clear();
+  speeds_ = SpeedBoard{};
+  rereplication_pending_.clear();
+
+  restore_image(image);
+  for (const EditOp& op : tail) apply_edit(op);
+  // Renewal stamps measured the dead process's clock; a restarted namenode
+  // cannot tell a writer that died mid-outage from one whose renewals were
+  // lost with the process, so every expiry clock restarts now (as in HDFS,
+  // where lease age effectively resets with the namenode).
+  leases_.reset_renewals(sim_.now());
+
+  ++restarts_;
+  metrics::global_registry().counter("namenode.restarts").add();
+  trace_nn(trace::Category::kFault, "namenode restart",
+           {{"image_txid", std::to_string(image.last_txid)},
+            {"replayed_ops", std::to_string(tail.size())}});
+  SMARTH_INFO("namenode") << "restarted from fsimage txid " << image.last_txid
+                          << " + " << tail.size() << " replayed ops ("
+                          << files_.size() << " files, " << blocks_.size()
+                          << " blocks)";
+
+  enter_safe_mode();
+  maybe_exit_safe_mode();  // an empty namespace has nothing to wait for
+  if (safe_mode_) {
+    safe_mode_timeout_.cancel();
+    safe_mode_timeout_ =
+        sim_.schedule_after(config_.safe_mode_max_wait, [this] {
+          if (crashed_ || !safe_mode_ || !safe_mode_auto_) return;
+          SMARTH_WARN("namenode")
+              << "safe mode timed out at " << safe_blocks_fraction()
+              << " replica coverage; exiting with what we have";
+          safe_mode_ = false;
+          safe_mode_auto_ = false;
+          ++safe_mode_exits_;
+          last_safe_mode_exit_ = sim_.now();
+          trace_nn(trace::Category::kFault, "safe mode timeout-exit", {});
+        });
+  }
+  if (lease_task_ && !lease_task_->running()) lease_task_->start();
+  if (rereplication_task_ && !rereplication_task_->running()) {
+    rereplication_task_->start();
+  }
+  return tail.size();
+}
+
+void Namenode::enter_safe_mode() {
+  safe_mode_ = true;
+  safe_mode_auto_ = true;
+  ++safe_mode_entries_;
+  metrics::global_registry().counter("namenode.safe_mode_entries").add();
+  trace_nn(trace::Category::kFault, "safe mode enter", {});
+}
+
+double Namenode::safe_blocks_fraction() const {
+  std::size_t total = 0;
+  std::size_t safe = 0;
+  for (const auto& [id, record] : blocks_) {
+    const auto ft = files_.find(record.file);
+    // Only closed files' blocks gate safe mode (UC blocks are the writer's
+    // and lease recovery's business, and their replica counts are in flux).
+    if (ft == files_.end() || ft->second.state != FileState::kClosed) continue;
+    ++total;
+    for (const auto& [dn, len] : record.reported) {
+      if (record.corrupt_replicas.count(dn) == 0) {
+        ++safe;
+        break;
+      }
+    }
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(safe) / static_cast<double>(total);
+}
+
+void Namenode::maybe_exit_safe_mode() {
+  if (!safe_mode_ || !safe_mode_auto_) return;
+  if (datanodes_.size() < safe_mode_min_datanodes_) return;
+  const double fraction = safe_blocks_fraction();
+  if (fraction + 1e-9 < config_.safe_mode_threshold) return;
+  safe_mode_ = false;
+  safe_mode_auto_ = false;
+  ++safe_mode_exits_;
+  last_safe_mode_exit_ = sim_.now();
+  safe_mode_timeout_.cancel();
+  metrics::global_registry().counter("namenode.safe_mode_exits").add();
+  trace_nn(trace::Category::kFault, "safe mode exit",
+           {{"fraction", std::to_string(fraction)}});
+  SMARTH_INFO("namenode") << "leaving safe mode at " << fraction
+                          << " replica coverage";
 }
 
 }  // namespace smarth::hdfs

@@ -25,6 +25,10 @@
 
 namespace smarth::hdfs {
 
+struct EditOp;
+class EditLog;
+struct NamenodeImage;
+
 /// Per-client map of the latest observed transfer speed to each datanode —
 /// the information clients piggyback on their heartbeats (paper §III-B).
 class SpeedBoard {
@@ -56,6 +60,8 @@ struct FileEntry {
   /// Closed by lease recovery at a consistent prefix rather than by its
   /// writer; the writer's own complete() must not report success.
   bool closed_by_recovery = false;
+
+  friend bool operator==(const FileEntry&, const FileEntry&) = default;
 };
 
 struct BlockRecord {
@@ -83,12 +89,56 @@ class Namenode {
   void set_placement_policy(std::unique_ptr<PlacementPolicy> policy);
   const PlacementPolicy& placement_policy() const { return *policy_; }
 
-  void set_safe_mode(bool on) { safe_mode_ = on; }
+  /// Manual safe-mode toggle (admin / tests). Clears the automatic restart
+  /// safe mode too — an explicit override always wins.
+  void set_safe_mode(bool on) {
+    safe_mode_ = on;
+    safe_mode_auto_ = false;
+  }
   bool safe_mode() const { return safe_mode_; }
+
+  // --- Durability / restart --------------------------------------------------
+  /// Attaches the write-ahead journal: every durable namespace mutation from
+  /// here on is appended as a typed op. Null detaches.
+  void attach_edit_log(EditLog* log) { edit_log_ = log; }
+
+  /// Snapshot of all durable state (namespace, leases, recoveries, id
+  /// high-water marks, outcome counters). Excludes replica locations and
+  /// datanode liveness — both are soft state rebuilt from block reports.
+  NamenodeImage capture_image() const;
+  /// Replaces durable state with `image` (volatile state untouched).
+  void restore_image(const NamenodeImage& image);
+  /// Applies one journaled op to the namespace — pure state manipulation
+  /// using the op's own timestamp; never journals, never invokes executors.
+  /// Used by restart replay and by the warm standby's tailer.
+  void apply_edit(const EditOp& op);
+
+  /// Control-plane crash: freezes background monitors and marks the process
+  /// down. RPC/network isolation is the cluster wiring's job.
+  void crash();
+  bool crashed() const { return crashed_; }
+  /// Process restore: durable state = `image` + replayed `tail`, volatile
+  /// state (liveness, replica map, speed board) dropped, lease clocks reset,
+  /// safe mode entered until enough replicas are re-reported. Returns the
+  /// number of tail ops replayed.
+  std::size_t restart(const NamenodeImage& image,
+                      const std::vector<EditOp>& tail);
+  std::uint64_t restarts() const { return restarts_; }
+
+  /// Fraction of closed-file blocks with >=1 reported non-corrupt replica
+  /// (the safe-mode exit criterion; 1.0 for an empty namespace).
+  double safe_blocks_fraction() const;
+  std::uint64_t safe_mode_entries() const { return safe_mode_entries_; }
+  std::uint64_t safe_mode_exits() const { return safe_mode_exits_; }
+  /// Time of the most recent automatic safe-mode exit (-1 if never).
+  SimTime last_safe_mode_exit() const { return last_safe_mode_exit_; }
 
   // --- Datanode lifecycle ----------------------------------------------------
   void register_datanode(NodeId dn);
-  void handle_heartbeat(NodeId dn);
+  /// Returns false when `dn` is unknown (e.g. the namenode restarted and
+  /// lost its registration): the datanode must re-register, which its
+  /// heartbeat loop does by resending registration + a full block report.
+  bool handle_heartbeat(NodeId dn);
   bool is_alive(NodeId dn) const;
   std::vector<NodeId> alive_datanodes() const;
   std::size_t registered_datanode_count() const { return datanodes_.size(); }
@@ -265,6 +315,15 @@ class Namenode {
   void truncate_file_blocks(FileId file, std::size_t first_removed);
   void maybe_close_recovered(FileId file);
   void erase_file(FileId file);
+  /// Appends `op` (stamped with now) to the attached edit log, unless replay
+  /// is reconstructing state — replayed ops must not be re-journaled.
+  void journal(EditOp op);
+  /// Leaves automatic safe mode once safe_blocks_fraction() crosses the
+  /// configured threshold; manual safe mode is never auto-exited.
+  void maybe_exit_safe_mode();
+  void enter_safe_mode();
+  /// The state change behind maybe_close_recovered (shared with replay).
+  void close_recovered(FileId file);
 
   sim::Simulation& sim_;
   const net::Topology& topology_;
@@ -272,6 +331,24 @@ class Namenode {
   NodeId self_;
   std::unique_ptr<PlacementPolicy> policy_;
   bool safe_mode_ = false;
+  /// Safe mode entered automatically by restart (exits on replica threshold).
+  bool safe_mode_auto_ = false;
+  /// Datanodes registered before the last crash; safe mode holds until that
+  /// many have re-registered (in addition to the replica threshold).
+  std::size_t safe_mode_min_datanodes_ = 0;
+  std::uint64_t safe_mode_entries_ = 0;
+  std::uint64_t safe_mode_exits_ = 0;
+  SimTime last_safe_mode_exit_ = -1;
+
+  EditLog* edit_log_ = nullptr;
+  /// True while apply_edit runs under restart(): suppresses journaling from
+  /// the shared mutation helpers (truncate/close/erase).
+  bool replaying_ = false;
+  bool crashed_ = false;
+  std::uint64_t restarts_ = 0;
+  /// Force-exits a safe mode that replica re-reports alone can never satisfy
+  /// (e.g. a block whose every replica is gone for good).
+  sim::EventHandle safe_mode_timeout_;
 
   std::vector<NodeId> datanodes_;
   std::unordered_map<NodeId, SimTime> last_heartbeat_;

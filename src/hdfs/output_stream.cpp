@@ -139,6 +139,18 @@ rpc::RetryPolicy OutputStreamBase::retry_policy() const {
   return policy;
 }
 
+bool OutputStreamBase::start_safe_mode_wait() {
+  const SimTime now = deps_.sim.now();
+  if (safe_mode_wait_started_ < 0) safe_mode_wait_started_ = now;
+  if (now - safe_mode_wait_started_ <= deps_.config.safe_mode_retry_budget) {
+    return true;
+  }
+  SMARTH_ERROR("stream") << "namenode still in safe mode after "
+                         << to_seconds(now - safe_mode_wait_started_)
+                         << "s; giving up";
+  return false;
+}
+
 bool OutputStreamBase::recovery_budget_exhausted(BlockId block) {
   const int attempts = ++recovery_attempts_[block.value()];
   if (attempts <= deps_.config.recovery_attempts_per_block) return false;
@@ -246,6 +258,7 @@ ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
 
   auto [it, inserted] = pipelines_.emplace(id, std::move(pipeline));
   SMARTH_CHECK(inserted);
+  safe_mode_wait_started_ = -1;  // allocation landed; safe-mode wait is over
   ++stats_.pipelines_created;
   stats_.max_concurrent_pipelines =
       std::max(stats_.max_concurrent_pipelines,
@@ -351,6 +364,7 @@ void OutputStreamBase::finish(bool failed, const std::string& reason) {
   stats_.rpc_give_ups = retry_stats_->give_ups;
   producer_event_.cancel();
   complete_retry_.cancel();
+  safe_mode_retry_.cancel();
   for (auto& [id, pipeline] : pipelines_) {
     pipeline.watchdog.cancel();
     trace_pipeline_closed(pipeline, failed ? "aborted" : "complete");
@@ -433,6 +447,17 @@ void DfsOutputStream::allocate_next_block() {
     if (finished_) return;
     awaiting_block_ = false;
     if (!result.ok()) {
+      if (result.error().code == "safe_mode" && start_safe_mode_wait()) {
+        // The namenode is back up but still rebuilding its replica map from
+        // block reports; poll until it leaves safe mode (budgeted).
+        safe_mode_retry_ = deps_.sim.schedule_after(
+            deps_.config.safe_mode_retry_interval, [this] {
+              if (finished_) return;
+              --current_block_;  // allocate_next_block() re-increments
+              allocate_next_block();
+            });
+        return;
+      }
       finish(true, "addBlock failed: " + result.error().to_string());
       return;
     }

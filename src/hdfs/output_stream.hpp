@@ -206,6 +206,12 @@ class OutputStreamBase : public AckSink {
 
   /// Retry policy for namenode RPCs, derived from the config.
   rpc::RetryPolicy retry_policy() const;
+  /// Charges time against the safe-mode wait budget: true while the stream
+  /// should keep polling a safe-mode namenode (restart in progress; replica
+  /// re-reports pending), false once the budget is exhausted and the stream
+  /// should fail cleanly. The clock starts at the first refusal and resets
+  /// on any successful allocation (create_pipeline).
+  bool start_safe_mode_wait();
   /// Charges one recovery attempt against `block`'s budget; true when the
   /// budget is exhausted and the stream should fail cleanly instead of
   /// retrying forever.
@@ -268,6 +274,14 @@ class OutputStreamBase : public AckSink {
   /// referencing it (lets the cluster prune finished streams safely).
   sim::EventHandle producer_event_;
   sim::EventHandle complete_retry_;
+
+ protected:
+  /// Pending safe-mode re-poll (cancelled by finish()).
+  sim::EventHandle safe_mode_retry_;
+
+ private:
+  /// When the current safe-mode wait began (-1: not waiting).
+  SimTime safe_mode_wait_started_ = -1;
 };
 
 /// The baseline HDFS protocol: one pipeline at a time, stop-and-wait at every

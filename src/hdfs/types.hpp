@@ -96,6 +96,34 @@ struct HdfsConfig {
   /// file truncated before it) so a dead rack cannot wedge the file forever.
   int lease_recovery_max_attempts = 6;
 
+  // --- Namenode durability & restart -----------------------------------------
+  /// Cadence of fsimage checkpoints (edit-log truncation); 0 disables
+  /// checkpointing and restarts replay the whole journal.
+  SimDuration checkpoint_interval = seconds(30);
+  /// Fraction of closed-file blocks that must have at least one live
+  /// non-corrupt replica re-reported before a restarted namenode leaves safe
+  /// mode and resumes write/replication/invalidation decisions.
+  double safe_mode_threshold = 0.999;
+  /// Replay cost per journaled op during restart/failover — makes cold
+  /// restart downtime scale with the un-checkpointed log length.
+  SimDuration edit_replay_op_cost = microseconds(200);
+  /// Process bounce time of a cold namenode restart (exec + image load),
+  /// before replay cost is added.
+  SimDuration nn_restart_process_delay = seconds(1);
+  /// Promotion time of a warm standby (already caught up to its tail lag),
+  /// before replay cost is added. Strictly smaller than a cold restart.
+  SimDuration nn_failover_delay = milliseconds(500);
+  /// Cadence at which the standby tails the edit log (its lag bound).
+  SimDuration standby_tail_interval = milliseconds(500);
+  /// Hard ceiling on automatic safe mode: past this, the namenode exits with
+  /// whatever replica coverage it has (permanently lost replicas — e.g. every
+  /// copy of a block rotted — must not wedge the control plane forever).
+  SimDuration safe_mode_max_wait = seconds(60);
+  /// Client streams poll a safe-mode namenode at this cadence...
+  SimDuration safe_mode_retry_interval = seconds(1);
+  /// ...and fail the upload after waiting this long in total per allocation.
+  SimDuration safe_mode_retry_budget = seconds(60);
+
   // --- Failure handling -----------------------------------------------------
   /// No ACK progress on a pipeline for this long => pipeline error.
   SimDuration ack_timeout = seconds(5);

@@ -90,6 +90,14 @@ void FaultSummary::merge(const FaultSummary& other) {
   uc_blocks_recovered += other.uc_blocks_recovered;
   bytes_salvaged += other.bytes_salvaged;
   orphans_abandoned += other.orphans_abandoned;
+  nn_crashes += other.nn_crashes;
+  nn_restarts += other.nn_restarts;
+  nn_failovers += other.nn_failovers;
+  safe_mode_entries += other.safe_mode_entries;
+  safe_mode_exits += other.safe_mode_exits;
+  edit_ops_logged += other.edit_ops_logged;
+  checkpoints += other.checkpoints;
+  nn_downtime.merge(other.nn_downtime);
   reads += other.reads;
   failed_reads += other.failed_reads;
   read_failovers += other.read_failovers;
@@ -132,6 +140,23 @@ std::string render_fault_summary(const FaultSummary& summary) {
   table.add_row({"bytes salvaged", std::to_string(summary.bytes_salvaged)});
   table.add_row(
       {"orphans abandoned", std::to_string(summary.orphans_abandoned)});
+  table.add_row({"nn crashes", std::to_string(summary.nn_crashes)});
+  table.add_row({"nn restarts", std::to_string(summary.nn_restarts)});
+  table.add_row({"nn failovers", std::to_string(summary.nn_failovers)});
+  table.add_row(
+      {"safe-mode entries", std::to_string(summary.safe_mode_entries)});
+  table.add_row({"safe-mode exits", std::to_string(summary.safe_mode_exits)});
+  table.add_row({"edit ops logged", std::to_string(summary.edit_ops_logged)});
+  table.add_row({"checkpoints", std::to_string(summary.checkpoints)});
+  if (summary.nn_downtime.count > 0) {
+    table.add_row({"nn downtime mean (s)",
+                   TextTable::num(summary.nn_downtime.mean_s())});
+    table.add_row({"nn downtime min/max (s)",
+                   TextTable::num(summary.nn_downtime.min_s) + " / " +
+                       TextTable::num(summary.nn_downtime.max_s)});
+    table.add_row({"nn downtime stddev (s)",
+                   TextTable::num(summary.nn_downtime.stddev_s())});
+  }
   table.add_row({"reads", std::to_string(summary.reads)});
   table.add_row({"failed reads", std::to_string(summary.failed_reads)});
   table.add_row({"read failovers", std::to_string(summary.read_failovers)});

@@ -3,6 +3,8 @@
 // plot (upload seconds per configuration, plus improvement percentages).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,6 +51,55 @@ std::string render_observations(const std::vector<UploadObservation>& rows);
 std::string comparison_csv(const std::string& x_label,
                            const std::vector<ComparisonRow>& rows);
 
+/// Sample statistics over a set of durations (namenode outage downtimes).
+/// Carries count/total/min/max/sum-of-squares so the cross-seed merge is
+/// purely additive and stays well-defined down to a single sample — a
+/// one-seed sweep reports min == max == mean and stddev 0, never NaN —
+/// and merging with an empty side is the identity.
+struct DurationStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double sumsq_s = 0.0;
+
+  void add(double seconds) {
+    if (count == 0) {
+      min_s = max_s = seconds;
+    } else {
+      min_s = std::min(min_s, seconds);
+      max_s = std::max(max_s, seconds);
+    }
+    ++count;
+    total_s += seconds;
+    sumsq_s += seconds * seconds;
+  }
+
+  void merge(const DurationStats& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    min_s = std::min(min_s, other.min_s);
+    max_s = std::max(max_s, other.max_s);
+    count += other.count;
+    total_s += other.total_s;
+    sumsq_s += other.sumsq_s;
+  }
+
+  double mean_s() const {
+    return count > 0 ? total_s / static_cast<double>(count) : 0.0;
+  }
+  double stddev_s() const {
+    if (count == 0) return 0.0;
+    const double mean = mean_s();
+    const double var =
+        sumsq_s / static_cast<double>(count) - mean * mean;
+    return std::sqrt(std::max(0.0, var));
+  }
+};
+
 /// Robustness aggregate for a fault/chaos run: per-stream recovery and
 /// retry accounting folded together, plus cluster-level counters the caller
 /// supplies (metrics stays independent of the cluster/faults layers).
@@ -76,6 +127,16 @@ struct FaultSummary {
   std::uint64_t uc_blocks_recovered = 0;
   Bytes bytes_salvaged = 0;
   std::uint64_t orphans_abandoned = 0;
+
+  // Control-plane loss (namenode crash / restart / failover) counters.
+  std::uint64_t nn_crashes = 0;
+  std::uint64_t nn_restarts = 0;
+  std::uint64_t nn_failovers = 0;
+  std::uint64_t safe_mode_entries = 0;
+  std::uint64_t safe_mode_exits = 0;
+  std::uint64_t edit_ops_logged = 0;
+  std::uint64_t checkpoints = 0;
+  DurationStats nn_downtime;  ///< per-outage downtime distribution
 
   // Read-path resilience (folded from ReadStats).
   int reads = 0;

@@ -75,6 +75,14 @@ void SmarthOutputStream::advance_block() {
         waiting_for_slot_ = true;
         return;
       }
+      if (result.error().code == "safe_mode" && start_safe_mode_wait()) {
+        // Restarted namenode still rebuilding its replica map; poll until it
+        // leaves safe mode (budgeted). next_block_ was not advanced, so
+        // advance_block() retries the same allocation.
+        safe_mode_retry_ = deps_.sim.schedule_after(
+            deps_.config.safe_mode_retry_interval, [this] { advance_block(); });
+        return;
+      }
       finish(true, "addBlock failed: " + result.error().to_string());
       return;
     }

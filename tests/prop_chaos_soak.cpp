@@ -88,6 +88,10 @@ struct SoakResult {
   std::uint64_t scrub_rot_detected = 0;
   std::uint64_t bad_replica_reports = 0;
   std::uint64_t replicas_invalidated = 0;
+  std::uint64_t nn_crashes = 0;
+  std::uint64_t nn_restarts = 0;
+  std::uint64_t nn_failovers = 0;
+  std::uint64_t safe_mode_entries = 0;
   bool file_closed = false;
   /// block value -> sorted (node, bytes) pairs.
   std::map<std::int64_t, std::map<std::int64_t, Bytes>> replicas;
@@ -100,11 +104,13 @@ struct SoakResult {
 /// fails instead of hanging.
 SoakResult soak_once(
     std::uint64_t seed,
-    hdfs::DataFidelity fidelity = hdfs::DataFidelity::kPacket) {
+    hdfs::DataFidelity fidelity = hdfs::DataFidelity::kPacket,
+    const faults::ChaosRates& rates = soak_rates()) {
   Cluster cluster(soak_spec(seed, fidelity));
   cluster.throttle_cross_rack(Bandwidth::mbps(60));
+  if (rates.nn_failover) cluster.enable_standby();
   faults::FaultInjector injector(cluster, /*chaos_seed=*/seed * 7919 + 1);
-  injector.start_chaos(soak_rates());
+  injector.start_chaos(rates);
 
   const Protocol protocol =
       (seed % 2 == 0) ? Protocol::kHdfs : Protocol::kSmarth;
@@ -127,6 +133,22 @@ SoakResult soak_once(
     return result;
   }
   injector.stop_chaos();
+  // Control-plane outages must resolve once chaos stops: any scheduled
+  // restart/failover lands and safe mode exits within its max wait. An
+  // upload stuck under construction because the namenode never left safe
+  // mode would be a liveness bug, so this is asserted, not just waited for.
+  const SimTime control_deadline = cluster.sim().now() +
+                                   rates.nn_restart_delay +
+                                   soak_spec(seed).hdfs.safe_mode_max_wait +
+                                   seconds(5);
+  while (cluster.sim().now() < control_deadline &&
+         (cluster.namenode_crashed() || cluster.namenode().safe_mode())) {
+    cluster.sim().run_until(cluster.sim().now() + milliseconds(250));
+  }
+  EXPECT_FALSE(cluster.namenode_crashed())
+      << "seed " << seed << ": namenode never restored after chaos stopped";
+  EXPECT_FALSE(cluster.namenode().safe_mode())
+      << "seed " << seed << ": safe mode never exited after chaos stopped";
   // Let in-flight fault windows close so the replica fingerprint is stable.
   cluster.sim().run_until(cluster.sim().now() + seconds(30));
 
@@ -175,6 +197,10 @@ SoakResult soak_once(
   result.orphans_abandoned = cluster.namenode().orphans_abandoned();
   result.bitrot_flips = injector.counts().bitrot_flips;
   result.bad_replica_reports = cluster.namenode().bad_replica_reports();
+  result.nn_crashes = injector.counts().nn_crashes;
+  result.nn_restarts = injector.counts().nn_restarts;
+  result.nn_failovers = injector.counts().nn_failovers;
+  result.safe_mode_entries = cluster.namenode().safe_mode_entries();
   for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
     result.scrub_rot_detected += cluster.datanode(i).scanner().rot_detected();
     result.replicas_invalidated += cluster.datanode(i).replicas_invalidated();
@@ -288,6 +314,71 @@ TEST(ChaosSoak, BlockFidelityIdenticalSeedsProduceIdenticalTimelines) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const SoakResult a = soak_once(seed, hdfs::DataFidelity::kBlock);
     const SoakResult b = soak_once(seed, hdfs::DataFidelity::kBlock);
+    EXPECT_EQ(a, b);
+  }
+}
+
+/// The soak rates with control-plane loss added on top: the namenode itself
+/// crashes mid-chaos and comes back via cold restart, or — on a third of the
+/// seeds — via standby failover.
+faults::ChaosRates nn_soak_rates(std::uint64_t seed) {
+  faults::ChaosRates rates = soak_rates();
+  rates.nn_crash_per_minute = 8.0;
+  rates.nn_restart_delay = seconds(3);
+  rates.nn_failover = (seed % 3 == 0);
+  // Control-plane outages stretch every upload across several extra chaos
+  // ticks; at the base sweep's writer-crash rate most runs would lose their
+  // writer before the namenode machinery gets exercised. The base sweep owns
+  // lease-recovery coverage, so here writer crashes are dialed down.
+  rates.client_crash_per_minute = 2.0;
+  return rates;
+}
+
+// Satellite invariant: after a namenode restart and safe-mode exit no upload
+// is left stuck under construction — every file either closes (upload or
+// lease recovery) or its writer is demonstrably still alive and renewing.
+// soak_once asserts exactly that (control-plane restored, safe mode exited,
+// no abandoned UC file) for every run; this sweep makes sure those
+// assertions actually see namenode crashes, restarts and failovers.
+TEST(ChaosSoak, NamenodeCrashSubsetLeavesNoUploadStuckInUc) {
+  const std::uint64_t seeds = std::min<std::uint64_t>(soak_seed_count(), 16);
+  std::uint64_t completed = 0;
+  std::uint64_t clean_failures = 0;
+  std::uint64_t total_nn_crashes = 0;
+  std::uint64_t total_nn_restarts = 0;
+  std::uint64_t total_nn_failovers = 0;
+  std::uint64_t total_safe_mode_entries = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult result =
+        soak_once(seed, hdfs::DataFidelity::kPacket, nn_soak_rates(seed));
+    if (HasFatalFailure()) return;
+    total_nn_crashes += result.nn_crashes;
+    total_nn_restarts += result.nn_restarts;
+    total_nn_failovers += result.nn_failovers;
+    total_safe_mode_entries += result.safe_mode_entries;
+    if (result.failed) {
+      ++clean_failures;
+    } else {
+      ++completed;
+    }
+  }
+  // The control plane must actually have died and recovered across the sweep
+  // or the invariant was never exercised.
+  EXPECT_GT(total_nn_crashes, 0u);
+  EXPECT_EQ(total_nn_restarts + total_nn_failovers, total_nn_crashes);
+  EXPECT_GT(total_safe_mode_entries, 0u);
+  EXPECT_GT(completed, seeds / 2) << "completed=" << completed
+                                  << " clean_failures=" << clean_failures;
+}
+
+TEST(ChaosSoak, NamenodeCrashIdenticalSeedsProduceIdenticalTimelines) {
+  for (std::uint64_t seed : {3u, 6u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult a =
+        soak_once(seed, hdfs::DataFidelity::kPacket, nn_soak_rates(seed));
+    const SoakResult b =
+        soak_once(seed, hdfs::DataFidelity::kPacket, nn_soak_rates(seed));
     EXPECT_EQ(a, b);
   }
 }

@@ -214,5 +214,33 @@ TEST_F(NamenodeTest, BlockReceivedForUnknownBlockIsIgnored) {
   EXPECT_EQ(nn_->block_count(), 0u);
 }
 
+TEST_F(NamenodeTest, ReregistrationIsIdempotent) {
+  const auto file = nn_->create("/a", client_);
+  const auto located = add_block(file.value());
+  ASSERT_TRUE(located.ok());
+  const BlockId block = located.value().block;
+  for (NodeId t : located.value().targets) {
+    nn_->block_received(t, block, config_.block_size);
+  }
+  ASSERT_EQ(nn_->block(block)->reported.size(), 3u);
+  const std::size_t registered = nn_->registered_datanode_count();
+
+  // Re-registering a known datanode must not duplicate the membership entry;
+  // it drops that node's (now stale) replica claims and restarts its
+  // heartbeat clock. Doing it twice is the same as doing it once.
+  const NodeId dn = located.value().targets[0];
+  nn_->register_datanode(dn);
+  nn_->register_datanode(dn);
+  EXPECT_EQ(nn_->registered_datanode_count(), registered);
+  EXPECT_EQ(nn_->reregistrations(), 2u);
+  EXPECT_TRUE(nn_->is_alive(dn));
+  EXPECT_EQ(nn_->block(block)->reported.count(dn), 0u);
+  // The other replicas' claims are untouched.
+  EXPECT_EQ(nn_->block(block)->reported.size(), 2u);
+  // The follow-up block report re-asserts the replica.
+  nn_->block_received(dn, block, config_.block_size);
+  EXPECT_EQ(nn_->block(block)->reported.size(), 3u);
+}
+
 }  // namespace
 }  // namespace smarth::hdfs

@@ -79,6 +79,7 @@ struct RunOutcome {
   metrics::Timeline concurrency{"pipeline concurrency"};
   metrics::FaultSummary summary;
   std::uint64_t events = 0;
+  std::string editlog_json;  ///< filled when --editlog-out is set
 };
 
 /// Splits "a=1,b=2" into (key, value) pairs.
@@ -123,9 +124,10 @@ bool ends_with(const std::string& text, const std::string& suffix) {
 }
 
 /// Parses --chaos-rates: crash=<per-min>,failslow=<per-min>,flap=<per-min>,
-/// clientcrash=<per-min>,bitrot=<per-replica-hour>,rpcloss=<prob>,
-/// rpcdelay-ms=<ms>,rpcjitter-ms=<ms>,rejoin-s=<s>,slowdur-s=<s>,
-/// slowfactor=<x>,flapdur-s=<s>,clientrejoin-s=<s>.
+/// clientcrash=<per-min>,bitrot=<per-replica-hour>,nncrash=<per-min>,
+/// rpcloss=<prob>,rpcdelay-ms=<ms>,rpcjitter-ms=<ms>,rejoin-s=<s>,
+/// slowdur-s=<s>,slowfactor=<x>,flapdur-s=<s>,clientrejoin-s=<s>,
+/// nnrestart-s=<s>,nnfailover=<0|1>.
 faults::ChaosRates parse_chaos_rates(const std::string& text) {
   faults::ChaosRates rates;
   for (const auto& [key, value] : parse_kv_list(text)) {
@@ -149,6 +151,9 @@ faults::ChaosRates parse_chaos_rates(const std::string& text) {
     else if (key == "slowdur-s") rates.fail_slow_duration = seconds_f(v);
     else if (key == "slowfactor") rates.fail_slow_factor = v;
     else if (key == "flapdur-s") rates.flap_duration = seconds_f(v);
+    else if (key == "nncrash") rates.nn_crash_per_minute = v;
+    else if (key == "nnrestart-s") rates.nn_restart_delay = seconds_f(v);
+    else if (key == "nnfailover") rates.nn_failover = v != 0.0;
     else fault_flag_error("chaos-rates", "unknown key: " + key);
   }
   return rates;
@@ -269,6 +274,16 @@ void fold_cluster_counters(metrics::FaultSummary& summary,
   summary.bad_replica_reports =
       static_cast<int>(cluster.namenode().bad_replica_reports());
   summary.bitrot_flips = injector.counts().bitrot_flips;
+  summary.nn_crashes = injector.counts().nn_crashes;
+  summary.nn_restarts = injector.counts().nn_restarts;
+  summary.nn_failovers = injector.counts().nn_failovers;
+  summary.safe_mode_entries = cluster.namenode().safe_mode_entries();
+  summary.safe_mode_exits = cluster.namenode().safe_mode_exits();
+  summary.edit_ops_logged = cluster.edit_log().appended();
+  summary.checkpoints = cluster.checkpointer().checkpoints();
+  for (const SimDuration downtime : cluster.namenode_downtimes()) {
+    summary.nn_downtime.add(to_seconds(downtime));
+  }
   for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
     const hdfs::Datanode& dn = cluster.datanode(i);
     summary.replicas_invalidated += dn.replicas_invalidated();
@@ -317,9 +332,38 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
     }
     injector.crash_client(0, *client_crash_at);
   }
+  std::optional<SimTime> nn_crash_at;
+  SimDuration nn_outage = seconds(3);
+  if (flags.has("nn-crash")) {
+    // --nn-crash=<seconds>: the namenode dies mid-upload and recovery starts
+    // after --nn-outage seconds — a cold restart from fsimage + edit-log
+    // tail, or a warm standby promotion under --nn-failover.
+    try {
+      nn_crash_at = seconds_f(std::stod(flags.get("nn-crash")));
+    } catch (const std::logic_error&) {
+      fault_flag_error("nn-crash",
+                       "expected <seconds>, got " + flags.get("nn-crash"));
+    }
+    if (const auto outage = flags.get_double("nn-outage"); outage) {
+      if (*outage <= 0) fault_flag_error("nn-outage", "must be positive");
+      nn_outage = seconds_f(*outage);
+    }
+    if (flags.get_bool("nn-failover")) {
+      cluster.enable_standby();
+      injector.crash_and_failover_namenode(*nn_crash_at,
+                                           *nn_crash_at + nn_outage);
+    } else {
+      injector.crash_and_restart_namenode(*nn_crash_at,
+                                          *nn_crash_at + nn_outage);
+    }
+  }
   if (!plan.empty()) plan.apply(injector);
   if (flags.has("chaos-rates")) {
-    injector.start_chaos(parse_chaos_rates(flags.get("chaos-rates")));
+    const faults::ChaosRates rates =
+        parse_chaos_rates(flags.get("chaos-rates"));
+    // Warm failover needs a standby tailing the log before the first crash.
+    if (rates.nn_failover) cluster.enable_standby();
+    injector.start_chaos(rates);
   }
   LogLevel log_level = LogLevel::kWarn;
   bool log_level_chosen = false;
@@ -386,6 +430,26 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
       std::exit(1);
     }
   }
+  if (nn_crash_at) {
+    // Let the scheduled outage and recovery land even when the upload beat
+    // the crash: the robustness counters and --editlog-out should reflect
+    // the whole timeline, and a recovery that never completes is a bug
+    // worth failing on, not silently truncating.
+    sim::Simulation& sim = cluster.sim();
+    const SimTime recovery_start = *nn_crash_at + nn_outage;
+    if (sim.now() <= recovery_start) {
+      sim.run_until(recovery_start + milliseconds(1));
+    }
+    const SimTime deadline = sim.now() + seconds(120);
+    while (cluster.namenode_crashed() && sim.now() < deadline) {
+      sim.run_until(sim.now() + milliseconds(250));
+    }
+    if (cluster.namenode_crashed()) {
+      std::fprintf(stderr,
+                   "namenode recovery did not complete within the budget\n");
+      std::exit(1);
+    }
+  }
   if (flags.get_bool("read-back") && !outcome.stats.failed) {
     // Let every scheduled rot land before reading: a --bitrot past the
     // upload's end would otherwise never fire (the simulation stops when
@@ -405,6 +469,9 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   outcome.summary.fold(outcome.stats);
   if (outcome.read) outcome.summary.fold_read(*outcome.read);
   fold_cluster_counters(outcome.summary, cluster, injector);
+  if (flags.has("editlog-out")) {
+    outcome.editlog_json = cluster.edit_log().to_json();
+  }
   if (sampler) sampler->stop();
   Logger::instance().set_level(LogLevel::kWarn);
   Logger::instance().set_time_source(nullptr);
@@ -457,7 +524,10 @@ int run_sweeps(const FlagSet& flags,
           }
           if (!plan.empty()) plan.apply(injector);
           if (flags.has("chaos-rates")) {
-            injector.start_chaos(parse_chaos_rates(flags.get("chaos-rates")));
+            const faults::ChaosRates rates =
+                parse_chaos_rates(flags.get("chaos-rates"));
+            if (rates.nn_failover) cluster.enable_standby();
+            injector.start_chaos(rates);
           }
           run.stats = cluster.run_upload("/data/sweep.bin", size, protocol);
           run.events = cluster.sim().events_executed();
@@ -504,6 +574,13 @@ int main(int argc, char** argv) {
   flags.declare("client-crash",
                 "writer crash at <seconds>; lease recovery closes the file",
                 "");
+  flags.declare("nn-crash",
+                "namenode crash at <seconds>; recovery starts after "
+                "--nn-outage", "");
+  flags.declare("nn-outage",
+                "seconds between the namenode crash and recovery start", "3");
+  flags.declare("editlog-out",
+                "write the namenode edit log as JSON after the run(s)", "");
   flags.declare("bitrot",
                 "at-rest chunk rot: <datanode>@<seconds>[,...]", "");
   flags.declare("scan-mbps",
@@ -541,6 +618,9 @@ int main(int argc, char** argv) {
                      "read the file back after the upload, verifying "
                      "checksums and failing over rotted replicas");
   flags.declare_bool("timeline", "print a pipeline-concurrency timeline");
+  flags.declare_bool("nn-failover",
+                     "recover the crashed namenode by promoting the warm "
+                     "standby instead of a cold restart");
   flags.declare_bool("fault-summary", "print robustness counters per run");
   flags.declare_bool("verbose", "protocol-level logging");
   flags.declare_bool("help", "show usage");
@@ -593,11 +673,13 @@ int main(int argc, char** argv) {
     // drive loop, read-back) are per-world and do not compose across it.
     if (!trace_out.empty() || !metrics_out.empty() || want_straggler ||
         flags.get_bool("timeline") || flags.get_bool("read-back") ||
-        flags.has("client-crash")) {
+        flags.has("client-crash") || flags.has("nn-crash") ||
+        flags.has("editlog-out")) {
       std::fprintf(stderr,
                    "--sweep-seeds does not combine with --trace-out, "
                    "--metrics-out, --straggler-report, --timeline, "
-                   "--read-back or --client-crash\n");
+                   "--read-back, --client-crash, --nn-crash or "
+                   "--editlog-out\n");
       return 2;
     }
     return run_sweeps(flags, protocols);
@@ -607,7 +689,8 @@ int main(int argc, char** argv) {
   // reporting (clean failure, not a hang); without faults it is an error.
   const bool faults_active = flags.has("chaos-rates") || flags.has("crash") ||
                              flags.has("fail-slow") || flags.has("flap") ||
-                             flags.has("client-crash") || flags.has("bitrot");
+                             flags.has("client-crash") ||
+                             flags.has("nn-crash") || flags.has("bitrot");
   const bool want_summary = flags.get_bool("fault-summary") || faults_active;
 
   TextTable table({"protocol", "seconds", "throughput (Mbps)", "blocks",
@@ -616,9 +699,14 @@ int main(int argc, char** argv) {
   // Per-protocol registry snapshots, captured before the next run resets the
   // registry.
   std::vector<std::pair<std::string, std::string>> metric_snapshots;
+  std::vector<std::pair<std::string, std::string>> editlog_snapshots;
   std::string straggler_text;
   for (const cluster::Protocol protocol : protocols) {
     const RunOutcome outcome = run_once(flags, protocol);
+    if (flags.has("editlog-out")) {
+      editlog_snapshots.emplace_back(cluster::protocol_name(protocol),
+                                     outcome.editlog_json);
+    }
     if (!metrics_out.empty()) {
       const std::string name = cluster::protocol_name(protocol);
       metric_snapshots.emplace_back(
@@ -682,6 +770,18 @@ int main(int argc, char** argv) {
     }
     write_file_or_die(metrics_out, out);
     std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+  if (const std::string editlog_out = flags.get("editlog-out");
+      !editlog_out.empty()) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < editlog_snapshots.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + editlog_snapshots[i].first +
+             "\":" + editlog_snapshots[i].second;
+    }
+    out += "}\n";
+    write_file_or_die(editlog_out, out);
+    std::fprintf(stderr, "edit log written to %s\n", editlog_out.c_str());
   }
   std::printf("%s", table.to_string().c_str());
   if (seconds_by_protocol.size() == 2) {
