@@ -19,7 +19,13 @@
 // control-plane downtime, the salvaged-upload rate (writers that ride out
 // the outage on their retry budgets) and the makespan overhead vs a clean
 // run.
+//
+// Emits BENCH_fault_recovery.json (all four ablations, machine-readable):
+//
+//   bench_fault_recovery [output.json]
+#include <cstdio>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -250,9 +256,19 @@ NnOutageResult run_nn_outage(cluster::Protocol protocol, NnRecovery recovery,
   return out;
 }
 
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string json_str(const std::string& s) { return "\"" + s + "\""; }
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_fault_recovery.json";
   bench::print_header(
       "Fault recovery — crash one datanode mid-upload (small cluster, "
       "100 Mbps cross-rack, 8 GB)",
@@ -260,6 +276,10 @@ int main() {
       "(HDFS) / Alg. 4 (SMARTH).");
 
   const Bytes file_size = bench::bench_file_size();
+  std::string json = "{\n  \"bench\": \"fault_recovery\",\n";
+  json += "  \"config\": {\"file_gb\": " +
+          json_num(static_cast<double>(file_size) / kGiB) + "},\n";
+  json += "  \"crash\": [\n";
   TextTable table({"protocol", "fault", "seconds", "recoveries",
                    "overhead vs clean (%)"});
   for (cluster::Protocol protocol :
@@ -277,7 +297,19 @@ int main() {
              ? std::string("upload failed")
              : TextTable::num(
                    (faulted.seconds / clean.seconds - 1.0) * 100.0, 1)});
+    json += "    {\"protocol\": " +
+            json_str(cluster::protocol_name(protocol)) +
+            ", \"clean_s\": " + json_num(clean.seconds) +
+            ", \"faulted_s\": " + json_num(faulted.seconds) +
+            ", \"recoveries\": " + std::to_string(faulted.recoveries) +
+            ", \"overhead_pct\": " +
+            (faulted.failed || clean.failed
+                 ? std::string("null")
+                 : json_num((faulted.seconds / clean.seconds - 1.0) * 100.0)) +
+            "}" +
+            (protocol == cluster::Protocol::kHdfs ? ",\n" : "\n");
   }
+  json += "  ],\n";
   std::printf("%s\n", table.to_string().c_str());
 
   bench::print_header(
@@ -288,6 +320,7 @@ int main() {
       "the tail to the minimum durable replica.");
   TextTable salvage({"protocol", "readable (MiB)", "salvaged (MiB)",
                      "blocks sync'd", "orphans", "time-to-readable (s)"});
+  json += "  \"writer_crash\": [\n";
   for (cluster::Protocol protocol :
        {cluster::Protocol::kHdfs, cluster::Protocol::kSmarth}) {
     const SalvageResult r =
@@ -299,7 +332,19 @@ int main() {
                      std::to_string(r.orphans_abandoned),
                      r.closed ? TextTable::num(r.time_to_readable, 1)
                               : std::string("never closed")});
+    json += "    {\"protocol\": " +
+            json_str(cluster::protocol_name(protocol)) +
+            ", \"readable_mib\": " + json_num(r.readable_mib) +
+            ", \"salvaged_mib\": " + json_num(r.salvaged_mib) +
+            ", \"blocks_synced\": " + std::to_string(r.blocks_recovered) +
+            ", \"orphans\": " + std::to_string(r.orphans_abandoned) +
+            ", \"closed\": " + (r.closed ? "true" : "false") +
+            ", \"time_to_readable_s\": " +
+            (r.closed ? json_num(r.time_to_readable) : std::string("null")) +
+            "}" +
+            (protocol == cluster::Protocol::kHdfs ? ",\n" : "\n");
   }
+  json += "  ],\n";
   std::printf("%s\n", salvage.to_string().c_str());
 
   bench::print_header(
@@ -312,6 +357,8 @@ int main() {
                    "detect (s)", "repair (s)", "scrub I/O (MiB)",
                    "read exact"});
   const Bytes rot_file = 256 * kMiB;
+  json += "  \"bitrot_scrub\": [\n";
+  bool first_scrub = true;
   for (cluster::Protocol protocol :
        {cluster::Protocol::kHdfs, cluster::Protocol::kSmarth}) {
     for (const Bytes budget : {8 * kMiB, 64 * kMiB}) {
@@ -324,8 +371,22 @@ int main() {
            r.repair_s < 0 ? std::string("never") : TextTable::num(r.repair_s),
            TextTable::num(r.scrub_mib, 0),
            r.read_exact ? std::string("yes") : std::string("NO")});
+      if (!first_scrub) json += ",\n";
+      first_scrub = false;
+      json += "    {\"protocol\": " +
+              json_str(cluster::protocol_name(protocol)) +
+              ", \"scan_budget_mibps\": " +
+              json_num(static_cast<double>(budget) / kMiB) +
+              ", \"rotted\": " + std::to_string(r.rotted) +
+              ", \"detect_s\": " +
+              (r.detect_s < 0 ? std::string("null") : json_num(r.detect_s)) +
+              ", \"repair_s\": " +
+              (r.repair_s < 0 ? std::string("null") : json_num(r.repair_s)) +
+              ", \"scrub_mib\": " + json_num(r.scrub_mib) +
+              ", \"read_exact\": " + (r.read_exact ? "true" : "false") + "}";
     }
   }
+  json += "\n  ],\n";
   std::printf("%s\n", scrub.to_string().c_str());
 
   bench::print_header(
@@ -338,6 +399,8 @@ int main() {
   TextTable nn_table({"protocol", "recovery", "downtime (s)", "salvaged",
                       "makespan (s)", "overhead vs clean (%)"});
   const Bytes per_writer = file_size / 4;
+  json += "  \"nn_outage\": [\n";
+  bool first_nn = true;
   for (cluster::Protocol protocol :
        {cluster::Protocol::kHdfs, cluster::Protocol::kSmarth}) {
     const NnOutageResult clean =
@@ -360,8 +423,33 @@ int main() {
                ? std::string("-")
                : TextTable::num(
                      (r.makespan / clean.makespan - 1.0) * 100.0, 1)});
+      if (!first_nn) json += ",\n";
+      first_nn = false;
+      json += "    {\"protocol\": " +
+              json_str(cluster::protocol_name(protocol)) +
+              ", \"recovery\": " + json_str(label) +
+              ", \"downtime_s\": " + json_num(r.downtime_s) +
+              ", \"completed\": " + std::to_string(r.completed) +
+              ", \"writers\": " + std::to_string(r.writers) +
+              ", \"makespan_s\": " +
+              (r.makespan < 0 ? std::string("null") : json_num(r.makespan)) +
+              ", \"overhead_pct\": " +
+              (r.makespan < 0 || clean.makespan <= 0
+                   ? std::string("null")
+                   : json_num((r.makespan / clean.makespan - 1.0) * 100.0)) +
+              "}";
     }
   }
+  json += "\n  ]\n}\n";
   std::printf("%s\n", nn_table.to_string().c_str());
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("written to %s\n", out_path.c_str());
   return 0;
 }

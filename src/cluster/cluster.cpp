@@ -458,8 +458,9 @@ hdfs::StreamStats Cluster::run_upload(const std::string& path, Bytes size,
 }
 
 hdfs::DfsInputStream::Deps Cluster::make_read_deps() {
-  return hdfs::DfsInputStream::Deps{*sim_, *transport_, *rpc_, *namenode_,
-                                    spec_.hdfs, read_ids_};
+  return hdfs::DfsInputStream::Deps{
+      *sim_, *transport_, *rpc_, *namenode_, spec_.hdfs, read_ids_,
+      [this](NodeId node) { return resolve_datanode(node); }};
 }
 
 void Cluster::download(const std::string& path, DownloadCallback on_done,

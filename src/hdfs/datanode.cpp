@@ -38,6 +38,8 @@ Datanode::Datanode(sim::Simulation& sim, Transport& transport,
       });
   ack_latency_hist_ = &metrics::global_registry().histogram(
       "datanode." + self_.to_string() + ".ack_ns");
+  hedge_cancelled_hist_ =
+      &metrics::global_registry().histogram("hedge.cancelled_ns");
 }
 
 Datanode::~Datanode() = default;
@@ -468,14 +470,37 @@ void Datanode::deliver_read_request(const ReadRequest& request) {
   serve_read_packet(request, /*seq=*/0, request.length);
 }
 
+void Datanode::cancel_read(ReadId read) {
+  cancelled_reads_.insert(read.value());
+  metrics::global_registry().counter("hedge.cancelled").add();
+}
+
 void Datanode::serve_read_packet(ReadRequest request, std::int64_t seq,
                                  Bytes remaining) {
   if (crashed_ || remaining <= 0) return;
   const Bytes payload = std::min(remaining, config_.transfer_payload());
   const auto read_ops =
       static_cast<std::uint64_t>(config_.packets_in_transfer(payload));
-  disk_->read(payload, read_ops, [this, request, seq, remaining, payload] {
+  const SimTime issued_at = sim_.now();
+  disk_->read(payload, read_ops, [this, request, seq, remaining, payload,
+                                  issued_at] {
     if (crashed_) return;
+    const SimDuration served = sim_.now() - issued_at;
+    const auto it = cancelled_reads_.find(request.read.value());
+    if (it != cancelled_reads_.end()) {
+      // Hedge loser: the client already took the block from the winner. Stop
+      // streaming and keep the slow-disk evidence out of the per-node
+      // ack-latency histogram that straggler attribution reads.
+      cancelled_reads_.erase(it);
+      hedge_cancelled_hist_->observe(static_cast<double>(served));
+      return;
+    }
+    if (config_.hedged_reads) {
+      // Hedged mode folds read-serve latency into the same per-node latency
+      // histogram the hedge timer derives its threshold from, so a gray node
+      // that only serves reads still grows a visibly slow profile.
+      ack_latency_hist_->observe(static_cast<double>(served));
+    }
     // Verify the chunk CRCs covering this packet's byte range, as a real
     // datanode does after pulling the bytes off disk. On mismatch no payload
     // leaves this node — the reader is told to fail over and report us.

@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -91,6 +92,12 @@ class Datanode : public PacketSink {
   bool rot_random_finalized_chunk(std::uint64_t salt);
   /// Namenode command: drop a replica reported corrupt. No-op when absent.
   void invalidate_replica(BlockId block);
+
+  /// Hedge-race loser cancellation: stop streaming `read` at the next packet
+  /// boundary. Samples from a cancelled read land in the `hedge.cancelled`
+  /// metrics instead of this node's ack-latency histogram, so a hedge loser
+  /// cannot poison straggler attribution.
+  void cancel_read(ReadId read);
 
   // --- PacketSink ------------------------------------------------------------
   void deliver_setup(const PipelineSetup& setup) override;
@@ -226,10 +233,16 @@ class Datanode : public PacketSink {
   Bytes read_bytes_served_ = 0;
   std::uint64_t replicas_invalidated_ = 0;
   std::uint64_t read_verify_failures_ = 0;
+  /// Reads a hedged client told us we lost; the serving chain stops at the
+  /// next packet boundary and drops the entry.
+  std::unordered_set<std::int64_t> cancelled_reads_;
   /// Cached registry handle for this node's arrival->ACK latency (stays
   /// valid for the node's lifetime; smarthsim resets the registry only
   /// before constructing a fresh cluster).
   metrics::LatencyHistogram* ack_latency_hist_ = nullptr;
+  /// Cached handle for serve latency of cancelled (hedge-loser) reads — kept
+  /// apart from ack_latency_hist_ so straggler attribution stays clean.
+  metrics::LatencyHistogram* hedge_cancelled_hist_ = nullptr;
 };
 
 }  // namespace smarth::hdfs

@@ -59,6 +59,7 @@ Namenode::Namenode(sim::Simulation& sim, const net::Topology& topology,
                    const HdfsConfig& config, NodeId self)
     : sim_(sim), topology_(topology), config_(config), self_(self),
       policy_(std::make_unique<DefaultPlacementPolicy>()),
+      suspicion_(config.suspicion_half_life, config.suspicion_threshold),
       leases_(config.lease_soft_limit, config.lease_hard_limit) {}
 
 void Namenode::set_placement_policy(std::unique_ptr<PlacementPolicy> policy) {
@@ -129,6 +130,8 @@ PlacementContext Namenode::make_context(
   if (deprioritized != nullptr && !deprioritized->empty()) {
     ctx.deprioritized = deprioritized;
   }
+  suspect_scratch_ = suspicion_.suspects(sim_.now());
+  if (!suspect_scratch_.empty()) ctx.suspects = &suspect_scratch_;
   return ctx;
 }
 
@@ -498,9 +501,38 @@ std::size_t Namenode::corrupt_replica_count() const {
   return n;
 }
 
+void Namenode::report_slow_datanode(NodeId node, double weight) {
+  suspicion_.report(node, weight, sim_.now());
+  metrics::global_registry().counter("namenode.slow_node_reports").add();
+  trace_nn(trace::Category::kRecovery, "slow datanode report",
+           {{"node", node.to_string()},
+            {"score", std::to_string(suspicion_.score(node, sim_.now()))}});
+  SMARTH_INFO("namenode") << "slow report for datanode " << node.value()
+                          << ": suspicion "
+                          << suspicion_.score(node, sim_.now());
+}
+
 void Namenode::report_client_speeds(ClientId client,
                                     const std::vector<SpeedRecord>& records) {
   for (const SpeedRecord& r : records) speeds_.update(client, r);
+  // Fresh speed evidence is the fast path out of suspicion: a suspected node
+  // measured at least half as fast as the quickest node on the same client's
+  // board has demonstrably recovered — clear it now instead of waiting for
+  // the score to decay through the threshold.
+  for (const SpeedRecord& r : records) {
+    if (suspicion_.score(r.datanode, sim_.now()) <= 0.0) continue;
+    Bandwidth best = r.speed;
+    for (const SpeedRecord& board : speeds_.records_for(client)) {
+      if (board.speed.bytes_per_second() > best.bytes_per_second()) {
+        best = board.speed;
+      }
+    }
+    if (r.speed.bytes_per_second() * 2 >= best.bytes_per_second()) {
+      suspicion_.clear(r.datanode);
+      SMARTH_INFO("namenode") << "datanode " << r.datanode.value()
+                              << " measured fast again; suspicion cleared";
+    }
+  }
 }
 
 void Namenode::client_heartbeat(ClientId client,
@@ -1135,6 +1167,8 @@ std::size_t Namenode::restart(const NamenodeImage& image,
   datanodes_.clear();
   last_heartbeat_.clear();
   speeds_ = SpeedBoard{};
+  suspicion_ = SuspicionList(config_.suspicion_half_life,
+                             config_.suspicion_threshold);
   rereplication_pending_.clear();
 
   restore_image(image);

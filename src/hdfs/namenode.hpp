@@ -18,6 +18,7 @@
 #include "common/units.hpp"
 #include "hdfs/lease_manager.hpp"
 #include "hdfs/placement.hpp"
+#include "hdfs/suspicion.hpp"
 #include "hdfs/types.hpp"
 #include "net/topology.hpp"
 #include "sim/periodic_task.hpp"
@@ -234,6 +235,17 @@ class Namenode {
   /// Total (block, node) pairs currently quarantined.
   std::size_t corrupt_replica_count() const;
 
+  // --- Gray-failure suspicion --------------------------------------------------
+  /// Client slowness evidence: a write pipeline evicted `node` as a
+  /// straggler, or a hedged read beat it to the first byte-complete
+  /// response. Adds `weight` to the node's decaying suspicion score; nodes
+  /// at or above the threshold are demoted in placement ordering and in
+  /// SMARTH's top-n selection. Unlike report_bad_replica this carries no
+  /// data-integrity verdict — the node is slow, not wrong.
+  void report_slow_datanode(NodeId node, double weight);
+  const SuspicionList& suspicion() const { return suspicion_; }
+  std::uint64_t slow_node_reports() const { return suspicion_.reports(); }
+
   // --- Lease management / writer-crash recovery -------------------------------
   /// Client heartbeat: renews the client's lease and (SMARTH) records any
   /// piggybacked speed observations.
@@ -380,6 +392,10 @@ class Namenode {
   std::uint64_t bad_replica_reports_ = 0;
   std::uint64_t invalidations_issued_ = 0;
 
+  /// Decaying slowness scores; volatile like liveness (dropped on restart —
+  /// a rebooted namenode re-learns who is slow from fresh reports).
+  SuspicionList suspicion_;
+
   ReplicationExecutor replication_executor_;
   std::unique_ptr<sim::PeriodicTask> rereplication_task_;
   /// Block -> deadline of its in-flight copy. A copy whose completion never
@@ -390,6 +406,8 @@ class Namenode {
 
   // Reused scratch vector for alive-datanode snapshots.
   mutable std::vector<NodeId> alive_scratch_;
+  // Same idiom for the suspicion snapshot handed to placement contexts.
+  mutable std::vector<NodeId> suspect_scratch_;
 };
 
 }  // namespace smarth::hdfs

@@ -256,6 +256,20 @@ ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
   pipeline.set_resume_packets(resume_offset / deps_.config.transfer_payload());
   pipeline.created_at = deps_.sim.now();
 
+  if (deps_.config.slow_node_eviction) {
+    pipeline.ack_baselines.reserve(located.targets.size());
+    for (NodeId target : located.targets) {
+      ClientPipeline::AckBaseline base;
+      if (const auto* hist = metrics::global_registry().find_histogram(
+              "datanode." + target.to_string() + ".ack_ns")) {
+        const auto stats = hist->stats();
+        base.sum = stats.sum();
+        base.count = stats.count();
+      }
+      pipeline.ack_baselines.push_back(base);
+    }
+  }
+
   auto [it, inserted] = pipelines_.emplace(id, std::move(pipeline));
   SMARTH_CHECK(inserted);
   safe_mode_wait_started_ = -1;  // allocation landed; safe-mode wait is over
@@ -410,6 +424,107 @@ ClientPipeline* OutputStreamBase::find_pipeline(PipelineId id) {
   return it == pipelines_.end() ? nullptr : &it->second;
 }
 
+int OutputStreamBase::find_slow_pipeline_node(
+    const ClientPipeline& pipeline) const {
+  if (pipeline.ack_baselines.size() != pipeline.targets.size() ||
+      pipeline.targets.size() < 2) {
+    return -1;
+  }
+  // Windowed mean ack latency per member: this pipeline's delta against the
+  // creation-time baseline of each node's histogram.
+  std::vector<double> means(pipeline.targets.size(), 0.0);
+  for (std::size_t i = 0; i < pipeline.targets.size(); ++i) {
+    const auto* hist = metrics::global_registry().find_histogram(
+        "datanode." + pipeline.targets[i].to_string() + ".ack_ns");
+    if (hist == nullptr) return -1;
+    const auto stats = hist->stats();
+    const auto window_count = stats.count() - pipeline.ack_baselines[i].count;
+    if (window_count < deps_.config.eviction_min_samples) return -1;
+    means[i] = (stats.sum() - pipeline.ack_baselines[i].sum) /
+               static_cast<double>(window_count);
+  }
+  // A node's ack latency includes the time it waited for its downstream
+  // neighbour's ack, so segment i (the difference of adjacent means; the
+  // tail's is its raw mean) isolates node i's write + the i -> i+1 hop.
+  std::vector<double> own(means.size(), 0.0);
+  for (std::size_t i = 0; i + 1 < means.size(); ++i) {
+    own[i] = std::max(0.0, means[i] - means[i + 1]);
+  }
+  own.back() = std::max(0.0, means.back());
+  std::vector<double> sorted = own;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  if (median <= 0.0) return -1;
+  const double bound = deps_.config.eviction_outlier_factor * median;
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < own.size(); ++i) {
+    if (own[i] > own[worst]) worst = i;
+  }
+  if (own[worst] <= bound) return -1;
+  // Segment `worst` straddles two nodes: node `worst`'s disk/egress and node
+  // `worst + 1`'s ingress NIC both land in it (a slow ingress NIC makes the
+  // upstream neighbour queue, so the wait is charged upstream). When the next
+  // segment is also elevated the shared node (`worst + 1`) is poisoning both
+  // — blame it, not its innocent upstream neighbour. The elevation test for
+  // that next segment must exclude BOTH implicated segments from its
+  // baseline: with replication 3 and a mid-pipeline straggler, two of the
+  // three segments are inflated, so the plain median is itself inflated and
+  // would mask the culprit.
+  if (worst + 1 < own.size()) {
+    std::vector<double> rest;
+    for (std::size_t i = 0; i < own.size(); ++i) {
+      if (i != worst && i != worst + 1) rest.push_back(own[i]);
+    }
+    if (!rest.empty()) {
+      std::sort(rest.begin(), rest.end());
+      const double peer_baseline = rest[rest.size() / 2];
+      if (peer_baseline > 0.0 &&
+          own[worst + 1] >
+              deps_.config.eviction_outlier_factor * peer_baseline) {
+        return static_cast<int>(worst + 1);
+      }
+    }
+  }
+  return static_cast<int>(worst);
+}
+
+bool OutputStreamBase::maybe_evict_slow_node(ClientPipeline& pipeline) {
+  if (!deps_.config.slow_node_eviction || finished_ || pipeline.failed) {
+    return false;
+  }
+  const SimTime now = deps_.sim.now();
+  if (last_eviction_at_ >= 0 &&
+      now - last_eviction_at_ < deps_.config.eviction_cooldown) {
+    return false;
+  }
+  const int slow_index = find_slow_pipeline_node(pipeline);
+  if (slow_index < 0) return false;
+  const NodeId slow = pipeline.targets[static_cast<std::size_t>(slow_index)];
+  last_eviction_at_ = now;
+  ++stats_.slow_evictions;
+  metrics::global_registry().counter("write.slow_evictions").add();
+  if (trace::active()) {
+    trace::recorder()->instant(
+        trace::Category::kRecovery, "stream", "slow node evicted",
+        {{"pipeline", pipeline.id.to_string()},
+         {"node", slow.to_string()},
+         {"index", std::to_string(slow_index)}});
+  }
+  SMARTH_WARN("stream") << "pipeline " << pipeline.id.to_string()
+                        << ": datanode " << slow.to_string()
+                        << " is a mid-block straggler; evicting";
+  Namenode& nn = deps_.namenode;
+  deps_.rpc.notify(client_node_, nn.node_id(),
+                   [&nn, slow,
+                    weight = deps_.config.suspicion_eviction_weight] {
+                     nn.report_slow_datanode(slow, weight);
+                   });
+  // The straggler rides the normal error path: recovery excludes the node at
+  // error_index, splices in a replacement and transfers the prefix.
+  on_pipeline_error(pipeline, slow_index);
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Baseline HDFS stream
 // ---------------------------------------------------------------------------
@@ -544,6 +659,7 @@ void DfsOutputStream::deliver_ack(const PipelineAck& ack) {
     on_block_fully_acked();
     return;
   }
+  if (maybe_evict_slow_node(*pipeline)) return;
   pump_stream();
 }
 

@@ -66,6 +66,9 @@ struct StreamStats {
   int pipelines_created = 0;
   int max_concurrent_pipelines = 0;
   int recoveries = 0;
+  /// Mid-block pipeline rebuilds triggered by the slow-node detector rather
+  /// than a failure (subset of `recoveries`).
+  int slow_evictions = 0;
   bool failed = false;
   std::string failure_reason;
 
@@ -110,6 +113,16 @@ struct ClientPipeline {
   SimTime first_packet_sent = -1;
   SimTime fnfa_at = -1;
   sim::EventHandle watchdog;
+
+  /// Slow-node eviction: per-target (sum, count) snapshot of the node's
+  /// ack-latency histogram taken at pipeline creation. Detection only ever
+  /// looks at deltas against these, so samples from earlier pipelines (or a
+  /// pre-populated registry) cannot skew this pipeline's window.
+  struct AckBaseline {
+    double sum = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<AckBaseline> ack_baselines;
 
   // Block-lifecycle spans (inert handles when tracing is disabled):
   // setup -> stream (first packet dispatched, some un-sent) -> tail-ack
@@ -198,6 +211,20 @@ class OutputStreamBase : public AckSink {
 
   /// Arms/refreshes the no-ack-progress watchdog for a pipeline.
   void arm_watchdog(ClientPipeline& pipeline);
+
+  // --- slow-node eviction -----------------------------------------------------
+  /// Index of a mid-block straggler in `pipeline`, or -1. A node is a
+  /// straggler when its windowed own-time (this pipeline's ack-latency delta,
+  /// minus its downstream neighbour's) exceeds `eviction_outlier_factor`
+  /// times the median of its peers'. Every member needs
+  /// `eviction_min_samples` window samples before any verdict.
+  int find_slow_pipeline_node(const ClientPipeline& pipeline) const;
+  /// Checks the straggler bound and, when it trips (outside the per-stream
+  /// cooldown), reports the node to the namenode and fires the normal
+  /// pipeline-recovery path with the straggler as error index — evict and
+  /// splice a replacement instead of waiting out the watchdog. Returns true
+  /// when recovery was started (the pipeline is dead to the caller).
+  bool maybe_evict_slow_node(ClientPipeline& pipeline);
   /// Subclass hook invoked when a pipeline times out or receives an error
   /// ack; `error_index` is the reporting datanode's pipeline position or -1.
   virtual void on_pipeline_error(ClientPipeline& pipeline, int error_index) = 0;
@@ -259,6 +286,9 @@ class OutputStreamBase : public AckSink {
   std::unordered_map<PipelineId, SimTime> recovery_started_;
   /// PipelineId -> open recovery span (tracing only).
   std::unordered_map<PipelineId, trace::SpanHandle> recovery_spans_;
+  /// When this stream last evicted a slow node (-1: never); one eviction per
+  /// `eviction_cooldown` keeps a noisy window from serially rebuilding.
+  SimTime last_eviction_at_ = -1;
   /// Whole-upload span, opened by start() and closed by finish().
   trace::SpanHandle upload_span_;
 

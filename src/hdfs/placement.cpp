@@ -18,6 +18,7 @@ NodeId pick_random_node(const PlacementContext& ctx,
                         const std::vector<NodeId>& excluded,
                         const std::function<bool(NodeId)>& rack_ok) {
   std::vector<NodeId> candidates;
+  std::vector<NodeId> demoted;      // suspected-slow nodes (suspicion list)
   std::vector<NodeId> last_resort;  // deprioritized (quarantined) nodes
   candidates.reserve(ctx.alive.size());
   for (NodeId node : ctx.alive) {
@@ -29,8 +30,15 @@ NodeId pick_random_node(const PlacementContext& ctx,
       last_resort.push_back(node);
       continue;
     }
+    if (ctx.suspects != nullptr &&
+        std::find(ctx.suspects->begin(), ctx.suspects->end(), node) !=
+            ctx.suspects->end()) {
+      demoted.push_back(node);
+      continue;
+    }
     candidates.push_back(node);
   }
+  if (candidates.empty()) candidates = std::move(demoted);
   if (candidates.empty()) candidates = std::move(last_resort);
   if (candidates.empty()) return NodeId{};
   return candidates[ctx.rng.index(candidates.size())];
@@ -71,8 +79,14 @@ std::vector<NodeId> DefaultPlacementPolicy::choose_targets(
       ctx.deprioritized != nullptr &&
       std::find(ctx.deprioritized->begin(), ctx.deprioritized->end(),
                 request.client_node) != ctx.deprioritized->end();
+  // A suspected-slow writer node loses its local-write privilege the same
+  // way a quarantined one does; pick_random_node may still fall back to it.
+  const bool client_suspect =
+      ctx.suspects != nullptr &&
+      std::find(ctx.suspects->begin(), ctx.suspects->end(),
+                request.client_node) != ctx.suspects->end();
   NodeId first;
-  if (client_is_datanode && !client_quarantined &&
+  if (client_is_datanode && !client_quarantined && !client_suspect &&
       !placement_unusable(request.client_node, targets, request.excluded)) {
     first = request.client_node;
   } else {

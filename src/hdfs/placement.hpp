@@ -26,6 +26,9 @@ struct PlacementContext {
   /// Soft exclusion (client quarantine): these nodes are only chosen when no
   /// other candidate exists, so a degraded cluster keeps making progress.
   const std::vector<NodeId>* deprioritized = nullptr;
+  /// Graded slowness demotion (namenode suspicion list): suspects rank below
+  /// clean nodes but above the deprioritized tier — slow beats broken.
+  const std::vector<NodeId>* suspects = nullptr;
 };
 
 struct PlacementRequest {

@@ -111,6 +111,16 @@ void BlockRecovery::on_probes_done(std::vector<ReplicaProbeResult> results) {
     fail("no surviving replica for " + block_.to_string());
     return;
   }
+  // Survivors double as prefix-transfer primaries (tried in order), so move
+  // namenode-suspected gray nodes to the back: seeding a replacement through
+  // a throttled NIC can take longer than the outage it repairs. Advisory
+  // read of the control plane — a real namenode would ship these hints with
+  // getAdditionalDatanodes; excluding nobody keeps the no-healthy-survivor
+  // case working.
+  const SimTime now = deps_.sim.now();
+  std::stable_partition(alive_.begin(), alive_.end(), [this, now](NodeId n) {
+    return !deps_.namenode.suspicion().suspect(n, now);
+  });
   // Sync point: the minimum durable length among survivors, aligned down to
   // a packet boundary so retransmission can restart at a packet edge.
   Bytes min_len = -1;

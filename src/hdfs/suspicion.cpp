@@ -1,0 +1,41 @@
+#include "hdfs/suspicion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smarth::hdfs {
+
+double SuspicionList::decayed(const Entry& entry, SimTime now) const {
+  if (half_life_ <= 0 || now <= entry.updated_at) return entry.score;
+  const double half_lives = static_cast<double>(now - entry.updated_at) /
+                            static_cast<double>(half_life_);
+  return entry.score * std::exp2(-half_lives);
+}
+
+void SuspicionList::report(NodeId node, double weight, SimTime now) {
+  Entry& entry = entries_[node.value()];
+  entry.score = decayed(entry, now) + weight;
+  entry.updated_at = now;
+  ++reports_;
+}
+
+double SuspicionList::score(NodeId node, SimTime now) const {
+  const auto it = entries_.find(node.value());
+  return it == entries_.end() ? 0.0 : decayed(it->second, now);
+}
+
+bool SuspicionList::suspect(NodeId node, SimTime now) const {
+  return score(node, now) >= threshold_;
+}
+
+std::vector<NodeId> SuspicionList::suspects(SimTime now) const {
+  std::vector<NodeId> out;
+  for (const auto& [node, entry] : entries_) {
+    if (decayed(entry, now) >= threshold_) out.push_back(NodeId(node));
+  }
+  std::sort(out.begin(), out.end(),
+            [](NodeId a, NodeId b) { return a.value() < b.value(); });
+  return out;
+}
+
+}  // namespace smarth::hdfs

@@ -148,6 +148,60 @@ struct HdfsConfig {
   /// (deprioritized for new pipelines and replacements).
   SimDuration quarantine_duration = seconds(60);
 
+  // --- Gray-failure defense (hedged reads / slow-node eviction) -------------
+  // A fail-slow datanode never misses a heartbeat, so none of the crash
+  // machinery fires; these knobs defend tail latency instead of durability.
+  // All three defenses default off so latency-calibrated experiments and
+  // existing seed timelines are unaffected; benches and chaos subsets opt in.
+
+  /// Hedged reads: when a block read makes no byte progress for the hedge
+  /// threshold, race a second replica and keep whichever finishes first.
+  bool hedged_reads = false;
+  /// Hedge threshold = p95 of the serving datanode's ack_ns histogram times
+  /// this multiplier — the PR-5 per-hop latency data reused as a slowness
+  /// prior. Falls back to `hedge_static_threshold` until the histogram has
+  /// `hedge_min_samples` observations.
+  double hedge_timer_multiplier = 8.0;
+  std::uint64_t hedge_min_samples = 16;
+  SimDuration hedge_static_threshold = milliseconds(500);
+  /// Pace trigger: a gray-slow replica still makes steady byte progress, so
+  /// the stall timer alone never fires on it. The reader also compares its
+  /// mean packet gap against the cluster-wide lower-quartile gap (global
+  /// `read.gap_ns` histogram — the quartile keeps the baseline healthy even
+  /// when the slow node's own gaps land in it) and hedges when the ratio
+  /// exceeds this factor.
+  double hedge_pace_factor = 3.0;
+  /// Hedge budget: concurrent hedges per client stream, and total hedges one
+  /// file read may launch — a sick cluster must not double its own load.
+  int hedge_max_in_flight = 1;
+  int hedge_per_read_cap = 16;
+
+  /// Write-pipeline slow-node eviction: a mid-block straggler (ACK own-time
+  /// persistently above the outlier bound vs its pipeline peers) is evicted
+  /// through the live pipeline-recovery path instead of crawling to FNFA at
+  /// the next block boundary.
+  bool slow_node_eviction = false;
+  /// A node is a straggler when its own-time exceeds the median own-time of
+  /// its pipeline peers by this factor.
+  double eviction_outlier_factor = 4.0;
+  /// ACK samples each pipeline member must contribute within the current
+  /// pipeline before the detector may speak — one slow seek is not a pattern.
+  std::uint64_t eviction_min_samples = 12;
+  /// Quiet period between evictions on one stream, so a recovering pipeline
+  /// is not immediately re-judged on its warm-up ACKs.
+  SimDuration eviction_cooldown = seconds(5);
+
+  /// Namenode suspicion list: eviction and hedge-win reports add this much
+  /// to the offending datanode's decaying suspicion score.
+  double suspicion_eviction_weight = 2.0;
+  double suspicion_hedge_weight = 1.0;
+  /// Scores halve every half-life; a node whose decayed score is at or above
+  /// the threshold is demoted in placement and SMARTH top-n selection. Decay
+  /// is the recovery path: a node that speeds back up stops accruing reports
+  /// and drops below the threshold within a few half-lives.
+  SimDuration suspicion_half_life = seconds(30);
+  double suspicion_threshold = 2.0;
+
   // --- SMARTH ---------------------------------------------------------------
   /// Local-optimization exploration threshold (paper: 0.8; swap first
   /// datanode with probability 1 - threshold).

@@ -50,6 +50,7 @@ void FaultSummary::fold(const hdfs::StreamStats& stats) {
   rpc_retries += stats.rpc_retries;
   rpc_give_ups += stats.rpc_give_ups;
   recovery_time_total += stats.recovery_time_total;
+  slow_evictions += stats.slow_evictions;
 }
 
 void FaultSummary::fold_registry(const Registry& registry) {
@@ -61,6 +62,10 @@ void FaultSummary::fold_registry(const Registry& registry) {
   rpc_give_ups = std::max(rpc_give_ups, counter("rpc.give_ups"));
   quarantine_events = std::max(
       quarantine_events, static_cast<int>(counter("quarantine.events")));
+  slow_node_reports =
+      std::max(slow_node_reports, counter("namenode.slow_node_reports"));
+  hedge_cancelled_serves =
+      std::max(hedge_cancelled_serves, counter("hedge.cancelled"));
 }
 
 void FaultSummary::fold_read(const hdfs::ReadStats& stats) {
@@ -69,6 +74,10 @@ void FaultSummary::fold_read(const hdfs::ReadStats& stats) {
   read_failovers += stats.failovers;
   checksum_mismatches += stats.checksum_mismatches;
   bad_replica_reports += stats.bad_replica_reports;
+  hedged_reads += stats.hedged_reads;
+  hedge_wins += stats.hedge_wins;
+  hedges_denied += stats.hedges_denied;
+  hedge_wasted_bytes += stats.hedge_wasted_bytes;
 }
 
 void FaultSummary::merge(const FaultSummary& other) {
@@ -103,6 +112,13 @@ void FaultSummary::merge(const FaultSummary& other) {
   read_failovers += other.read_failovers;
   checksum_mismatches += other.checksum_mismatches;
   bad_replica_reports += other.bad_replica_reports;
+  hedged_reads += other.hedged_reads;
+  hedge_wins += other.hedge_wins;
+  hedges_denied += other.hedges_denied;
+  hedge_wasted_bytes += other.hedge_wasted_bytes;
+  slow_evictions += other.slow_evictions;
+  slow_node_reports += other.slow_node_reports;
+  hedge_cancelled_serves += other.hedge_cancelled_serves;
   bitrot_flips += other.bitrot_flips;
   replicas_invalidated += other.replicas_invalidated;
   scrub_rot_detected += other.scrub_rot_detected;
@@ -164,6 +180,16 @@ std::string render_fault_summary(const FaultSummary& summary) {
       {"checksum mismatches", std::to_string(summary.checksum_mismatches)});
   table.add_row(
       {"bad replica reports", std::to_string(summary.bad_replica_reports)});
+  table.add_row({"hedged reads", std::to_string(summary.hedged_reads)});
+  table.add_row({"hedge wins", std::to_string(summary.hedge_wins)});
+  table.add_row({"hedges denied", std::to_string(summary.hedges_denied)});
+  table.add_row(
+      {"hedge wasted bytes", std::to_string(summary.hedge_wasted_bytes)});
+  table.add_row({"slow evictions", std::to_string(summary.slow_evictions)});
+  table.add_row(
+      {"slow-node reports", std::to_string(summary.slow_node_reports)});
+  table.add_row({"hedge-cancelled serves",
+                 std::to_string(summary.hedge_cancelled_serves)});
   table.add_row({"bitrot flips", std::to_string(summary.bitrot_flips)});
   table.add_row(
       {"replicas invalidated", std::to_string(summary.replicas_invalidated)});

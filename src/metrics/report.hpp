@@ -145,6 +145,15 @@ struct FaultSummary {
   int checksum_mismatches = 0;
   int bad_replica_reports = 0;
 
+  // Gray-failure defense (hedged reads + slow-node eviction + suspicion).
+  int hedged_reads = 0;
+  int hedge_wins = 0;
+  int hedges_denied = 0;
+  Bytes hedge_wasted_bytes = 0;
+  int slow_evictions = 0;
+  std::uint64_t slow_node_reports = 0;
+  std::uint64_t hedge_cancelled_serves = 0;
+
   // Data-integrity counters (from the namenode / datanodes).
   std::uint64_t bitrot_flips = 0;
   std::uint64_t replicas_invalidated = 0;

@@ -58,6 +58,7 @@ std::vector<NodeId> GlobalOptimizerPolicy::choose_targets(
   // Lines 5, 9-10: first datanode — random draw from the client's top n.
   std::vector<NodeId> top = top_n_for_client(request, ctx, n);
   std::vector<NodeId> usable_top;
+  std::vector<NodeId> suspect_top;
   std::vector<NodeId> quarantined_top;
   for (NodeId node : top) {
     if (hdfs::placement_unusable(node, targets, request.excluded)) continue;
@@ -67,8 +68,18 @@ std::vector<NodeId> GlobalOptimizerPolicy::choose_targets(
       quarantined_top.push_back(node);  // last resort: fast but suspect
       continue;
     }
+    if (ctx.suspects != nullptr &&
+        std::find(ctx.suspects->begin(), ctx.suspects->end(), node) !=
+            ctx.suspects->end()) {
+      // Suspicion outranks a stale speed record: the board still remembers
+      // the node's healthy throughput, but eviction/hedge evidence says it
+      // has gone gray since. Use it only when no clean top node remains.
+      suspect_top.push_back(node);
+      continue;
+    }
     usable_top.push_back(node);
   }
+  if (usable_top.empty()) usable_top = std::move(suspect_top);
   if (usable_top.empty()) usable_top = std::move(quarantined_top);
   NodeId first;
   if (!usable_top.empty()) {

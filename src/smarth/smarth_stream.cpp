@@ -210,6 +210,10 @@ void SmarthOutputStream::deliver_ack(const PipelineAck& ack) {
     on_pipeline_complete(ack.pipeline);
     return;
   }
+  // Per-pipeline eviction: a mid-block straggler in *this* pipeline is
+  // replaced immediately; the speed reports keep steering the global
+  // optimizer away from it for future blocks.
+  if (maybe_evict_slow_node(*pipeline)) return;
   pump_stream();
 }
 

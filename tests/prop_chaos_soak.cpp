@@ -18,6 +18,7 @@
 #include "cluster/cluster_spec.hpp"
 #include "faults/fault_injector.hpp"
 #include "metrics/report.hpp"
+#include "trace/metrics_registry.hpp"
 
 namespace smarth {
 namespace {
@@ -93,6 +94,14 @@ struct SoakResult {
   std::uint64_t nn_failovers = 0;
   std::uint64_t safe_mode_entries = 0;
   bool file_closed = false;
+  // Gray-failure defense accounting (populated only when the soak runs with
+  // the PR-8 defenses enabled).
+  int slow_evictions = 0;
+  int hedges = 0;
+  int hedge_wins = 0;
+  std::uint64_t slow_node_reports = 0;
+  SimDuration read_elapsed = 0;
+  bool read_failed = false;
   /// block value -> sorted (node, bytes) pairs.
   std::map<std::int64_t, std::map<std::int64_t, Bytes>> replicas;
 
@@ -105,8 +114,18 @@ struct SoakResult {
 SoakResult soak_once(
     std::uint64_t seed,
     hdfs::DataFidelity fidelity = hdfs::DataFidelity::kPacket,
-    const faults::ChaosRates& rates = soak_rates()) {
-  Cluster cluster(soak_spec(seed, fidelity));
+    const faults::ChaosRates& rates = soak_rates(),
+    bool gray_defenses = false) {
+  cluster::ClusterSpec spec = soak_spec(seed, fidelity);
+  if (gray_defenses) {
+    // The registry feeds the hedge pace baseline and the in-flight gauge;
+    // reset before cluster construction (datanodes cache histogram
+    // pointers) so each run's defense timeline is self-contained.
+    metrics::global_registry().reset();
+    spec.hdfs.hedged_reads = true;
+    spec.hdfs.slow_node_eviction = true;
+  }
+  Cluster cluster(spec);
   cluster.throttle_cross_rack(Bandwidth::mbps(60));
   if (rates.nn_failover) cluster.enable_standby();
   faults::FaultInjector injector(cluster, /*chaos_seed=*/seed * 7919 + 1);
@@ -131,6 +150,12 @@ SoakResult soak_once(
   if (!stats.has_value()) {
     result.failed = true;
     return result;
+  }
+  // With the defenses on, read the file back while chaos is still running so
+  // hedged reads race live fail-slow windows, not a healed cluster.
+  std::optional<hdfs::ReadStats> read;
+  if (gray_defenses && !stats->failed) {
+    read = cluster.run_download("/soak");
   }
   injector.stop_chaos();
   // Control-plane outages must resolve once chaos stops: any scheduled
@@ -201,6 +226,14 @@ SoakResult soak_once(
   result.nn_restarts = injector.counts().nn_restarts;
   result.nn_failovers = injector.counts().nn_failovers;
   result.safe_mode_entries = cluster.namenode().safe_mode_entries();
+  result.slow_evictions = stats->slow_evictions;
+  result.slow_node_reports = cluster.namenode().slow_node_reports();
+  if (read.has_value()) {
+    result.hedges = read->hedged_reads;
+    result.hedge_wins = read->hedge_wins;
+    result.read_elapsed = read->elapsed();
+    result.read_failed = read->failed;
+  }
   for (std::size_t i = 0; i < cluster.datanode_count(); ++i) {
     result.scrub_rot_detected += cluster.datanode(i).scanner().rot_detected();
     result.replicas_invalidated += cluster.datanode(i).replicas_invalidated();
@@ -379,6 +412,66 @@ TEST(ChaosSoak, NamenodeCrashIdenticalSeedsProduceIdenticalTimelines) {
         soak_once(seed, hdfs::DataFidelity::kPacket, nn_soak_rates(seed));
     const SoakResult b =
         soak_once(seed, hdfs::DataFidelity::kPacket, nn_soak_rates(seed));
+    EXPECT_EQ(a, b);
+  }
+}
+
+/// Fail-slow-heavy rates for the gray-failure subset: frequent, long,
+/// severe slow windows and nothing else, so the PR-8 defenses — not the
+/// crash machinery — are the only thing standing between an upload and the
+/// straggler.
+faults::ChaosRates fail_slow_heavy_rates() {
+  faults::ChaosRates rates;
+  rates.fail_slow_per_minute = 6.0;
+  rates.fail_slow_duration = seconds(12);
+  rates.fail_slow_factor = 8.0;
+  return rates;
+}
+
+// Gray-failure subset: hedged reads + slow-node eviction enabled under
+// fail-slow-heavy chaos. Every upload and read-back must complete (gray
+// nodes never break liveness, only pace), and the hedge budget gauge must
+// return to zero after every run — a leaked slot would eventually deny all
+// hedging.
+TEST(ChaosSoak, FailSlowHeavyDefensesOnCompletesWithoutHedgeLeak) {
+  const std::uint64_t seeds = std::min<std::uint64_t>(soak_seed_count(), 12);
+  std::uint64_t completed = 0;
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_hedges = 0;
+  std::uint64_t total_evictions = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult result = soak_once(
+        seed, hdfs::DataFidelity::kPacket, fail_slow_heavy_rates(),
+        /*gray_defenses=*/true);
+    if (HasFatalFailure()) return;
+    total_faults += result.faults;
+    total_hedges += static_cast<std::uint64_t>(result.hedges);
+    total_evictions += static_cast<std::uint64_t>(result.slow_evictions);
+    // Pure fail-slow never kills an upload or a read: pace drops, liveness
+    // does not.
+    EXPECT_FALSE(result.failed);
+    EXPECT_FALSE(result.read_failed);
+    if (!result.failed) ++completed;
+    const auto* gauge =
+        metrics::global_registry().find_gauge("read.hedges_in_flight");
+    EXPECT_DOUBLE_EQ(gauge != nullptr ? gauge->value() : 0.0, 0.0)
+        << "hedge budget slot leaked";
+  }
+  EXPECT_EQ(completed, seeds);
+  // The chaos must actually have bitten and the defenses must actually have
+  // fired somewhere across the sweep, or this test exercised nothing.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(total_hedges + total_evictions, 0u);
+}
+
+TEST(ChaosSoak, FailSlowHeavyDefensesOnIdenticalTimelines) {
+  for (std::uint64_t seed : {2u, 9u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SoakResult a = soak_once(seed, hdfs::DataFidelity::kPacket,
+                                   fail_slow_heavy_rates(), true);
+    const SoakResult b = soak_once(seed, hdfs::DataFidelity::kPacket,
+                                   fail_slow_heavy_rates(), true);
     EXPECT_EQ(a, b);
   }
 }

@@ -70,6 +70,9 @@ cluster::ClusterSpec spec_from_flags(const FlagSet& flags,
       tol && *tol > 0) {
     spec.hdfs.block_fidelity_tolerance = *tol;
   }
+  // Gray-failure defenses (all default off; see HdfsConfig).
+  if (flags.get_bool("hedged-reads")) spec.hdfs.hedged_reads = true;
+  if (flags.get_bool("slow-evict")) spec.hdfs.slow_node_eviction = true;
   return spec;
 }
 
@@ -149,7 +152,13 @@ faults::ChaosRates parse_chaos_rates(const std::string& text) {
     else if (key == "rpcjitter-ms") rates.rpc_delay_jitter = milliseconds_f(v);
     else if (key == "rejoin-s") rates.rejoin_delay = seconds_f(v);
     else if (key == "slowdur-s") rates.fail_slow_duration = seconds_f(v);
-    else if (key == "slowfactor") rates.fail_slow_factor = v;
+    else if (key == "slowfactor" || key == "failslow-factor") {
+      if (v <= 0) {
+        fault_flag_error("chaos-rates",
+                         "failslow-factor must be positive, got " + value);
+      }
+      rates.fail_slow_factor = v;
+    }
     else if (key == "flapdur-s") rates.flap_duration = seconds_f(v);
     else if (key == "nncrash") rates.nn_crash_per_minute = v;
     else if (key == "nnrestart-s") rates.nn_restart_delay = seconds_f(v);
@@ -157,6 +166,19 @@ faults::ChaosRates parse_chaos_rates(const std::string& text) {
     else fault_flag_error("chaos-rates", "unknown key: " + key);
   }
   return rates;
+}
+
+/// Validated --fail-slow-factor: the first-class fail-slow severity knob.
+/// When set it overrides the factor of --fail-slow windows and chaos
+/// failslow events, so severity sweeps change one flag. Exits on <= 0.
+std::optional<double> fail_slow_factor_flag(const FlagSet& flags) {
+  if (!flags.has("fail-slow-factor")) return std::nullopt;
+  const auto factor = flags.get_double("fail-slow-factor");
+  if (!factor || *factor <= 0) {
+    fault_flag_error("fail-slow-factor", "must be a positive number, got " +
+                                             flags.get("fail-slow-factor"));
+  }
+  return factor;
 }
 
 /// Parses the one-shot fault flags (--crash/--rejoin/--fail-slow/--flap/
@@ -196,22 +218,37 @@ workload::FaultPlan plan_from_flags(const FlagSet& flags) {
       }
     }
     if (flags.has("fail-slow")) {
-      // --fail-slow=<datanode>@<from>-<until>@<factor>
+      // --fail-slow=<datanode>@<from>-<until>[@<factor>]; --fail-slow-factor
+      // supplies (or overrides) the severity, so sweeps vary one flag.
       const std::string fs = flags.get("fail-slow");
       const auto at = fs.find('@');
       const auto dash = fs.find('-', at);
       const auto at2 = fs.find('@', dash);
-      if (at == std::string::npos || dash == std::string::npos ||
-          at2 == std::string::npos) {
+      if (at == std::string::npos || dash == std::string::npos) {
         fault_flag_error("fail-slow",
-                         "expected <datanode>@<from>-<until>@<factor>, got " +
-                             fs);
+                         "expected <datanode>@<from>-<until>[@<factor>], "
+                         "got " + fs);
       }
+      const auto factor_flag = fail_slow_factor_flag(flags);
+      double factor = 0;
+      if (factor_flag) {
+        factor = *factor_flag;
+      } else if (at2 != std::string::npos) {
+        factor = std::stod(fs.substr(at2 + 1));
+      } else {
+        fault_flag_error("fail-slow",
+                         "no severity: append @<factor> or set "
+                         "--fail-slow-factor");
+      }
+      if (factor <= 0) {
+        fault_flag_error("fail-slow", "factor must be positive, got " + fs);
+      }
+      const auto until_len =
+          at2 == std::string::npos ? std::string::npos : at2 - dash - 1;
       plan.fail_slow(
           static_cast<std::size_t>(std::stol(fs.substr(0, at))),
           seconds_f(std::stod(fs.substr(at + 1, dash - at - 1))),
-          seconds_f(std::stod(fs.substr(dash + 1, at2 - dash - 1))),
-          std::stod(fs.substr(at2 + 1)));
+          seconds_f(std::stod(fs.substr(dash + 1, until_len))), factor);
     }
     if (flags.has("flap")) {
       // --flap=<datanode>@<down>-<up>
@@ -359,8 +396,10 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   }
   if (!plan.empty()) plan.apply(injector);
   if (flags.has("chaos-rates")) {
-    const faults::ChaosRates rates =
-        parse_chaos_rates(flags.get("chaos-rates"));
+    faults::ChaosRates rates = parse_chaos_rates(flags.get("chaos-rates"));
+    if (const auto factor = fail_slow_factor_flag(flags)) {
+      rates.fail_slow_factor = *factor;
+    }
     // Warm failover needs a standby tailing the log before the first crash.
     if (rates.nn_failover) cluster.enable_standby();
     injector.start_chaos(rates);
@@ -524,8 +563,11 @@ int run_sweeps(const FlagSet& flags,
           }
           if (!plan.empty()) plan.apply(injector);
           if (flags.has("chaos-rates")) {
-            const faults::ChaosRates rates =
+            faults::ChaosRates rates =
                 parse_chaos_rates(flags.get("chaos-rates"));
+            if (const auto factor = fail_slow_factor_flag(flags)) {
+              rates.fail_slow_factor = *factor;
+            }
             if (rates.nn_failover) cluster.enable_standby();
             injector.start_chaos(rates);
           }
@@ -569,7 +611,10 @@ int main(int argc, char** argv) {
   flags.declare("crash", "crash fault: <datanode>@<seconds>", "");
   flags.declare("rejoin", "reboot a crashed node: <datanode>@<seconds>", "");
   flags.declare("fail-slow",
-                "fail-slow window: <datanode>@<from>-<until>@<factor>", "");
+                "fail-slow window: <datanode>@<from>-<until>[@<factor>]", "");
+  flags.declare("fail-slow-factor",
+                "fail-slow severity: slowdown multiplier (> 0) applied to "
+                "--fail-slow windows and chaos failslow events", "");
   flags.declare("flap", "NIC flap window: <datanode>@<down>-<up>", "");
   flags.declare("client-crash",
                 "writer crash at <seconds>; lease recovery closes the file",
@@ -621,6 +666,12 @@ int main(int argc, char** argv) {
   flags.declare_bool("nn-failover",
                      "recover the crashed namenode by promoting the warm "
                      "standby instead of a cold restart");
+  flags.declare_bool("hedged-reads",
+                     "gray-failure read defense: race a second replica when "
+                     "a block read stalls past the hedge threshold");
+  flags.declare_bool("slow-evict",
+                     "gray-failure write defense: evict a mid-block "
+                     "straggler datanode and splice in a replacement");
   flags.declare_bool("fault-summary", "print robustness counters per run");
   flags.declare_bool("verbose", "protocol-level logging");
   flags.declare_bool("help", "show usage");
@@ -648,6 +699,9 @@ int main(int argc, char** argv) {
                  fidelity.c_str());
     return 2;
   }
+  // Validate severity eagerly: a bad --fail-slow-factor must exit 2 even
+  // when no fault flag consumes it this run.
+  (void)fail_slow_factor_flag(flags);
   const std::string trace_out = flags.get("trace-out");
   const std::string metrics_out = flags.get("metrics-out");
   const bool want_straggler = flags.get_bool("straggler-report");
