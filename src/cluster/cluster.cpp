@@ -49,6 +49,24 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
   namenode_ = std::make_unique<hdfs::Namenode>(*sim_, network_->topology(),
                                                spec_.hdfs, nn_node);
 
+  // Control-plane capacity model: when enabled, namenode RPCs serialize
+  // through a ServiceQueue at per-op cost (admission control adds bounded
+  // depth, priorities, shedding, batching). Installed before any datanode
+  // starts so the very first heartbeats already ride the queue.
+  if (spec_.hdfs.nn_service_model || spec_.hdfs.nn_admission_control) {
+    rpc::ServiceQueue::Config qc;
+    qc.admission_control = spec_.hdfs.nn_admission_control;
+    qc.cost_heartbeat = spec_.hdfs.nn_cost_heartbeat;
+    qc.cost_meta = spec_.hdfs.nn_cost_meta;
+    qc.cost_add_block = spec_.hdfs.nn_cost_add_block;
+    qc.queue_capacity = spec_.hdfs.nn_queue_capacity;
+    qc.heartbeat_batch_max = spec_.hdfs.nn_heartbeat_batch_max;
+    qc.batch_marginal_cost = spec_.hdfs.nn_batch_marginal_cost;
+    qc.per_tenant_addblock_cap = spec_.hdfs.nn_client_addblock_cap;
+    nn_service_queue_ = std::make_unique<rpc::ServiceQueue>(*sim_, qc);
+    rpc_->set_service_queue(nn_node, nn_service_queue_.get());
+  }
+
   // Durability: every namespace mutation journals into the edit log, and the
   // checkpointer periodically snapshots the namenode into an fsimage and
   // truncates the log. Restart replays fsimage + tail; see restart_namenode().

@@ -44,6 +44,11 @@ class Cluster {
   net::Network& network() { return *network_; }
   rpc::RpcBus& rpc() { return *rpc_; }
   hdfs::Namenode& namenode() { return *namenode_; }
+  /// The namenode's RPC service queue when the control-plane capacity model
+  /// is enabled (nn_service_model / nn_admission_control); else nullptr.
+  const rpc::ServiceQueue* nn_service_queue() const {
+    return nn_service_queue_.get();
+  }
   const ClusterSpec& spec() const { return spec_; }
   const hdfs::HdfsConfig& config() const { return spec_.hdfs; }
   hdfs::HdfsConfig& mutable_config() { return spec_.hdfs; }
@@ -192,6 +197,7 @@ class Cluster {
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<rpc::RpcBus> rpc_;
+  std::unique_ptr<rpc::ServiceQueue> nn_service_queue_;
   std::unique_ptr<hdfs::Transport> transport_;
   std::unique_ptr<hdfs::Namenode> namenode_;
   std::unique_ptr<hdfs::EditLog> edit_log_;

@@ -59,6 +59,9 @@ void Datanode::start() {
             report.emplace_back(replica.block, replica.bytes);
           }
         }
+        // A heartbeat shed by namenode admission control never reaches this
+        // handler at all — overload can delay liveness bookkeeping but never
+        // mistake a healthy node for a stale or slow one.
         rpc_.notify(self_, namenode_.node_id(),
                     [this, report = std::move(report)] {
                       if (!namenode_.handle_heartbeat(self_)) {
@@ -70,7 +73,8 @@ void Datanode::start() {
                       for (const auto& [block, bytes] : report) {
                         namenode_.block_received(self_, block, bytes);
                       }
-                    });
+                    },
+                    {rpc::ServiceClass::kHeartbeat});
       });
   // Spread heartbeats so the cluster's are not phase-locked.
   const auto jitter = static_cast<SimDuration>(
@@ -119,7 +123,8 @@ void Datanode::restart() {
     rpc_.notify(self_, namenode_.node_id(),
                 [this, block = replica.block, bytes = replica.bytes] {
                   namenode_.block_received(self_, block, bytes);
-                });
+                },
+                {rpc::ServiceClass::kHeartbeat});
   }
   if (heartbeat_) {
     const auto jitter = static_cast<SimDuration>(
@@ -448,7 +453,8 @@ void Datanode::maybe_finalize(PipelineId pipeline, PipelineCtx& ctx) {
   rpc_.notify(self_, namenode_.node_id(),
               [this, block = ctx.setup.block, bytes = len.value()] {
                 namenode_.block_received(self_, block, bytes);
-              });
+              },
+              {rpc::ServiceClass::kHeartbeat});
   pipelines_.erase(pipeline);
 }
 
@@ -851,9 +857,11 @@ void Datanode::receive_replica_prefix(BlockId block, Bytes length,
     SMARTH_CHECK(store_.append(block, length).ok());
     if (finalize) {
       SMARTH_CHECK(store_.finalize(block).ok());
-      rpc_.notify(self_, namenode_.node_id(), [this, block, length] {
-        namenode_.block_received(self_, block, length);
-      });
+      rpc_.notify(self_, namenode_.node_id(),
+                  [this, block, length] {
+                    namenode_.block_received(self_, block, length);
+                  },
+                  {rpc::ServiceClass::kHeartbeat});
     }
     done();
   });

@@ -34,20 +34,29 @@ void DfsClient::create_file_attempt(const std::string& path,
         return nn.create(path, client, overwrite);
       },
       [this, shared_cb, path, overwrite, started_at](Result<FileId> result) {
-        if (!result.ok() && result.error().code == "recovery_in_progress") {
-          // The previous writer's lease is being recovered; the file will be
-          // closed at its consistent prefix within a bounded number of
-          // monitor rounds. Wait one round and retry, up to a budget far
-          // past the worst-case recovery time.
+        if (!result.ok()) {
+          SimDuration budget = 0;
+          SimDuration interval = 0;
+          if (result.error().code == "recovery_in_progress") {
+            // The previous writer's lease is being recovered; the file will
+            // be closed at its consistent prefix within a bounded number of
+            // monitor rounds. Wait one round and retry, up to a budget far
+            // past the worst-case recovery time.
+            budget = config_.lease_hard_limit +
+                     config_.lease_recovery_retry_interval *
+                         (config_.lease_recovery_max_attempts + 1);
+            interval = config_.lease_monitor_interval;
+          } else if (result.error().code == "overloaded") {
+            // The namenode shed the call even after RPC-level backoff; keep
+            // polling at the overload interval under the overload budget,
+            // then fail cleanly.
+            budget = config_.overload_retry_budget;
+            interval = config_.overload_retry_interval;
+          }
           const SimDuration waited = sim_.now() - started_at;
-          const SimDuration budget =
-              config_.lease_hard_limit +
-              config_.lease_recovery_retry_interval *
-                  (config_.lease_recovery_max_attempts + 1);
-          if (waited < budget) {
+          if (budget > 0 && waited < budget) {
             sim_.schedule_after(
-                config_.lease_monitor_interval,
-                [this, path, shared_cb, overwrite, started_at] {
+                interval, [this, path, shared_cb, overwrite, started_at] {
                   create_file_attempt(
                       path,
                       [shared_cb](Result<FileId> r) {
@@ -65,7 +74,14 @@ void DfsClient::create_file_attempt(const std::string& path,
                            "create(" + path +
                                ") gave up after repeated timeouts"});
       },
-      retry_stats_, "create");
+      retry_stats_, "create", {rpc::ServiceClass::kMeta},
+      [path] {
+        return Result<FileId>(
+            Error{"overloaded", "namenode shed create(" + path + ")"});
+      },
+      [](const Result<FileId>& r) {
+        return !r.ok() && r.error().code == "overloaded";
+      });
 }
 
 void DfsClient::start_heartbeat(
@@ -83,7 +99,8 @@ void DfsClient::start_heartbeat(
         rpc_.notify(node_, nn.node_id(),
                     [&nn, client = id_, records = std::move(records)] {
                       nn.client_heartbeat(client, records);
-                    });
+                    },
+                    {rpc::ServiceClass::kHeartbeat});
       });
   const auto jitter = static_cast<SimDuration>(
       sim_.rng().uniform_int(0, config_.heartbeat_interval - 1));

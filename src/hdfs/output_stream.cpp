@@ -151,6 +151,18 @@ bool OutputStreamBase::start_safe_mode_wait() {
   return false;
 }
 
+bool OutputStreamBase::start_overload_wait() {
+  const SimTime now = deps_.sim.now();
+  if (overload_wait_started_ < 0) overload_wait_started_ = now;
+  if (now - overload_wait_started_ <= deps_.config.overload_retry_budget) {
+    return true;
+  }
+  SMARTH_ERROR("stream") << "namenode still shedding our calls after "
+                         << to_seconds(now - overload_wait_started_)
+                         << "s; giving up";
+  return false;
+}
+
 bool OutputStreamBase::recovery_budget_exhausted(BlockId block) {
   const int attempts = ++recovery_attempts_[block.value()];
   if (attempts <= deps_.config.recovery_attempts_per_block) return false;
@@ -210,6 +222,9 @@ void OutputStreamBase::request_block(
         {{"block_index", std::to_string(block_index)},
          {"client", client_.to_string()}});
   }
+  // Client-observed addBlock latency (whole retry chain, success or error):
+  // the saturation study's headline tail-latency series.
+  const SimTime issued_at = deps_.sim.now();
   rpc::call_with_retry<Result<LocatedBlock>>(
       deps_.rpc, deps_.sim, retry_policy(), client_node_, nn.node_id(),
       [&nn, file = file_, client = client_, node = client_node_,
@@ -218,7 +233,11 @@ void OutputStreamBase::request_block(
         return nn.add_block(file, client, node, excluded, deprioritized,
                             block_index);
       },
-      [alive = alive_, shared_cb, alloc_span](Result<LocatedBlock> result) mutable {
+      [alive = alive_, shared_cb, alloc_span, issued_at,
+       &sim = deps_.sim](Result<LocatedBlock> result) mutable {
+        metrics::global_registry()
+            .histogram("client.addblock_ns")
+            .observe(static_cast<double>(sim.now() - issued_at));
         if (trace::active()) {
           trace::recorder()->end_span(
               alloc_span,
@@ -229,7 +248,11 @@ void OutputStreamBase::request_block(
         if (!*alive) return;  // stream was pruned while the RPC was in flight
         (*shared_cb)(std::move(result));
       },
-      [alive = alive_, shared_cb, alloc_span]() mutable {
+      [alive = alive_, shared_cb, alloc_span, issued_at,
+       &sim = deps_.sim]() mutable {
+        metrics::global_registry()
+            .histogram("client.addblock_ns")
+            .observe(static_cast<double>(sim.now() - issued_at));
         if (trace::active()) {
           trace::recorder()->end_span(alloc_span, {{"ok", "timeout"}});
         }
@@ -237,7 +260,15 @@ void OutputStreamBase::request_block(
         (*shared_cb)(Error{"rpc_timeout",
                            "addBlock gave up after repeated timeouts"});
       },
-      retry_stats_, "addBlock");
+      retry_stats_, "addBlock",
+      {rpc::ServiceClass::kAddBlock, client_.value()},
+      [] {
+        return Result<LocatedBlock>(
+            Error{"overloaded", "namenode shed addBlock"});
+      },
+      [](const Result<LocatedBlock>& r) {
+        return !r.ok() && r.error().code == "overloaded";
+      });
 }
 
 ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
@@ -273,6 +304,7 @@ ClientPipeline& OutputStreamBase::create_pipeline(std::int64_t block_index,
   auto [it, inserted] = pipelines_.emplace(id, std::move(pipeline));
   SMARTH_CHECK(inserted);
   safe_mode_wait_started_ = -1;  // allocation landed; safe-mode wait is over
+  overload_wait_started_ = -1;   // ...and so is any overload wait
   ++stats_.pipelines_created;
   stats_.max_concurrent_pipelines =
       std::max(stats_.max_concurrent_pipelines,
@@ -349,6 +381,14 @@ void OutputStreamBase::complete_file() {
       [this, alive = alive_](Result<bool> result) {
         if (!*alive || finished_) return;
         if (!result.ok()) {
+          if (result.error().code == "overloaded" && start_overload_wait()) {
+            // Shed even after RPC-level backoff: keep polling under the
+            // overload budget rather than abandoning a fully-written file.
+            complete_retry_ = deps_.sim.schedule_after(
+                deps_.config.overload_retry_interval,
+                [this] { complete_file(); });
+            return;
+          }
           finish(true, result.error().to_string());
           return;
         }
@@ -365,7 +405,13 @@ void OutputStreamBase::complete_file() {
         if (!*alive || finished_) return;
         finish(true, "complete() timed out after repeated attempts");
       },
-      retry_stats_, "complete");
+      retry_stats_, "complete", {rpc::ServiceClass::kMeta},
+      [] {
+        return Result<bool>(Error{"overloaded", "namenode shed complete"});
+      },
+      [](const Result<bool>& r) {
+        return !r.ok() && r.error().code == "overloaded";
+      });
 }
 
 void OutputStreamBase::finish(bool failed, const std::string& reason) {
@@ -567,6 +613,17 @@ void DfsOutputStream::allocate_next_block() {
         // block reports; poll until it leaves safe mode (budgeted).
         safe_mode_retry_ = deps_.sim.schedule_after(
             deps_.config.safe_mode_retry_interval, [this] {
+              if (finished_) return;
+              --current_block_;  // allocate_next_block() re-increments
+              allocate_next_block();
+            });
+        return;
+      }
+      if (result.error().code == "overloaded" && start_overload_wait()) {
+        // Admission control shed the allocation even after RPC backoff;
+        // re-poll at the overload cadence under its budget.
+        safe_mode_retry_ = deps_.sim.schedule_after(
+            deps_.config.overload_retry_interval, [this] {
               if (finished_) return;
               --current_block_;  // allocate_next_block() re-increments
               allocate_next_block();

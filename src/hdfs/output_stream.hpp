@@ -239,6 +239,11 @@ class OutputStreamBase : public AckSink {
   /// should fail cleanly. The clock starts at the first refusal and resets
   /// on any successful allocation (create_pipeline).
   bool start_safe_mode_wait();
+  /// Same shape for an overloaded namenode that keeps shedding this stream's
+  /// calls after RPC-level backoff: true while the stream should keep
+  /// re-polling (under overload_retry_budget), false once it should fail
+  /// cleanly. Resets on any successful allocation.
+  bool start_overload_wait();
   /// Charges one recovery attempt against `block`'s budget; true when the
   /// budget is exhausted and the stream should fail cleanly instead of
   /// retrying forever.
@@ -312,6 +317,8 @@ class OutputStreamBase : public AckSink {
  private:
   /// When the current safe-mode wait began (-1: not waiting).
   SimTime safe_mode_wait_started_ = -1;
+  /// When the current overload wait began (-1: not waiting).
+  SimTime overload_wait_started_ = -1;
 };
 
 /// The baseline HDFS protocol: one pipeline at a time, stop-and-wait at every

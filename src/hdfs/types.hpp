@@ -202,6 +202,42 @@ struct HdfsConfig {
   SimDuration suspicion_half_life = seconds(30);
   double suspicion_threshold = 2.0;
 
+  // --- Control-plane overload defense ---------------------------------------
+  // Multi-tenant load makes the namenode's RPC path the bottleneck long
+  // before the data plane saturates. Both knobs default off so the bus keeps
+  // its historical flat service_time and every existing seed timeline stays
+  // bit-identical; benches and the open-loop workload opt in.
+
+  /// Finite-capacity service model: namenode RPCs serialize through one
+  /// queue at modeled per-op cost instead of the bus's flat service_time.
+  /// On its own this is the *undefended* namenode — unbounded queue, no
+  /// shedding — whose latency grows without bound past the saturation knee.
+  bool nn_service_model = false;
+  /// Admission control on top of the service model (implies it): bounded
+  /// queue with priority bands (heartbeats/IBRs > client metadata ops >
+  /// addBlock), load shedding with typed retryable `overloaded` rejections,
+  /// heartbeat/IBR batch processing, and per-client in-flight addBlock caps.
+  bool nn_admission_control = false;
+  /// Modeled namenode CPU cost per op class.
+  SimDuration nn_cost_heartbeat = microseconds(30);
+  SimDuration nn_cost_meta = microseconds(150);
+  SimDuration nn_cost_add_block = microseconds(350);
+  /// Bounded RPC queue depth (admission control only).
+  int nn_queue_capacity = 256;
+  /// Heartbeat/IBR batch processing: up to this many coalesce into one
+  /// service slot, each after the first costing this fraction of a full
+  /// heartbeat.
+  int nn_heartbeat_batch_max = 32;
+  double nn_batch_marginal_cost = 0.25;
+  /// Max queued+in-service addBlock ops per client (<= 0 disables) so one
+  /// tenant cannot starve the rest.
+  int nn_client_addblock_cap = 4;
+  /// Stream-level backoff when the RPC layer exhausts its attempts against
+  /// an overloaded namenode: re-poll on this interval under this budget
+  /// (mirrors the safe-mode wait), then fail the upload cleanly.
+  SimDuration overload_retry_interval = milliseconds(500);
+  SimDuration overload_retry_budget = seconds(120);
+
   // --- SMARTH ---------------------------------------------------------------
   /// Local-optimization exploration threshold (paper: 0.8; swap first
   /// datanode with probability 1 - threshold).

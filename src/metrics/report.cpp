@@ -66,6 +66,19 @@ void FaultSummary::fold_registry(const Registry& registry) {
       std::max(slow_node_reports, counter("namenode.slow_node_reports"));
   hedge_cancelled_serves =
       std::max(hedge_cancelled_serves, counter("hedge.cancelled"));
+  overload_retries = std::max(overload_retries, counter("rpc.overload_retries"));
+  nn_ops_admitted = std::max(nn_ops_admitted, counter("nn.rpc.admitted"));
+  nn_ops_shed = std::max(nn_ops_shed, counter("nn.rpc.shed"));
+  nn_shed_heartbeats =
+      std::max(nn_shed_heartbeats, counter("nn.rpc.shed_heartbeats"));
+  nn_shed_add_blocks =
+      std::max(nn_shed_add_blocks, counter("nn.rpc.shed_add_blocks"));
+  nn_addblock_cap_rejections = std::max(
+      nn_addblock_cap_rejections, counter("nn.rpc.addblock_cap_rejections"));
+  nn_heartbeat_batches =
+      std::max(nn_heartbeat_batches, counter("nn.rpc.heartbeat_batches"));
+  nn_heartbeats_batched =
+      std::max(nn_heartbeats_batched, counter("nn.rpc.heartbeats_batched"));
 }
 
 void FaultSummary::fold_read(const hdfs::ReadStats& stats) {
@@ -123,6 +136,14 @@ void FaultSummary::merge(const FaultSummary& other) {
   replicas_invalidated += other.replicas_invalidated;
   scrub_rot_detected += other.scrub_rot_detected;
   scrub_bytes_scanned += other.scrub_bytes_scanned;
+  nn_ops_admitted += other.nn_ops_admitted;
+  nn_ops_shed += other.nn_ops_shed;
+  nn_shed_heartbeats += other.nn_shed_heartbeats;
+  nn_shed_add_blocks += other.nn_shed_add_blocks;
+  nn_addblock_cap_rejections += other.nn_addblock_cap_rejections;
+  nn_heartbeat_batches += other.nn_heartbeat_batches;
+  nn_heartbeats_batched += other.nn_heartbeats_batched;
+  overload_retries += other.overload_retries;
 }
 
 std::string render_fault_summary(const FaultSummary& summary) {
@@ -197,6 +218,21 @@ std::string render_fault_summary(const FaultSummary& summary) {
       {"scrub rot detected", std::to_string(summary.scrub_rot_detected)});
   table.add_row(
       {"scrub bytes scanned", std::to_string(summary.scrub_bytes_scanned)});
+  table.add_row(
+      {"nn ops admitted", std::to_string(summary.nn_ops_admitted)});
+  table.add_row({"nn ops shed", std::to_string(summary.nn_ops_shed)});
+  table.add_row(
+      {"nn shed heartbeats", std::to_string(summary.nn_shed_heartbeats)});
+  table.add_row(
+      {"nn shed addBlocks", std::to_string(summary.nn_shed_add_blocks)});
+  table.add_row({"nn addBlock cap rejections",
+                 std::to_string(summary.nn_addblock_cap_rejections)});
+  table.add_row({"nn heartbeat batches",
+                 std::to_string(summary.nn_heartbeat_batches)});
+  table.add_row({"nn heartbeats batched",
+                 std::to_string(summary.nn_heartbeats_batched)});
+  table.add_row(
+      {"overload retries", std::to_string(summary.overload_retries)});
   return table.to_string();
 }
 

@@ -160,6 +160,16 @@ struct FaultSummary {
   std::uint64_t scrub_rot_detected = 0;
   Bytes scrub_bytes_scanned = 0;
 
+  // Control-plane overload (namenode service queue + admission control).
+  std::uint64_t nn_ops_admitted = 0;
+  std::uint64_t nn_ops_shed = 0;
+  std::uint64_t nn_shed_heartbeats = 0;
+  std::uint64_t nn_shed_add_blocks = 0;
+  std::uint64_t nn_addblock_cap_rejections = 0;
+  std::uint64_t nn_heartbeat_batches = 0;
+  std::uint64_t nn_heartbeats_batched = 0;
+  std::uint64_t overload_retries = 0;  ///< client backoffs on typed sheds
+
   /// Accumulates one upload's robustness counters.
   void fold(const hdfs::StreamStats& stats);
   /// Accumulates one read's resilience counters.

@@ -41,6 +41,25 @@ struct RetryStats {
   std::uint64_t give_ups = 0;  ///< calls abandoned after max_attempts
 };
 
+namespace detail {
+
+/// Backoff before the attempt after `attempt`, with multiplicative jitter.
+inline SimDuration retry_backoff(const RetryPolicy& policy, int attempt,
+                                 sim::Simulation& sim) {
+  SimDuration backoff = policy.backoff_base;
+  for (int i = 2; i < attempt + 1 && backoff < policy.backoff_max; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > policy.backoff_max) backoff = policy.backoff_max;
+  if (policy.jitter > 0.0) {
+    const double scale = 1.0 + policy.jitter * (2.0 * sim.rng().uniform() - 1.0);
+    backoff = static_cast<SimDuration>(static_cast<double>(backoff) * scale);
+  }
+  return backoff;
+}
+
+}  // namespace detail
+
 /// Issues `bus.call<Resp>(client, server, handler, ...)` with retries.
 /// `on_response` receives the first response to arrive; `on_give_up` runs if
 /// all attempts time out. `stats` (optional) must outlive the call chain —
@@ -48,6 +67,15 @@ struct RetryStats {
 /// the call in the metrics registry and trace ("rpc.<label>.retries"); every
 /// retry and give-up also lands in the global rpc.retries / rpc.give_ups
 /// counters, which mirror the summed RetryStats of all callers.
+///
+/// `options` / `shed_response` thread through to the bus (service-queue
+/// classification and typed shed rejections). `retry_on` (optional) makes a
+/// *response* retryable: when it returns true for an arriving response and
+/// attempts remain, the call backs off and relaunches instead of settling —
+/// this is how clients honor the namenode's typed `overloaded` rejections
+/// with the existing backoff machinery. The final attempt's response is
+/// always delivered, so callers see the error and can fall back to their own
+/// budgeted wait.
 template <typename Resp>
 void call_with_retry(RpcBus& bus, sim::Simulation& sim,
                      const RetryPolicy& policy, NodeId client, NodeId server,
@@ -55,10 +83,15 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
                      std::function<void(Resp)> on_response,
                      std::function<void()> on_give_up,
                      std::shared_ptr<RetryStats> stats = nullptr,
-                     const char* label = "call") {
+                     const char* label = "call", CallOptions options = {},
+                     std::function<Resp()> shed_response = nullptr,
+                     std::function<bool(const Resp&)> retry_on = nullptr) {
   struct State {
     bool settled = false;
     int attempt = 0;  // attempts issued so far
+    /// A retryable response arrived and its backoff relaunch is pending;
+    /// suppresses the same attempt's timeout so it cannot double-launch.
+    bool response_retry_pending = false;
   };
   auto state = std::make_shared<State>();
   // Recursive attempt launcher, stored in a shared_ptr so the timeout
@@ -71,8 +104,10 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
   *launch = [&bus, &sim, policy, client, server, handler = std::move(handler),
              on_response = std::move(on_response),
              on_give_up = std::move(on_give_up), stats, state, weak_launch,
-             label]() {
+             label, options, shed_response = std::move(shed_response),
+             retry_on = std::move(retry_on)]() {
     auto self = weak_launch.lock();  // alive: our caller holds a strong ref
+    state->response_retry_pending = false;
     const int attempt = ++state->attempt;
     if (attempt > 1) {
       if (stats) ++stats->retries;
@@ -88,15 +123,47 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
              {"server", server.to_string()}});
       }
     }
-    bus.call<Resp>(client, server, handler, [state, on_response](Resp resp) {
-      if (state->settled) return;  // a slow earlier attempt already won
-      state->settled = true;
-      on_response(std::move(resp));
-    });
+    bus.call<Resp>(
+        client, server, handler,
+        [&sim, policy, attempt, state, self, on_response, retry_on,
+         label](Resp resp) {
+          if (state->settled) return;  // a slow earlier attempt already won
+          if (retry_on && retry_on(resp) && attempt < policy.max_attempts &&
+              state->attempt == attempt && !state->response_retry_pending) {
+            // Retryable rejection (e.g. overloaded): back off and relaunch.
+            state->response_retry_pending = true;
+            metrics::global_registry().counter("rpc.overload_retries").add();
+            metrics::global_registry()
+                .counter(std::string("rpc.") + label + ".overload_retries")
+                .add();
+            const SimDuration backoff =
+                detail::retry_backoff(policy, attempt, sim);
+            sim.schedule_after(backoff, [state, self]() {
+              if (state->settled) return;
+              (*self)();
+            });
+            return;
+          }
+          if (retry_on) {
+            // A stale rejection from a superseded attempt, or a duplicate
+            // while this attempt's backoff relaunch is pending: the in-flight
+            // attempt owns the outcome.
+            if (state->attempt != attempt && retry_on(resp)) return;
+            if (state->response_retry_pending && state->attempt == attempt) {
+              return;
+            }
+          }
+          state->settled = true;
+          on_response(std::move(resp));
+        },
+        options, shed_response);
     sim.schedule_after(policy.timeout, [&sim, policy, attempt, state, self,
                                         on_give_up, stats, client, server,
                                         label]() {
-      if (state->settled || state->attempt != attempt) return;
+      if (state->settled || state->attempt != attempt ||
+          state->response_retry_pending) {
+        return;
+      }
       if (attempt >= policy.max_attempts) {
         state->settled = true;
         if (stats) ++stats->give_ups;
@@ -111,17 +178,7 @@ void call_with_retry(RpcBus& bus, sim::Simulation& sim,
         on_give_up();
         return;
       }
-      SimDuration backoff = policy.backoff_base;
-      for (int i = 2; i < attempt + 1 && backoff < policy.backoff_max; ++i) {
-        backoff *= 2;
-      }
-      if (backoff > policy.backoff_max) backoff = policy.backoff_max;
-      if (policy.jitter > 0.0) {
-        const double scale =
-            1.0 + policy.jitter * (2.0 * sim.rng().uniform() - 1.0);
-        backoff = static_cast<SimDuration>(
-            static_cast<double>(backoff) * scale);
-      }
+      const SimDuration backoff = detail::retry_backoff(policy, attempt, sim);
       if (trace::active()) {
         trace::recorder()->instant(
             trace::Category::kRpc, "rpc", std::string("backoff ") + label,

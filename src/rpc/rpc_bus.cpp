@@ -20,6 +20,18 @@ bool RpcBus::host_down(NodeId node) const {
   return idx < down_.size() && down_[idx];
 }
 
+void RpcBus::set_service_queue(NodeId server, ServiceQueue* queue) {
+  SMARTH_CHECK(server.valid());
+  const auto idx = static_cast<std::size_t>(server.value());
+  if (queues_.size() <= idx) queues_.resize(idx + 1, nullptr);
+  queues_[idx] = queue;
+}
+
+ServiceQueue* RpcBus::service_queue(NodeId server) const {
+  const auto idx = static_cast<std::size_t>(server.value());
+  return idx < queues_.size() ? queues_[idx] : nullptr;
+}
+
 void RpcBus::record_dropped_call(NodeId client, NodeId server) {
   ++calls_dropped_;
   SMARTH_DEBUG("rpc") << "dropped call " << client.value() << " -> "
@@ -58,20 +70,36 @@ void RpcBus::send_control(NodeId from, NodeId to, Bytes size,
 }
 
 void RpcBus::notify(NodeId sender, NodeId receiver,
-                    std::function<void()> handler) {
+                    std::function<void()> handler, CallOptions options) {
   if (host_down(sender) || host_down(receiver)) {
     record_dropped_call(sender, receiver);
     return;
   }
-  send_control(sender, receiver, config_.request_wire_size,
-               [this, sender, receiver, handler = std::move(handler)]() mutable {
-                 if (host_down(receiver)) {
-                   record_dropped_call(sender, receiver);
-                   return;
-                 }
-                 network_.simulation().schedule_after(config_.service_time,
-                                                      std::move(handler));
-               });
+  send_control(
+      sender, receiver, config_.request_wire_size,
+      [this, sender, receiver, options,
+       handler = std::move(handler)]() mutable {
+        if (host_down(receiver)) {
+          record_dropped_call(sender, receiver);
+          return;
+        }
+        ServiceQueue* queue = service_queue(receiver);
+        if (queue == nullptr) {
+          network_.simulation().schedule_after(config_.service_time,
+                                               std::move(handler));
+          return;
+        }
+        auto guarded = [this, sender, receiver,
+                        handler = std::move(handler)]() mutable {
+          if (host_down(receiver)) {
+            record_dropped_call(sender, receiver);
+            return;
+          }
+          handler();
+        };
+        queue->submit(options.svc, options.tenant, std::move(guarded),
+                      /*shed=*/nullptr);
+      });
 }
 
 }  // namespace smarth::rpc

@@ -83,6 +83,13 @@ void SmarthOutputStream::advance_block() {
             deps_.config.safe_mode_retry_interval, [this] { advance_block(); });
         return;
       }
+      if (result.error().code == "overloaded" && start_overload_wait()) {
+        // Admission control shed the allocation even after RPC backoff;
+        // re-poll at the overload cadence (budgeted, same retry shape).
+        safe_mode_retry_ = deps_.sim.schedule_after(
+            deps_.config.overload_retry_interval, [this] { advance_block(); });
+        return;
+      }
       finish(true, "addBlock failed: " + result.error().to_string());
       return;
     }

@@ -32,6 +32,7 @@
 #include "trace/straggler.hpp"
 #include "trace/trace_recorder.hpp"
 #include "workload/fault_plan.hpp"
+#include "workload/open_loop.hpp"
 
 using namespace smarth;
 
@@ -73,6 +74,13 @@ cluster::ClusterSpec spec_from_flags(const FlagSet& flags,
   // Gray-failure defenses (all default off; see HdfsConfig).
   if (flags.get_bool("hedged-reads")) spec.hdfs.hedged_reads = true;
   if (flags.get_bool("slow-evict")) spec.hdfs.slow_node_eviction = true;
+  // Control-plane overload model (default off; see HdfsConfig). Admission
+  // control implies the service model — shedding needs a queue to bound.
+  if (flags.get_bool("nn-service-model")) spec.hdfs.nn_service_model = true;
+  if (flags.get_bool("nn-admission-control")) {
+    spec.hdfs.nn_service_model = true;
+    spec.hdfs.nn_admission_control = true;
+  }
   return spec;
 }
 
@@ -329,6 +337,94 @@ void fold_cluster_counters(metrics::FaultSummary& summary,
   }
 }
 
+/// Builds the open-loop workload config from flags. Values are validated in
+/// main() before any run; defaults here match OpenLoopConfig except the
+/// arrival rate, which scales with the tenant count when not given.
+workload::OpenLoopConfig open_loop_config_from_flags(const FlagSet& flags) {
+  workload::OpenLoopConfig cfg;
+  cfg.clients =
+      static_cast<int>(flags.get_int("clients").value_or(cfg.clients));
+  cfg.arrival_rate = flags.get_double("arrival-rate")
+                         .value_or(0.2 * static_cast<double>(cfg.clients));
+  cfg.zipf_s = flags.get_double("zipf-s").value_or(cfg.zipf_s);
+  if (const auto dur = flags.get_double("open-loop-duration")) {
+    cfg.duration = seconds_f(*dur);
+  }
+  return cfg;
+}
+
+struct OpenLoopOutcome {
+  workload::OpenLoopResult result;
+  metrics::FaultSummary summary;
+  std::uint64_t events = 0;
+};
+
+/// One open-loop run: fresh world, shared throttle/fault setup, the
+/// multi-tenant arrival process instead of a single upload. `quiet` skips
+/// process-global logger mutation (required on sweep worker threads).
+OpenLoopOutcome run_open_loop_once(const FlagSet& flags,
+                                   cluster::Protocol protocol, bool quiet,
+                                   std::optional<std::uint64_t> seed_override =
+                                       std::nullopt,
+                                   std::optional<std::uint64_t> chaos_seed =
+                                       std::nullopt) {
+  metrics::global_registry().reset();
+  cluster::Cluster cluster(spec_from_flags(flags, seed_override));
+  faults::FaultInjector injector(
+      cluster, chaos_seed.value_or(static_cast<std::uint64_t>(
+                   flags.get_int("chaos-seed").value_or(1))));
+  if (const auto throttle = flags.get_double("throttle-mbps");
+      throttle && *throttle > 0) {
+    cluster.throttle_cross_rack(Bandwidth::mbps(*throttle));
+  }
+  const auto slow_nodes = flags.get_int("slow-nodes").value_or(0);
+  const double slow_mbps = flags.get_double("slow-mbps").value_or(50);
+  for (std::int64_t i = 0; i < slow_nodes; ++i) {
+    cluster.throttle_datanode(static_cast<std::size_t>(i),
+                              Bandwidth::mbps(slow_mbps));
+  }
+  workload::FaultPlan plan = plan_from_flags(flags);
+  if (!plan.empty()) plan.apply(injector);
+  if (flags.has("chaos-rates")) {
+    faults::ChaosRates rates = parse_chaos_rates(flags.get("chaos-rates"));
+    if (const auto factor = fail_slow_factor_flag(flags)) {
+      rates.fail_slow_factor = *factor;
+    }
+    if (rates.nn_failover) cluster.enable_standby();
+    injector.start_chaos(rates);
+  }
+  if (!quiet) {
+    LogLevel log_level = LogLevel::kWarn;
+    bool log_level_chosen = false;
+    if (flags.get_bool("verbose")) {
+      log_level = LogLevel::kInfo;
+      log_level_chosen = true;
+    }
+    if (const std::string level = flags.get("log-level"); !level.empty()) {
+      log_level_chosen = parse_log_level(level, log_level);
+    }
+    if (log_level_chosen) {
+      Logger::instance().set_level(log_level);
+      Logger::instance().set_time_source(
+          [&cluster] { return cluster.sim().now(); });
+    }
+  }
+
+  OpenLoopOutcome outcome;
+  workload::OpenLoopWorkload wl(protocol, open_loop_config_from_flags(flags));
+  wl.set_job_observer([&outcome](const hdfs::StreamStats& s) {
+    outcome.summary.fold(s);
+  });
+  outcome.result = wl.run(cluster);
+  outcome.events = cluster.sim().events_executed();
+  fold_cluster_counters(outcome.summary, cluster, injector);
+  if (!quiet) {
+    Logger::instance().set_level(LogLevel::kWarn);
+    Logger::instance().set_time_source(nullptr);
+  }
+  return outcome;
+}
+
 RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   // Fresh metrics per protocol run. Must happen before the cluster exists:
   // datanodes cache registry references at construction and a later reset
@@ -538,7 +634,13 @@ int run_sweeps(const FlagSet& flags,
   // Parse the shared fault plan once so a malformed flag fails fast, before
   // any thread spawns.
   const workload::FaultPlan plan = plan_from_flags(flags);
-  const bool faults_active = flags.has("chaos-rates") || !plan.empty();
+  const bool open_loop = flags.has("clients");
+  // Under the overload model, shed/timed-out jobs are the measured outcome,
+  // not a harness error — same exemption injected faults get.
+  const bool overload_model = flags.get_bool("nn-service-model") ||
+                              flags.get_bool("nn-admission-control");
+  const bool faults_active = flags.has("chaos-rates") || !plan.empty() ||
+                             (open_loop && overload_model);
   const bool want_summary = flags.get_bool("fault-summary") || faults_active;
 
   int exit_code = 0;
@@ -547,6 +649,21 @@ int run_sweeps(const FlagSet& flags,
     const harness::SweepSummary sweep = harness::run_seed_sweep(
         base_seed, seeds, jobs,
         [&](std::uint64_t seed, harness::SeedRun& run) {
+          if (open_loop) {
+            // Per-job stats fold through the observer; the synthetic
+            // run.stats carries the makespan and completed bytes so the
+            // sweep's seconds/throughput statistics stay meaningful.
+            OpenLoopOutcome out = run_open_loop_once(
+                flags, protocol, /*quiet=*/true, seed,
+                chaos_base + (seed - base_seed));
+            run.summary = std::move(out.summary);
+            run.events = out.events;
+            run.stats.started_at = out.result.started_at;
+            run.stats.finished_at = out.result.finished_at;
+            run.stats.file_size = out.result.bytes_completed;
+            run.stats.failed = out.result.stuck > 0;
+            return;
+          }
           metrics::global_registry().reset();
           cluster::Cluster cluster(spec_from_flags(flags, seed));
           faults::FaultInjector injector(cluster,
@@ -666,6 +783,24 @@ int main(int argc, char** argv) {
   flags.declare_bool("nn-failover",
                      "recover the crashed namenode by promoting the warm "
                      "standby instead of a cold restart");
+  flags.declare("clients",
+                "open-loop mode: tenant client hosts generating Poisson "
+                "arrivals (round-robin over racks); replaces the single "
+                "upload", "");
+  flags.declare("arrival-rate",
+                "open-loop aggregate arrival rate in jobs/s "
+                "(default: 0.2 per client)", "");
+  flags.declare("zipf-s",
+                "open-loop Zipf file-size exponent (rank k ~ k^-s)", "1.2");
+  flags.declare("open-loop-duration",
+                "open-loop arrival window in seconds", "60");
+  flags.declare_bool("nn-service-model",
+                     "model namenode RPC service capacity: a single-server "
+                     "queue with per-op service costs (undefended FIFO)");
+  flags.declare_bool("nn-admission-control",
+                     "namenode overload defense: priority bands, bounded "
+                     "queue with load shedding, heartbeat batching, "
+                     "per-client addBlock caps (implies --nn-service-model)");
   flags.declare_bool("hedged-reads",
                      "gray-failure read defense: race a second replica when "
                      "a block read stalls past the hedge threshold");
@@ -702,6 +837,48 @@ int main(int argc, char** argv) {
   // Validate severity eagerly: a bad --fail-slow-factor must exit 2 even
   // when no fault flag consumes it this run.
   (void)fail_slow_factor_flag(flags);
+  // Open-loop parameters fail eagerly too: a silently-ignored or
+  // silently-clamped rate would run the wrong saturation experiment.
+  const bool open_loop = flags.has("clients");
+  if (open_loop) {
+    const auto clients = flags.get_int("clients");
+    if (!clients || *clients <= 0) {
+      fault_flag_error("clients", "must be a positive integer, got " +
+                                      flags.get("clients"));
+    }
+  }
+  if (flags.has("arrival-rate")) {
+    if (!open_loop) {
+      fault_flag_error("arrival-rate", "requires --clients (open-loop mode)");
+    }
+    const auto rate = flags.get_double("arrival-rate");
+    if (!rate || *rate <= 0) {
+      fault_flag_error("arrival-rate", "must be a positive number, got " +
+                                           flags.get("arrival-rate"));
+    }
+  }
+  if (flags.has("zipf-s")) {
+    if (!open_loop) {
+      fault_flag_error("zipf-s", "requires --clients (open-loop mode)");
+    }
+    const auto zipf = flags.get_double("zipf-s");
+    if (!zipf || *zipf <= 0) {
+      fault_flag_error("zipf-s", "must be a positive number, got " +
+                                     flags.get("zipf-s"));
+    }
+  }
+  if (flags.has("open-loop-duration")) {
+    if (!open_loop) {
+      fault_flag_error("open-loop-duration",
+                       "requires --clients (open-loop mode)");
+    }
+    const auto duration = flags.get_double("open-loop-duration");
+    if (!duration || *duration <= 0) {
+      fault_flag_error("open-loop-duration",
+                       "must be a positive number of seconds, got " +
+                           flags.get("open-loop-duration"));
+    }
+  }
   const std::string trace_out = flags.get("trace-out");
   const std::string metrics_out = flags.get("metrics-out");
   const bool want_straggler = flags.get_bool("straggler-report");
@@ -737,6 +914,82 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_sweeps(flags, protocols);
+  }
+
+  if (open_loop) {
+    // The open-loop workload replaces the single upload; the single-upload
+    // observability attachments don't describe it.
+    if (flags.get_bool("read-back") || flags.has("client-crash") ||
+        flags.has("nn-crash") || flags.get_bool("timeline") ||
+        flags.has("editlog-out") || want_straggler || !trace_out.empty()) {
+      std::fprintf(stderr,
+                   "--clients (open-loop mode) does not combine with "
+                   "--read-back, --client-crash, --nn-crash, --timeline, "
+                   "--editlog-out, --straggler-report or --trace-out\n");
+      return 2;
+    }
+    const bool overload_model = flags.get_bool("nn-service-model") ||
+                                flags.get_bool("nn-admission-control");
+    const bool ol_faults = flags.has("chaos-rates") || flags.has("crash") ||
+                           flags.has("fail-slow") || flags.has("flap") ||
+                           flags.has("bitrot") || overload_model;
+    const bool ol_summary = flags.get_bool("fault-summary") || ol_faults;
+    TextTable table({"protocol", "jobs", "completed", "failed", "stuck",
+                     "goodput (MiB/s)", "p50 (s)", "p95 (s)", "p99 (s)",
+                     "events"});
+    std::vector<std::pair<std::string, std::string>> metric_snapshots;
+    int exit_code = 0;
+    for (const cluster::Protocol protocol : protocols) {
+      const OpenLoopOutcome outcome =
+          run_open_loop_once(flags, protocol, /*quiet=*/false);
+      if (!metrics_out.empty()) {
+        const std::string name = cluster::protocol_name(protocol);
+        metric_snapshots.emplace_back(
+            name, ends_with(metrics_out, ".csv")
+                      ? metrics::global_registry().to_csv(name)
+                      : metrics::global_registry().to_json());
+      }
+      const workload::OpenLoopResult& r = outcome.result;
+      table.add_row({cluster::protocol_name(protocol), std::to_string(r.jobs),
+                     std::to_string(r.completed), std::to_string(r.failed),
+                     std::to_string(r.stuck),
+                     TextTable::num(r.goodput_mibps(), 1),
+                     TextTable::num(r.latency_quantile(0.50)),
+                     TextTable::num(r.latency_quantile(0.95)),
+                     TextTable::num(r.latency_quantile(0.99)),
+                     std::to_string(outcome.events)});
+      if (ol_summary) {
+        std::printf("%s robustness:\n%s", cluster::protocol_name(protocol),
+                    metrics::render_fault_summary(outcome.summary).c_str());
+      }
+      // Without faults or an overload model, every offered job must finish
+      // cleanly; a stuck or failed job is a harness error, not a result.
+      if (!ol_faults && (r.stuck > 0 || r.failed > 0)) {
+        std::fprintf(stderr, "%s open-loop run left %d stuck / %d failed "
+                             "jobs with no faults active\n",
+                     cluster::protocol_name(protocol), r.stuck, r.failed);
+        exit_code = 1;
+      }
+    }
+    std::printf("%s", table.to_string().c_str());
+    if (!metrics_out.empty()) {
+      std::string out;
+      if (ends_with(metrics_out, ".csv")) {
+        out = "protocol,kind,name,count,value,mean,p50,p95,p99,min,max\n";
+        for (const auto& [name, body] : metric_snapshots) out += body;
+      } else {
+        out = "{";
+        for (std::size_t i = 0; i < metric_snapshots.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "\"" + metric_snapshots[i].first +
+                 "\":" + metric_snapshots[i].second;
+        }
+        out += "}\n";
+      }
+      write_file_or_die(metrics_out, out);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+    }
+    return exit_code;
   }
 
   // Under injected faults a failed upload is a legitimate outcome worth
