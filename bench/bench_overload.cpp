@@ -28,6 +28,7 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/metrics_registry.hpp"
 #include "workload/open_loop.hpp"
 
@@ -64,6 +65,15 @@ struct ArmResult {
   std::uint64_t rpc_retries = 0;
   std::uint64_t rpc_give_ups = 0;
   std::uint64_t heartbeat_batches = 0;
+  // Flight-recorder knee section: the time-resolved shape of the collapse.
+  // Goodput per quarter of the run shows *when* an arm keels over, the queue
+  // peak shows what the defended cap prevents, and the stall watchdog
+  // timestamps the collapse (time-to-collapse for undefended arms).
+  double goodput_quarters_mib[4] = {0, 0, 0, 0};
+  double queue_depth_peak = 0.0;
+  std::uint64_t watchdog_firings = 0;
+  bool stall_fired = false;
+  double stall_at_s = 0.0;
 };
 
 double counter_value(const char* name) {
@@ -74,6 +84,25 @@ double counter_value(const char* name) {
 ArmResult run_arm(cluster::Protocol protocol, int clients, bool defended,
                   SimDuration duration) {
   metrics::global_registry().reset();
+  // Flight recorder on every arm: per-second series feed the knee section,
+  // and the watchdog layer is itself under test (undefended saturation must
+  // trip the goodput stall; defended arms must stay silent).
+  // 250 ms sampling resolves the knee (a 30-60 s arm yields 120+ samples);
+  // the stall window is recalibrated to match: healthy arms never show more
+  // than one consecutive zero-goodput sample at this cadence, while the
+  // undefended saturation arms flat-line for 9+ (HDFS) / 37+ (SMARTH)
+  // consecutive samples, so 6 ticks (1.5 s) separates the regimes cleanly.
+  metrics::FlightRecorderConfig flight_config;
+  flight_config.sample_interval = milliseconds(250);
+  for (metrics::WatchdogSpec& w : flight_config.watchdogs) {
+    if (w.name == "goodput_stall") w.window = 6;
+  }
+  metrics::FlightRecorder flight(flight_config);
+  metrics::ScopedFlightInstall flight_install(&flight);
+  flight.begin_run(std::string(cluster::protocol_name(protocol)) +
+                       (defended ? "/defended" : "/undefended") + "@" +
+                       std::to_string(clients),
+                   42);
   cluster::ClusterSpec spec = cluster::small_cluster(42);
   spec.hdfs.fidelity = hdfs::DataFidelity::kBlock;
   spec.hdfs.nn_service_model = true;
@@ -116,6 +145,30 @@ ArmResult run_arm(cluster::Protocol protocol, int clients, bool defended,
   arm.rpc_retries = static_cast<std::uint64_t>(counter_value("rpc.retries"));
   arm.rpc_give_ups =
       static_cast<std::uint64_t>(counter_value("rpc.give_ups"));
+
+  flight.finish_run(cluster.sim().now());
+  const metrics::FlightRun& fr = flight.runs()[0];
+  std::size_t bytes_col = 0, queue_col = 0;
+  const std::vector<metrics::SeriesSpec>& series = flight.config().series;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].column == "client.bytes_acked") bytes_col = i;
+    if (series[i].column == "nn.rpc.queue_depth") queue_col = i;
+  }
+  const std::size_t n = fr.samples.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const metrics::FlightSample& s = fr.samples[i];
+    const std::size_t quarter = std::min<std::size_t>(i * 4 / std::max<std::size_t>(n, 1), 3);
+    arm.goodput_quarters_mib[quarter] +=
+        s.values[bytes_col] / static_cast<double>(kMiB);
+    arm.queue_depth_peak = std::max(arm.queue_depth_peak, s.values[queue_col]);
+  }
+  arm.watchdog_firings = flight.total_firings();
+  for (const metrics::WatchdogFiring& f : fr.firings) {
+    if (f.monitor == "goodput_stall" && !arm.stall_fired) {
+      arm.stall_fired = true;
+      arm.stall_at_s = to_seconds(f.at);
+    }
+  }
   return arm;
 }
 
@@ -143,6 +196,15 @@ std::string arm_json(const ArmResult& a) {
   j += ", \"rpc_retries\": " + std::to_string(a.rpc_retries);
   j += ", \"rpc_give_ups\": " + std::to_string(a.rpc_give_ups);
   j += ", \"heartbeat_batches\": " + std::to_string(a.heartbeat_batches);
+  j += ", \"flight\": {\"goodput_quarters_mib\": [" +
+       json_num(a.goodput_quarters_mib[0]) + ", " +
+       json_num(a.goodput_quarters_mib[1]) + ", " +
+       json_num(a.goodput_quarters_mib[2]) + ", " +
+       json_num(a.goodput_quarters_mib[3]) + "]";
+  j += ", \"queue_depth_peak\": " + json_num(a.queue_depth_peak);
+  j += ", \"watchdog_firings\": " + std::to_string(a.watchdog_firings);
+  j += ", \"stall_fired\": " + std::string(a.stall_fired ? "true" : "false");
+  j += ", \"stall_at_s\": " + json_num(a.stall_at_s) + "}";
   j += "}";
   return j;
 }
@@ -185,7 +247,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"protocol", "clients", "defense", "jobs", "done", "failed",
                    "stuck", "goodput (MiB/s)", "addBlock p99 (s)", "shed",
-                   "give-ups"});
+                   "give-ups", "queue peak", "stall (s)"});
   const cluster::Protocol protocols[] = {cluster::Protocol::kHdfs,
                                          cluster::Protocol::kSmarth};
   for (std::size_t pi = 0; pi < 2; ++pi) {
@@ -208,7 +270,10 @@ int main(int argc, char** argv) {
                        TextTable::num(arm->goodput_mibps, 2),
                        TextTable::num(arm->addblock_p99_s, 2),
                        std::to_string(arm->shed),
-                       std::to_string(arm->rpc_give_ups)});
+                       std::to_string(arm->rpc_give_ups),
+                       TextTable::num(arm->queue_depth_peak, 0),
+                       arm->stall_fired ? TextTable::num(arm->stall_at_s, 1)
+                                        : "-"});
       }
 
       const std::string tag = std::string(pname) + " @" +
@@ -232,6 +297,11 @@ int main(int argc, char** argv) {
              " s exceeds the " + json_num(kAddblockP99CeilingS) +
              " s ceiling");
       }
+      // (5) A defended arm never pages: zero watchdog firings at any count.
+      if (def.watchdog_firings != 0) {
+        fail(tag + ": defended run fired " +
+             std::to_string(def.watchdog_firings) + " watchdog(s)");
+      }
       // (4) At the saturating count, undefended is measurably worse.
       if (ci + 1 == client_counts.size()) {
         const bool undef_broke = undef.failed + undef.stuck > 0;
@@ -245,6 +315,20 @@ int main(int argc, char** argv) {
           fail(tag + ": undefended goodput (" + json_num(undef.goodput_mibps) +
                ") not worse than defended (" + json_num(def.goodput_mibps) +
                " MiB/s)");
+        }
+        // (6) The collapse must be visible in the flight recorder: the
+        // goodput-stall watchdog pages on the undefended saturation arm,
+        // and the queue-depth knee towers over the defended admission cap.
+        if (!undef.stall_fired) {
+          fail(tag +
+               ": undefended saturation never tripped the goodput-stall "
+               "watchdog");
+        }
+        if (undef.queue_depth_peak <= def.queue_depth_peak) {
+          fail(tag + ": undefended queue peak (" +
+               json_num(undef.queue_depth_peak) +
+               ") not above defended peak (" +
+               json_num(def.queue_depth_peak) + ")");
         }
       }
 

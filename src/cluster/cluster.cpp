@@ -117,9 +117,48 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
     rpc_->notify(namenode_->node_id(), node,
                  [dn, block] { dn->invalidate_replica(block); });
   });
+
+  // Flight recorder: when a recorder is installed on this thread, drive its
+  // sampler from this cluster's simulated clock. With no recorder (the
+  // default) nothing is scheduled and the event timeline is untouched; with
+  // one, sampling only *reads* state, so the timeline shifts for no seed.
+  if (metrics::flight_active()) {
+    metrics::FlightRecorder* rec = metrics::flight_recorder();
+    rec->set_pending_summary_provider(
+        [this] { return sim_->pending_category_summary(); });
+    flight_sampler_ = std::make_unique<sim::PeriodicTask>(
+        *sim_, rec->sample_interval(), [this, rec] {
+          update_flight_gauges();
+          rec->sample(sim_->now());
+        });
+    flight_sampler_->start_with_delay(0);
+  }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // The watchdog dump provider captures this cluster's simulation; a
+  // recorder outliving the cluster (the normal case) must not call into a
+  // dead object.
+  if (metrics::flight_active()) {
+    metrics::flight_recorder()->set_pending_summary_provider(nullptr);
+  }
+}
+
+void Cluster::update_flight_gauges() {
+  metrics::Registry& reg = metrics::global_registry();
+  if (namenode_crashed_) {
+    // The process is down: liveness is zero by definition, and the replica
+    // map is unreadable, so the backlog gauge keeps its last value.
+    reg.gauge("nn.live_datanodes").set(0.0);
+    return;
+  }
+  reg.gauge("nn.live_datanodes").set(
+      static_cast<double>(namenode_->alive_datanodes().size()));
+  if (!namenode_->safe_mode()) {
+    reg.gauge("nn.under_replicated").set(
+        static_cast<double>(namenode_->under_replicated_blocks().size()));
+  }
+}
 
 std::size_t Cluster::add_client(const std::string& rack,
                                 const InstanceProfile& profile) {

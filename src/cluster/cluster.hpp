@@ -22,8 +22,10 @@
 #include "hdfs/transport.hpp"
 #include "net/network.hpp"
 #include "rpc/rpc_bus.hpp"
+#include "sim/periodic_task.hpp"
 #include "sim/simulation.hpp"
 #include "smarth/speed_tracker.hpp"
+#include "trace/flight_recorder.hpp"
 
 namespace smarth::cluster {
 
@@ -192,6 +194,10 @@ class Cluster {
   void complete_namenode_recovery(const hdfs::NamenodeImage& image,
                                   const std::vector<hdfs::EditOp>& tail,
                                   bool failover);
+  /// Refreshes the registry gauges that have no natural event-driven update
+  /// site (namenode liveness/backlog), called just before each flight-
+  /// recorder sample.
+  void update_flight_gauges();
 
   ClusterSpec spec_;
   std::unique_ptr<sim::Simulation> sim_;
@@ -217,6 +223,9 @@ class Cluster {
   IdGenerator<ClientId> client_ids_;
   IdGenerator<hdfs::ReadId> read_ids_;
   std::optional<Protocol> active_policy_;
+  /// Drives the installed flight recorder on simulated time; null when no
+  /// recorder is installed, so a disabled recorder schedules nothing.
+  std::unique_ptr<sim::PeriodicTask> flight_sampler_;
 };
 
 }  // namespace smarth::cluster

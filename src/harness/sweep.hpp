@@ -26,6 +26,10 @@ struct SeedRun {
   /// outcome recorded in stats/summary, not this.)
   bool errored = false;
   std::string error;
+  /// Flight-recorder run fragment (FlightRecorder::run_json) when the body
+  /// sampled time series; empty otherwise. Merged in seed order by the
+  /// driver, so the combined export is deterministic.
+  std::string timeseries;
 };
 
 /// Aggregate of a whole sweep, merged in seed order.

@@ -27,6 +27,7 @@ DfsInputStream::~DfsInputStream() {
 
 void DfsInputStream::start() {
   stats_.started_at = deps_.sim.now();
+  metrics::global_registry().gauge("client.reads_open").add(1.0);
   if (trace::active()) {
     read_span_ = trace::recorder()->begin_span(
         trace::Category::kRead, "read", "read " + path_,
@@ -477,6 +478,7 @@ void DfsInputStream::finish(bool failed, const std::string& reason) {
     cancel_attempt(hedge_, /*lost_race=*/true);
   }
   finished_ = true;
+  metrics::global_registry().gauge("client.reads_open").add(-1.0);
   stats_.finished_at = deps_.sim.now();
   stats_.failed = failed;
   stats_.failure_reason = reason;

@@ -897,6 +897,12 @@ void Namenode::scan_for_under_replication() {
   // Safe mode defers re-replication: a replica map mid-rebuild makes every
   // block look under-replicated and would trigger a pointless copy storm.
   if (safe_mode_) return;
+  // Refresh the backlog/liveness gauges on the scan cadence so the flight
+  // recorder sees re-replication pressure between its own samples.
+  metrics::global_registry().gauge("nn.under_replicated").set(
+      static_cast<double>(under_replicated_blocks().size()));
+  metrics::global_registry().gauge("nn.live_datanodes").set(
+      static_cast<double>(alive_datanodes().size()));
   for (auto& [id, record] : blocks_) {
     const auto ft = files_.find(record.file);
     // Open files are the writer's responsibility (pipeline recovery).

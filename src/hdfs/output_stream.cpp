@@ -21,12 +21,15 @@ OutputStreamBase::OutputStreamBase(StreamDeps deps, ClientId client,
   stats_.client = client_;
   stats_.file_size = file_size_;
   stats_.blocks = blocks;
+  bytes_acked_counter_ = &metrics::global_registry().counter("client.bytes_acked");
 }
 
 OutputStreamBase::~OutputStreamBase() { *alive_ = false; }
 
 void OutputStreamBase::start() {
   stats_.started_at = deps_.sim.now();
+  metrics::global_registry().gauge("client.streams_open").add(1.0);
+  counted_open_ = true;
   if (trace::active()) {
     upload_span_ = trace::recorder()->begin_span(
         trace::Category::kRun, "client", "upload",
@@ -417,6 +420,10 @@ void OutputStreamBase::complete_file() {
 void OutputStreamBase::finish(bool failed, const std::string& reason) {
   if (finished_) return;
   finished_ = true;
+  if (counted_open_) {
+    metrics::global_registry().gauge("client.streams_open").add(-1.0);
+    counted_open_ = false;
+  }
   stats_.finished_at = deps_.sim.now();
   stats_.failed = failed;
   stats_.failure_reason = reason;
@@ -708,6 +715,8 @@ void DfsOutputStream::deliver_ack(const PipelineAck& ack) {
     }
     return;
   }
+  bytes_acked_counter_->add(
+      static_cast<std::uint64_t>(pipeline->ack_queue.front().payload));
   pipeline->ack_queue.pop_front();
   ++pipeline->acked_packets;
   arm_watchdog(*pipeline);

@@ -22,6 +22,7 @@
 #include "rpc/retry.hpp"
 #include "rpc/rpc_bus.hpp"
 #include "sim/simulation.hpp"
+#include "trace/metrics_registry.hpp"
 #include "trace/trace_recorder.hpp"
 
 namespace smarth::hdfs {
@@ -279,6 +280,13 @@ class OutputStreamBase : public AckSink {
 
   StreamStats stats_;
   bool finished_ = false;
+  /// Goodput counter (client.bytes_acked), cached because deliver_ack is the
+  /// hottest client-side path; registry references stay valid until reset()
+  /// and streams never outlive a reset.
+  metrics::Counter* bytes_acked_counter_ = nullptr;
+  /// True between start() and finish(): this stream is counted in the
+  /// client.streams_open occupancy gauge.
+  bool counted_open_ = false;
   /// Liveness token captured by in-flight RPC callbacks so a pruned stream's
   /// late responses are dropped instead of dereferencing freed memory.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

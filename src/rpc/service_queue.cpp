@@ -19,6 +19,11 @@ metrics::Counter& reg_counter(const char* name) {
 
 }  // namespace
 
+void ServiceQueue::update_depth_gauge() {
+  metrics::global_registry().gauge("nn.rpc.queue_depth").set(
+      static_cast<double>(depth()));
+}
+
 ServiceQueue::ServiceQueue(sim::Simulation& sim, Config config)
     : sim_(sim), config_(config) {
   SMARTH_CHECK(config_.cost_heartbeat > 0);
@@ -90,6 +95,7 @@ void ServiceQueue::enqueue(Op op) {
     bands_[priority_of(op.cls)].push_back(std::move(op));
   }
   maybe_serve();
+  update_depth_gauge();
 }
 
 void ServiceQueue::submit(ServiceClass cls, std::int64_t tenant,
@@ -183,6 +189,7 @@ void ServiceQueue::maybe_serve() {
     }
   }
   busy_ = true;
+  update_depth_gauge();
   const SimTime start = sim_.now();
   auto& wait_hist = metrics::global_registry().histogram("nn.rpc.queue_wait_ns");
   for (const Op& op : *batch) {

@@ -98,6 +98,9 @@ class ServiceQueue {
 
   SimDuration cost_of(ServiceClass cls) const;
   static int priority_of(ServiceClass cls);  // higher serves first
+  /// Refreshes the nn.rpc.queue_depth gauge after any structural change, so
+  /// the flight recorder can sample backlog as a time series.
+  void update_depth_gauge();
   void shed_op(Op op, bool cap_rejection);
   void enqueue(Op op);
   void maybe_serve();

@@ -210,6 +210,8 @@ void SmarthOutputStream::deliver_ack(const PipelineAck& ack) {
     }
     return;
   }
+  bytes_acked_counter_->add(
+      static_cast<std::uint64_t>(pipeline->ack_queue.front().payload));
   pipeline->ack_queue.pop_front();
   ++pipeline->acked_packets;
   arm_watchdog(*pipeline);

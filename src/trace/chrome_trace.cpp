@@ -49,13 +49,21 @@ std::string format_us(std::int64_t ns) {
   return buf;
 }
 
-void append_args(std::string& out, const Args& args) {
+/// Counter ('C') events carry pre-formatted numeric arg values (see
+/// TraceRecorder::counter) that the trace format requires unquoted; every
+/// other phase's args are plain strings.
+void append_args(std::string& out, const Args& args, bool raw_values) {
   out += "{";
   bool first = true;
   for (const auto& [key, value] : args) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+    out += "\"" + json_escape(key) + "\":";
+    if (raw_values) {
+      out += value;
+    } else {
+      out += "\"" + json_escape(value) + "\"";
+    }
   }
   out += "}";
 }
@@ -89,7 +97,7 @@ std::string to_chrome_trace_json(TraceRecorder& recorder) {
     out += ",\"pid\":" + std::to_string(ev.pid);
     out += ",\"tid\":" + std::to_string(ev.tid);
     out += ",\"args\":";
-    append_args(out, ev.args);
+    append_args(out, ev.args, ev.ph == 'C');
     out += "}";
   }
   out += "\n]}\n";
@@ -344,6 +352,19 @@ bool check_event(const JsonValue& ev, std::size_t index, std::string& error) {
       return bad("'X' event missing numeric \"dur\"");
     }
     if (dur->number < 0) return bad("negative \"dur\"");
+  }
+  if (ph->str == "C") {
+    // Counter samples are only renderable if every series value is numeric.
+    const JsonValue* args = ev.find("args");
+    if (!args || args->kind != JsonValue::Kind::kObject) {
+      return bad("'C' event missing \"args\" object");
+    }
+    if (args->object.empty()) return bad("'C' event has no counter series");
+    for (const auto& [key, value] : args->object) {
+      if (value.kind != JsonValue::Kind::kNumber) {
+        return bad("'C' event series \"" + key + "\" is not numeric");
+      }
+    }
   }
   return true;
 }

@@ -27,7 +27,8 @@ struct ValidationResult {
 /// Fully parses `json` (strict RFC-8259 subset: no comments, no trailing
 /// commas) and checks the Chrome trace schema: a top-level object with a
 /// "traceEvents" array whose entries carry name/ph/pid/tid, ts for non-'M'
-/// phases and a non-negative dur for 'X' spans.
+/// phases, a non-negative dur for 'X' spans, and — for 'C' counter samples —
+/// a non-empty args object whose values are all numeric.
 ValidationResult validate_chrome_trace(const std::string& json);
 
 }  // namespace smarth::trace

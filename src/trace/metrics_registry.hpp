@@ -29,6 +29,9 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_ = v; }
+  /// Relative adjustment for occupancy-style gauges (streams open, jobs in
+  /// flight) maintained by paired inc/dec sites.
+  void add(double delta) { value_ += delta; }
   double value() const { return value_; }
 
  private:

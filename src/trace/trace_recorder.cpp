@@ -1,6 +1,8 @@
 #include "trace/trace_recorder.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "common/check.hpp"
 
@@ -24,6 +26,17 @@ const char* category_name(Category cat) {
     case Category::kLease: return "lease";
   }
   return "?";
+}
+
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
 }
 
 TraceRecorder::TraceRecorder() { events_.reserve(1024); }
@@ -118,6 +131,22 @@ void TraceRecorder::instant(Category cat, const std::string& track_name,
   ev.tid = tid;
   ev.name = std::move(name);
   ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::counter(const std::string& track_name, std::string name,
+                            double value) {
+  const std::int64_t tid = track(track_name);
+  const SimTime ts = now();
+  last_ts_ = std::max(last_ts_, ts);
+  TraceEvent ev;
+  ev.cat = Category::kRun;
+  ev.ph = 'C';
+  ev.ts = ts;
+  ev.pid = current_pid_;
+  ev.tid = tid;
+  ev.name = std::move(name);
+  ev.args = {{"value", format_number(value)}};
   events_.push_back(std::move(ev));
 }
 

@@ -45,6 +45,12 @@ enum class Category {
 
 const char* category_name(Category cat);
 
+/// Deterministic numeric rendering shared by counter-track args and the
+/// flight-recorder exports: integral values (the common case) print without
+/// a decimal point, everything else round-trips through %.9g. Same inputs,
+/// same bytes.
+std::string format_number(double v);
+
 /// Ordered key=value annotations attached to an event. A vector (not a map)
 /// keeps insertion order, which reads better in viewers.
 using Args = std::vector<std::pair<std::string, std::string>>;
@@ -112,6 +118,12 @@ class TraceRecorder {
   void end_span(SpanHandle& handle, Args extra = {});
   void instant(Category cat, const std::string& track, std::string name,
                Args args = {});
+
+  /// Appends a counter ('C') sample: one point of the series `name` on the
+  /// given track, rendered by Perfetto as a counter track. The value is
+  /// stored pre-formatted (see format_number) and exported unquoted, since
+  /// the trace format requires counter arg values to be numeric.
+  void counter(const std::string& track, std::string name, double value);
 
   /// Typed hop-latency sample (see HopStats). Keyed by pipeline so the
   /// straggler report can join hops against the block spans of the same run.

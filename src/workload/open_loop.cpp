@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "trace/metrics_registry.hpp"
 
 namespace smarth::workload {
 
@@ -132,15 +133,20 @@ OpenLoopResult OpenLoopWorkload::run(cluster::Cluster& cluster) {
     cluster.sim().schedule_at(
         arrive_at, [&cluster, protocol = protocol_, path, a, arrive_at, result,
                     pending, this] {
+          metrics::global_registry().gauge("workload.jobs_in_flight").add(1.0);
           cluster.upload(
               path, a.size, protocol,
               [&cluster, result, pending, arrive_at, size = a.size,
                this](const hdfs::StreamStats& s) {
                 --*pending;
+                metrics::Registry& reg = metrics::global_registry();
+                reg.gauge("workload.jobs_in_flight").add(-1.0);
                 if (s.failed) {
                   ++result->failed;
+                  reg.counter("workload.jobs_failed").add();
                 } else {
                   ++result->completed;
+                  reg.counter("workload.jobs_completed").add();
                   result->bytes_completed += size;
                   result->latencies_s.push_back(
                       to_seconds(cluster.sim().now() - arrive_at));

@@ -18,6 +18,7 @@
 #include "cluster/cluster_spec.hpp"
 #include "faults/fault_injector.hpp"
 #include "metrics/report.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/metrics_registry.hpp"
 
 namespace smarth {
@@ -125,6 +126,14 @@ SoakResult soak_once(
     spec.hdfs.hedged_reads = true;
     spec.hdfs.slow_node_eviction = true;
   }
+  // Flight-recorder invariant, asserted at the end of every soak: a run
+  // that completes (or fails cleanly) must trip no watchdog. The default
+  // goodput-stall window has to ride out every legitimate zero-progress gap
+  // chaos produces — namenode outages, safe mode, retry backoff — or the
+  // monitor would page a human on healthy recoveries.
+  metrics::FlightRecorder flight;
+  metrics::ScopedFlightInstall flight_install(&flight);
+  flight.begin_run("soak", seed);
   Cluster cluster(spec);
   cluster.throttle_cross_rack(Bandwidth::mbps(60));
   if (rates.nn_failover) cluster.enable_standby();
@@ -242,6 +251,16 @@ SoakResult soak_once(
       result.replicas[replica.block.value()][static_cast<std::int64_t>(i)] =
           replica.bytes;
     }
+  }
+  flight.finish_run(cluster.sim().now());
+  if (!result.failed) {
+    std::string tripped;
+    for (const metrics::WatchdogFiring& f : flight.runs()[0].firings) {
+      tripped += f.monitor + " @" + std::to_string(to_seconds(f.at)) +
+                 "s: " + f.reason + "; ";
+    }
+    EXPECT_EQ(flight.total_firings(), 0u)
+        << "seed " << seed << ": a completing soak run tripped " << tripped;
   }
   return result;
 }

@@ -222,6 +222,58 @@ TEST(ChromeTrace, GoldenTwoBlockSmarthUploadTrace) {
   EXPECT_EQ(json.find("truncated"), std::string::npos);
 }
 
+TEST(ChromeTrace, GoldenCounterTrack) {
+  trace::TraceRecorder rec;
+  SimTime now = 0;
+  rec.set_time_source([&now] { return now; });
+  rec.begin_run("RUN");
+  rec.counter("flight", "nn.rpc.queue_depth", 0);
+  now = seconds(1);
+  rec.counter("flight", "nn.rpc.queue_depth", 17);
+  rec.counter("flight", "client.addblock_p99_ns", 1.25e6);
+  now = seconds(2);
+  rec.counter("flight", "nn.rpc.queue_depth", 4);
+
+  const std::string json = trace::to_chrome_trace_json(rec);
+  const trace::ValidationResult result = trace::validate_chrome_trace(json);
+  ASSERT_TRUE(result.ok) << result.error;
+  // Counter samples export with *raw numeric* args (Perfetto only renders
+  // counter tracks from numbers, not quoted strings)...
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":17}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":1250000}"), std::string::npos);
+  EXPECT_EQ(json.find("\"value\":\"17\""), std::string::npos);
+  // ...on the named counter track, at microsecond timestamps.
+  EXPECT_NE(json.find("\"nn.rpc.queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000000"), std::string::npos);
+}
+
+TEST(ChromeTrace, ValidatorRejectsMalformedCounterEvents) {
+  // A 'C' event with no args object has no value to plot.
+  const std::string no_args =
+      "{\"traceEvents\":[{\"name\":\"q\",\"cat\":\"run\",\"ph\":\"C\","
+      "\"ts\":0,\"pid\":0,\"tid\":0}]}";
+  EXPECT_FALSE(trace::validate_chrome_trace(no_args).ok);
+  // Empty args: still nothing to plot.
+  const std::string empty_args =
+      "{\"traceEvents\":[{\"name\":\"q\",\"cat\":\"run\",\"ph\":\"C\","
+      "\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{}}]}";
+  EXPECT_FALSE(trace::validate_chrome_trace(empty_args).ok);
+  // Quoted values render no counter track in Perfetto; reject them so a
+  // regression in the exporter fails loudly here instead of silently
+  // producing a blank track.
+  const std::string quoted =
+      "{\"traceEvents\":[{\"name\":\"q\",\"cat\":\"run\",\"ph\":\"C\","
+      "\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"value\":\"17\"}}]}";
+  EXPECT_FALSE(trace::validate_chrome_trace(quoted).ok);
+  // The well-formed flavor of the same event passes.
+  const std::string numeric =
+      "{\"traceEvents\":[{\"name\":\"q\",\"cat\":\"run\",\"ph\":\"C\","
+      "\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"value\":17}}]}";
+  const trace::ValidationResult ok = trace::validate_chrome_trace(numeric);
+  EXPECT_TRUE(ok.ok) << ok.error;
+}
+
 TEST(Straggler, ThrottledDatanodeNamedDominant) {
   metrics::global_registry().reset();
   trace::TraceRecorder rec;

@@ -1,0 +1,54 @@
+# Flight-recorder CLI smoke, run as a ctest via cmake -P (a single add_test
+# command cannot express "run twice and diff"). Checks that --timeseries-out
+# produces a non-empty, structurally sane export, that the same seed yields a
+# bit-identical document on a second run (the recorder's determinism
+# contract), and that the CSV flavor carries the expected header.
+#
+# Expects -DSMARTHSIM=<path to the binary> and -DOUT_DIR=<writable dir>.
+
+foreach(pass a b)
+  execute_process(
+    COMMAND ${SMARTHSIM} --cluster=small --size-gb=0.05 --block-mb=8
+            --sample-interval=0.5
+            --timeseries-out=${OUT_DIR}/smoke-timeseries-${pass}.json
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "smarthsim timeseries pass '${pass}' exited ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/smoke-timeseries-a.json
+          ${OUT_DIR}/smoke-timeseries-b.json
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "same-seed time series differ between identical runs")
+endif()
+
+file(READ ${OUT_DIR}/smoke-timeseries-a.json content)
+string(LENGTH "${content}" len)
+if(len LESS 200)
+  message(FATAL_ERROR "time series export suspiciously small: ${len} bytes")
+endif()
+foreach(needle "\"sample_interval_ns\":500000000" "\"columns\":[\"t_ns\""
+        "\"runs\":[" "\"samples\":[[")
+  string(FIND "${content}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "time series export missing '${needle}'")
+  endif()
+endforeach()
+
+# CSV flavor: selected by extension, header row first.
+execute_process(
+  COMMAND ${SMARTHSIM} --cluster=small --size-gb=0.05 --block-mb=8
+          --timeseries-out=${OUT_DIR}/smoke-timeseries.csv
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "smarthsim timeseries CSV pass exited ${rc}")
+endif()
+file(READ ${OUT_DIR}/smoke-timeseries.csv csv)
+string(FIND "${csv}" "run,seed,t_ns," pos)
+if(NOT pos EQUAL 0)
+  message(FATAL_ERROR "time series CSV export missing its header row")
+endif()

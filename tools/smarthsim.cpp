@@ -28,6 +28,7 @@
 #include "metrics/timeline.hpp"
 #include "sim/periodic_task.hpp"
 #include "trace/chrome_trace.hpp"
+#include "trace/flight_recorder.hpp"
 #include "trace/metrics_registry.hpp"
 #include "trace/straggler.hpp"
 #include "trace/trace_recorder.hpp"
@@ -187,6 +188,21 @@ std::optional<double> fail_slow_factor_flag(const FlagSet& flags) {
                                              flags.get("fail-slow-factor"));
   }
   return factor;
+}
+
+/// Validated --sample-interval: the flight recorder's sampling cadence in
+/// simulated seconds. Exits on non-positive values even when no
+/// --timeseries-out consumes it this run (same eager policy as
+/// --fail-slow-factor: a silently-ignored knob runs the wrong experiment).
+SimDuration sample_interval_flag(const FlagSet& flags) {
+  if (!flags.has("sample-interval")) return seconds(1);
+  const auto interval = flags.get_double("sample-interval");
+  if (!interval || *interval <= 0) {
+    fault_flag_error("sample-interval",
+                     "must be a positive number of seconds, got " +
+                         flags.get("sample-interval"));
+  }
+  return seconds_f(*interval);
 }
 
 /// Parses the one-shot fault flags (--crash/--rejoin/--fail-slow/--flap/
@@ -369,6 +385,14 @@ OpenLoopOutcome run_open_loop_once(const FlagSet& flags,
                                    std::optional<std::uint64_t> chaos_seed =
                                        std::nullopt) {
   metrics::global_registry().reset();
+  if (metrics::flight_active()) {
+    // Before the cluster exists: the constructor attaches the sampling task
+    // to whichever run is current.
+    metrics::flight_recorder()->begin_run(
+        cluster::protocol_name(protocol),
+        seed_override.value_or(
+            static_cast<std::uint64_t>(flags.get_int("seed").value_or(42))));
+  }
   cluster::Cluster cluster(spec_from_flags(flags, seed_override));
   faults::FaultInjector injector(
       cluster, chaos_seed.value_or(static_cast<std::uint64_t>(
@@ -418,6 +442,11 @@ OpenLoopOutcome run_open_loop_once(const FlagSet& flags,
   outcome.result = wl.run(cluster);
   outcome.events = cluster.sim().events_executed();
   fold_cluster_counters(outcome.summary, cluster, injector);
+  // While the cluster is alive: quiescence monitors read the live registry
+  // and a firing's dump wants the pending-event summary.
+  if (metrics::flight_active()) {
+    metrics::flight_recorder()->finish_run(cluster.sim().now());
+  }
   if (!quiet) {
     Logger::instance().set_level(LogLevel::kWarn);
     Logger::instance().set_time_source(nullptr);
@@ -432,6 +461,11 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   metrics::global_registry().reset();
   if (trace::active()) {
     trace::recorder()->begin_run(cluster::protocol_name(protocol));
+  }
+  if (metrics::flight_active()) {
+    metrics::flight_recorder()->begin_run(
+        cluster::protocol_name(protocol),
+        static_cast<std::uint64_t>(flags.get_int("seed").value_or(42)));
   }
   cluster::Cluster cluster(spec_from_flags(flags));
   if (trace::active()) {
@@ -607,6 +641,11 @@ RunOutcome run_once(const FlagSet& flags, cluster::Protocol protocol) {
   if (flags.has("editlog-out")) {
     outcome.editlog_json = cluster.edit_log().to_json();
   }
+  // While the cluster is alive: quiescence monitors read the live registry
+  // and a firing's dump wants the pending-event summary.
+  if (metrics::flight_active()) {
+    metrics::flight_recorder()->finish_run(cluster.sim().now());
+  }
   if (sampler) sampler->stop();
   Logger::instance().set_level(LogLevel::kWarn);
   Logger::instance().set_time_source(nullptr);
@@ -642,13 +681,27 @@ int run_sweeps(const FlagSet& flags,
   const bool faults_active = flags.has("chaos-rates") || !plan.empty() ||
                              (open_loop && overload_model);
   const bool want_summary = flags.get_bool("fault-summary") || faults_active;
+  // Flight recorder: one per worker (thread_local install), fragments merged
+  // in seed order below so the export is independent of thread scheduling.
+  const std::string timeseries_out = flags.get("timeseries-out");
+  const bool want_timeseries = !timeseries_out.empty();
+  const bool timeseries_csv = ends_with(timeseries_out, ".csv");
+  metrics::FlightRecorderConfig flight_config;
+  flight_config.sample_interval = sample_interval_flag(flags);
 
   int exit_code = 0;
   std::vector<double> mean_by_protocol;
+  std::vector<std::string> timeseries_fragments;
   for (const cluster::Protocol protocol : protocols) {
     const harness::SweepSummary sweep = harness::run_seed_sweep(
         base_seed, seeds, jobs,
         [&](std::uint64_t seed, harness::SeedRun& run) {
+          std::optional<metrics::FlightRecorder> flight;
+          std::optional<metrics::ScopedFlightInstall> flight_install;
+          if (want_timeseries) {
+            flight.emplace(flight_config);
+            flight_install.emplace(&*flight);
+          }
           if (open_loop) {
             // Per-job stats fold through the observer; the synthetic
             // run.stats carries the makespan and completed bytes so the
@@ -662,9 +715,16 @@ int run_sweeps(const FlagSet& flags,
             run.stats.finished_at = out.result.finished_at;
             run.stats.file_size = out.result.bytes_completed;
             run.stats.failed = out.result.stuck > 0;
+            if (flight) {
+              run.timeseries =
+                  timeseries_csv ? flight->csv_rows(0) : flight->run_json(0);
+            }
             return;
           }
           metrics::global_registry().reset();
+          if (flight) {
+            flight->begin_run(cluster::protocol_name(protocol), seed);
+          }
           cluster::Cluster cluster(spec_from_flags(flags, seed));
           faults::FaultInjector injector(cluster,
                                          chaos_base + (seed - base_seed));
@@ -692,7 +752,19 @@ int run_sweeps(const FlagSet& flags,
           run.events = cluster.sim().events_executed();
           run.summary.fold(run.stats);
           fold_cluster_counters(run.summary, cluster, injector);
+          if (flight) {
+            flight->finish_run(cluster.sim().now());
+            run.timeseries =
+                timeseries_csv ? flight->csv_rows(0) : flight->run_json(0);
+          }
         });
+    if (want_timeseries) {
+      for (const harness::SeedRun& run : sweep.runs) {
+        if (!run.timeseries.empty()) {
+          timeseries_fragments.push_back(run.timeseries);
+        }
+      }
+    }
     std::printf("%s sweep, %d seeds from %llu:\n%s",
                 cluster::protocol_name(protocol), seeds,
                 static_cast<unsigned long long>(base_seed),
@@ -709,6 +781,25 @@ int run_sweeps(const FlagSet& flags,
   if (mean_by_protocol.size() == 2 && mean_by_protocol[1] > 0) {
     std::printf("mean improvement: %.1f%%\n",
                 (mean_by_protocol[0] / mean_by_protocol[1] - 1.0) * 100.0);
+  }
+  if (want_timeseries) {
+    // Assemble a to_json()/to_csv()-shaped document from the per-worker
+    // fragments; the envelope comes from a recorder with the same config.
+    const metrics::FlightRecorder envelope(flight_config);
+    std::string out;
+    if (timeseries_csv) {
+      out = envelope.csv_header();
+      for (const std::string& fragment : timeseries_fragments) out += fragment;
+    } else {
+      out = "{" + envelope.header_json() + ",\"runs\":[\n";
+      for (std::size_t i = 0; i < timeseries_fragments.size(); ++i) {
+        if (i > 0) out += ",\n";
+        out += timeseries_fragments[i];
+      }
+      out += "\n]}\n";
+    }
+    write_file_or_die(timeseries_out, out);
+    std::fprintf(stderr, "time series written to %s\n", timeseries_out.c_str());
   }
   return exit_code;
 }
@@ -770,6 +861,13 @@ int main(int argc, char** argv) {
   flags.declare("metrics-out",
                 "write metrics registry snapshots; .csv extension selects "
                 "CSV, anything else JSON", "");
+  flags.declare("timeseries-out",
+                "write flight-recorder time series (one sample per "
+                "--sample-interval of simulated time, plus watchdog dumps); "
+                ".csv extension selects CSV, anything else JSON", "");
+  flags.declare("sample-interval",
+                "flight-recorder sampling cadence in simulated seconds "
+                "(fractional ok)", "1");
   flags.declare("log-level",
                 "log threshold: trace|debug|info|warn|error|off "
                 "(overrides --verbose)", "");
@@ -885,6 +983,24 @@ int main(int argc, char** argv) {
   trace::TraceRecorder recorder;
   if (!trace_out.empty() || want_straggler) trace::install(&recorder);
 
+  // Flight recorder: validate the cadence eagerly (a bad --sample-interval
+  // exits 2 even without --timeseries-out), install only when requested —
+  // a null recorder schedules nothing and costs nothing. Sweep workers
+  // install their own thread_local recorders inside run_sweeps.
+  const std::string timeseries_out = flags.get("timeseries-out");
+  metrics::FlightRecorderConfig flight_config;
+  flight_config.sample_interval = sample_interval_flag(flags);
+  metrics::FlightRecorder flight(flight_config);
+  if (!timeseries_out.empty()) metrics::install_flight_recorder(&flight);
+  const auto write_timeseries = [&flight, &timeseries_out] {
+    if (timeseries_out.empty()) return;
+    write_file_or_die(timeseries_out, ends_with(timeseries_out, ".csv")
+                                          ? flight.to_csv()
+                                          : flight.to_json());
+    std::fprintf(stderr, "time series written to %s\n",
+                 timeseries_out.c_str());
+  };
+
   const std::string protocol_choice = flags.get("protocol");
   std::vector<cluster::Protocol> protocols;
   if (protocol_choice == "hdfs" || protocol_choice == "both") {
@@ -989,6 +1105,7 @@ int main(int argc, char** argv) {
       write_file_or_die(metrics_out, out);
       std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
     }
+    write_timeseries();
     return exit_code;
   }
 
@@ -1061,6 +1178,7 @@ int main(int argc, char** argv) {
     write_file_or_die(trace_out, trace::to_chrome_trace_json(recorder));
     std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
   }
+  write_timeseries();
   if (!metrics_out.empty()) {
     std::string out;
     if (ends_with(metrics_out, ".csv")) {
